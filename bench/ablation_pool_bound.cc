@@ -1,0 +1,59 @@
+// Ablation: the initial-pool size bound (the "small size, e.g., 3" of
+// §2.3 phase 1). Larger bounds give fusion more — and more specific —
+// core descendants to start from, at the cost of mining and scanning a
+// much bigger pool. The paper uses ≤ 2 or ≤ 3 depending on the dataset;
+// this sweep shows why on the Replace stand-in.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/colossal_miner.h"
+#include "data/generators.h"
+
+int main() {
+  using namespace colossal;
+
+  LabeledDatabase labeled = MakeProgramTraceLike(42);
+  TablePrinter table({"pool bound", "pool size", "paths found/3", "largest",
+                      "seconds"});
+
+  for (int bound : {1, 2, 3}) {
+    ColossalMinerOptions options;
+    options.min_support_count = labeled.min_support_count;
+    options.initial_pool_max_size = bound;
+    options.tau = 0.5;
+    options.k = 100;
+    options.seed = 5;
+    Stopwatch watch;
+    StatusOr<ColossalMiningResult> result = MineColossal(labeled.db, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "bound=%d failed: %s\n", bound,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    int paths = 0;
+    for (const Itemset& path : labeled.planted) {
+      for (const Pattern& pattern : result->patterns) {
+        if (pattern.items == path) {
+          ++paths;
+          break;
+        }
+      }
+    }
+    table.AddRow({std::to_string(bound),
+                  std::to_string(result->initial_pool_size),
+                  std::to_string(paths),
+                  std::to_string(result->patterns.empty()
+                                     ? 0
+                                     : result->patterns[0].size()),
+                  TablePrinter::FormatSeconds(watch.ElapsedSeconds())});
+  }
+
+  std::printf("Ablation — initial pool bound on the Replace stand-in "
+              "(σ = 0.03, τ = 0.5, K = 100)\n\n");
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation: the core ratio τ. τ controls both the ball radius r(τ) (how
+// much of the pool a seed can see) and the fusion invariant (how far a
+// merge may dilute the strongest merged member). The paper fixes τ per
+// experiment without reporting a sweep; this ablation shows the
+// trade-off on the microarray stand-in: tiny τ admits everything and
+// merges greedily toward a few huge attractors, τ → 1 shrinks balls to
+// near-duplicates and fusion stalls.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/colossal_miner.h"
+#include "data/generators.h"
+
+int main() {
+  using namespace colossal;
+
+  LabeledDatabase labeled = MakeMicroarrayLike(42);
+  TablePrinter table({"tau", "ball radius", "patterns", "recovered/22",
+                      "largest", "seconds"});
+
+  for (double tau : {0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    ColossalMinerOptions options;
+    options.min_support_count = 30;
+    options.initial_pool_max_size = 2;
+    options.tau = tau;
+    options.k = 100;
+    options.seed = 1;
+    Stopwatch watch;
+    StatusOr<ColossalMiningResult> result = MineColossal(labeled.db, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "tau=%.2f failed: %s\n", tau,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    int recovered = 0;
+    for (const Itemset& planted : labeled.planted) {
+      for (const Pattern& pattern : result->patterns) {
+        if (pattern.items == planted) {
+          ++recovered;
+          break;
+        }
+      }
+    }
+    const double radius = 1.0 - 1.0 / (2.0 / tau - 1.0);
+    table.AddRow({TablePrinter::FormatDouble(tau, 2),
+                  TablePrinter::FormatDouble(radius, 3),
+                  std::to_string(result->patterns.size()),
+                  std::to_string(recovered),
+                  std::to_string(result->patterns.empty()
+                                     ? 0
+                                     : result->patterns[0].size()),
+                  TablePrinter::FormatSeconds(watch.ElapsedSeconds())});
+  }
+
+  std::printf("Ablation — core ratio τ on the ALL stand-in "
+              "(σ = 30/38, K = 100)\n\n");
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Micro benchmarks (google-benchmark) for the kernels Pattern-Fusion's
+// wall-clock consists of: bitset algebra on support sets, support-set
+// materialization, pattern-distance ball queries, single fusions, and
+// the bounded miners used for initial pools.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/rng.h"
+#include "core/pattern.h"
+#include "core/pattern_distance.h"
+#include "core/pattern_fusion.h"
+#include "data/generators.h"
+#include "mining/apriori.h"
+#include "mining/closed_miner.h"
+#include "mining/eclat.h"
+#include "mining/fpgrowth.h"
+
+namespace colossal {
+namespace {
+
+Bitvector RandomBits(int64_t num_bits, double density, uint64_t seed) {
+  Rng rng(seed);
+  Bitvector bits(num_bits);
+  for (int64_t i = 0; i < num_bits; ++i) {
+    if (rng.Bernoulli(density)) bits.Set(i);
+  }
+  return bits;
+}
+
+void BM_BitvectorAndCount(benchmark::State& state) {
+  const int64_t num_bits = state.range(0);
+  const Bitvector a = RandomBits(num_bits, 0.4, 1);
+  const Bitvector b = RandomBits(num_bits, 0.4, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bitvector::AndCount(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * num_bits);
+}
+BENCHMARK(BM_BitvectorAndCount)->Arg(38)->Arg(4395)->Arg(100000);
+
+void BM_JaccardDistance(benchmark::State& state) {
+  const int64_t num_bits = state.range(0);
+  const Bitvector a = RandomBits(num_bits, 0.4, 1);
+  const Bitvector b = RandomBits(num_bits, 0.4, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bitvector::JaccardDistance(a, b));
+  }
+}
+BENCHMARK(BM_JaccardDistance)->Arg(38)->Arg(4395);
+
+void BM_SupportSet(benchmark::State& state) {
+  LabeledDatabase labeled = MakeProgramTraceLike(1);
+  const Itemset& path = labeled.planted[0];  // 44 items
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(labeled.db.SupportSet(path));
+  }
+}
+BENCHMARK(BM_SupportSet);
+
+void BM_BallQuery(benchmark::State& state) {
+  LabeledDatabase labeled = MakeMicroarrayLike(1);
+  StatusOr<std::vector<Pattern>> pool = BuildInitialPool(labeled.db, 30, 2);
+  const Pattern center = MakePattern(labeled.db, labeled.planted[0]);
+  const double radius = BallRadius(0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BallQuery(*pool, center, radius));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pool->size()));
+}
+BENCHMARK(BM_BallQuery);
+
+void BM_FuseOnce(benchmark::State& state) {
+  LabeledDatabase labeled = MakeMicroarrayLike(1);
+  StatusOr<std::vector<Pattern>> pool = BuildInitialPool(labeled.db, 30, 2);
+  const Pattern center = MakePattern(labeled.db, Itemset({0, 1}));
+  std::vector<Pattern> pool_with_center = *pool;
+  pool_with_center.push_back(center);
+  const int64_t seed_index =
+      static_cast<int64_t>(pool_with_center.size()) - 1;
+  const std::vector<int64_t> ball =
+      BallQuery(pool_with_center, center, BallRadius(0.5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FuseOnce(pool_with_center, ball, seed_index, 30, 0.5));
+  }
+}
+BENCHMARK(BM_FuseOnce);
+
+void BM_AprioriPoolTrace(benchmark::State& state) {
+  LabeledDatabase labeled = MakeProgramTraceLike(1);
+  MinerOptions options;
+  options.min_support_count = labeled.min_support_count;
+  options.max_pattern_size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineApriori(labeled.db, options));
+  }
+}
+BENCHMARK(BM_AprioriPoolTrace)->Arg(2)->Arg(3);
+
+void BM_EclatRandom(benchmark::State& state) {
+  RandomDatabaseOptions db_options;
+  db_options.num_transactions = 200;
+  db_options.num_items = 24;
+  db_options.density = 0.3;
+  db_options.seed = 3;
+  TransactionDatabase db = MakeRandomDatabase(db_options);
+  MinerOptions options;
+  options.min_support_count = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineEclat(db, options));
+  }
+}
+BENCHMARK(BM_EclatRandom);
+
+void BM_FpGrowthRandom(benchmark::State& state) {
+  RandomDatabaseOptions db_options;
+  db_options.num_transactions = 200;
+  db_options.num_items = 24;
+  db_options.density = 0.3;
+  db_options.seed = 3;
+  TransactionDatabase db = MakeRandomDatabase(db_options);
+  MinerOptions options;
+  options.min_support_count = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineFpGrowth(db, options));
+  }
+}
+BENCHMARK(BM_FpGrowthRandom);
+
+void BM_ClosedMicroarray(benchmark::State& state) {
+  LabeledDatabase labeled = MakeMicroarrayLike(1);
+  MinerOptions options;
+  options.min_support_count = 30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineClosed(labeled.db, options));
+  }
+}
+BENCHMARK(BM_ClosedMicroarray);
+
+}  // namespace
+}  // namespace colossal
+
+BENCHMARK_MAIN();

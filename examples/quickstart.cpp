@@ -1,0 +1,87 @@
+// Quickstart: the paper's Figure 3 toy database end to end.
+//
+// Builds the four-transaction database (each duplicated 100 times), shows
+// the core-pattern machinery on (abe) and (abcef), then runs the full
+// Pattern-Fusion pipeline and prints the colossal patterns it finds.
+//
+// Run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "core/colossal_miner.h"
+#include "core/core_pattern.h"
+#include "core/pattern_distance.h"
+#include "data/dataset_stats.h"
+#include "data/generators.h"
+
+namespace {
+
+std::string Pretty(const colossal::Itemset& items) {
+  std::string out = "(";
+  for (colossal::ItemId item : items) out += colossal::Figure3ItemName(item);
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace colossal;
+
+  TransactionDatabase db = MakePaperFigure3();
+  std::printf("Figure 3 database: %s\n",
+              StatsToString(ComputeStats(db)).c_str());
+
+  // --- Core patterns (Definition 3) on the two example patterns.
+  const double tau = 0.5;
+  for (const Itemset& alpha : {Itemset({0, 1, 3}), Itemset({0, 1, 2, 3, 4})}) {
+    std::printf("\nPattern %s: support %ld, (%d, %.1f)-robust, cores:\n",
+                Pretty(alpha).c_str(), static_cast<long>(db.Support(alpha)),
+                Robustness(db, alpha, tau), tau);
+    for (const Itemset& core : EnumerateCorePatterns(db, alpha, tau)) {
+      std::printf("  %-8s support %ld\n", Pretty(core).c_str(),
+                  static_cast<long>(db.Support(core)));
+    }
+  }
+
+  // --- Theorem 2 in action: all cores of abcef sit inside one ball.
+  std::printf("\nBall radius r(%.1f) = %.4f; max pairwise core distance:\n",
+              tau, BallRadius(tau));
+  const Itemset abcef({0, 1, 2, 3, 4});
+  double max_distance = 0.0;
+  for (const Itemset& beta1 : EnumerateCorePatterns(db, abcef, tau)) {
+    for (const Itemset& beta2 : EnumerateCorePatterns(db, abcef, tau)) {
+      const double distance =
+          PatternDistance(MakePattern(db, beta1), MakePattern(db, beta2));
+      if (distance > max_distance) max_distance = distance;
+    }
+  }
+  std::printf("  %.4f (within the bound, as Theorem 2 promises)\n",
+              max_distance);
+
+  // --- Full pipeline.
+  ColossalMinerOptions options;
+  options.min_support_count = 100;
+  options.initial_pool_max_size = 2;
+  options.tau = tau;
+  options.k = 5;
+  options.seed = 3;
+  StatusOr<ColossalMiningResult> result = MineColossal(db, options);
+  if (!result.ok()) {
+    std::printf("mining failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nPattern-Fusion (K=%d, tau=%.1f): initial pool %ld, "
+              "%d iteration(s)\n",
+              options.k, options.tau,
+              static_cast<long>(result->initial_pool_size),
+              result->iterations);
+  for (const Pattern& pattern : result->patterns) {
+    std::printf("  %-8s size %d, support %ld\n", Pretty(pattern.items).c_str(),
+                pattern.size(), static_cast<long>(pattern.support));
+  }
+  std::printf("\nThe colossal pattern (abcef) is fused directly from small "
+              "cores,\nwithout enumerating the mid-sized lattice.\n");
+  return 0;
+}

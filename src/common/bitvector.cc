@@ -1,0 +1,164 @@
+#include "common/bitvector.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace colossal {
+
+namespace {
+constexpr int kWordBits = 64;
+
+int64_t WordCount(int64_t num_bits) {
+  return (num_bits + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+Bitvector::Bitvector(int64_t num_bits, bool value)
+    : num_bits_(num_bits),
+      words_(static_cast<size_t>(WordCount(num_bits)),
+             value ? ~uint64_t{0} : uint64_t{0}) {
+  COLOSSAL_CHECK(num_bits >= 0);
+  if (value) ClearTrailingBits();
+}
+
+Bitvector Bitvector::FromIndices(int64_t num_bits,
+                                 const std::vector<int64_t>& indices) {
+  Bitvector result(num_bits);
+  for (int64_t index : indices) result.Set(index);
+  return result;
+}
+
+void Bitvector::Set(int64_t bit) {
+  COLOSSAL_CHECK(bit >= 0 && bit < num_bits_) << "bit=" << bit;
+  words_[static_cast<size_t>(bit / kWordBits)] |= uint64_t{1}
+                                                  << (bit % kWordBits);
+}
+
+void Bitvector::Reset(int64_t bit) {
+  COLOSSAL_CHECK(bit >= 0 && bit < num_bits_) << "bit=" << bit;
+  words_[static_cast<size_t>(bit / kWordBits)] &=
+      ~(uint64_t{1} << (bit % kWordBits));
+}
+
+bool Bitvector::Test(int64_t bit) const {
+  COLOSSAL_CHECK(bit >= 0 && bit < num_bits_) << "bit=" << bit;
+  return (words_[static_cast<size_t>(bit / kWordBits)] >>
+          (bit % kWordBits)) &
+         1;
+}
+
+int64_t Bitvector::Count() const {
+  int64_t total = 0;
+  for (uint64_t word : words_) total += std::popcount(word);
+  return total;
+}
+
+void Bitvector::AndWith(const Bitvector& other) {
+  COLOSSAL_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void Bitvector::OrWith(const Bitvector& other) {
+  COLOSSAL_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void Bitvector::AndNotWith(const Bitvector& other) {
+  COLOSSAL_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+Bitvector Bitvector::And(const Bitvector& a, const Bitvector& b) {
+  Bitvector result = a;
+  result.AndWith(b);
+  return result;
+}
+
+Bitvector Bitvector::Or(const Bitvector& a, const Bitvector& b) {
+  Bitvector result = a;
+  result.OrWith(b);
+  return result;
+}
+
+int64_t Bitvector::AndCount(const Bitvector& a, const Bitvector& b) {
+  COLOSSAL_CHECK(a.num_bits_ == b.num_bits_);
+  int64_t total = 0;
+  for (size_t i = 0; i < a.words_.size(); ++i) {
+    total += std::popcount(a.words_[i] & b.words_[i]);
+  }
+  return total;
+}
+
+int64_t Bitvector::OrCount(const Bitvector& a, const Bitvector& b) {
+  COLOSSAL_CHECK(a.num_bits_ == b.num_bits_);
+  int64_t total = 0;
+  for (size_t i = 0; i < a.words_.size(); ++i) {
+    total += std::popcount(a.words_[i] | b.words_[i]);
+  }
+  return total;
+}
+
+bool Bitvector::IsSubsetOf(const Bitvector& other) const {
+  COLOSSAL_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool Bitvector::Intersects(const Bitvector& a, const Bitvector& b) {
+  COLOSSAL_CHECK(a.num_bits_ == b.num_bits_);
+  for (size_t i = 0; i < a.words_.size(); ++i) {
+    if ((a.words_[i] & b.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+double Bitvector::JaccardDistance(const Bitvector& a, const Bitvector& b) {
+  const int64_t united = OrCount(a, b);
+  if (united == 0) return 0.0;
+  const int64_t common = AndCount(a, b);
+  return 1.0 - static_cast<double>(common) / static_cast<double>(united);
+}
+
+std::vector<int64_t> Bitvector::ToIndices() const {
+  std::vector<int64_t> indices;
+  indices.reserve(static_cast<size_t>(Count()));
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      indices.push_back(static_cast<int64_t>(w) * kWordBits + bit);
+      word &= word - 1;
+    }
+  }
+  return indices;
+}
+
+std::string Bitvector::ToString() const {
+  std::string out;
+  out.reserve(static_cast<size_t>(num_bits_));
+  for (int64_t i = 0; i < num_bits_; ++i) out.push_back(Test(i) ? '1' : '0');
+  return out;
+}
+
+uint64_t Bitvector::HashValue() const {
+  // FNV-1a over words, seeded with the length so that equal prefixes of
+  // different lengths do not collide trivially.
+  uint64_t hash = 1469598103934665603ULL ^ static_cast<uint64_t>(num_bits_);
+  for (uint64_t word : words_) {
+    hash ^= word;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void Bitvector::ClearTrailingBits() {
+  const int64_t tail = num_bits_ % kWordBits;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+}  // namespace colossal

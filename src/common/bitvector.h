@@ -1,0 +1,87 @@
+#ifndef COLOSSAL_COMMON_BITVECTOR_H_
+#define COLOSSAL_COMMON_BITVECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace colossal {
+
+// A fixed-length packed bit vector used to represent transaction-id sets
+// (tidsets / "support sets" in the paper). All set-algebra kernels are
+// word-parallel; with the paper's datasets (≤ 4,395 transactions) a
+// support set is at most 69 words, so intersections and popcounts — the
+// inner loop of Pattern-Fusion's ball queries — are a few dozen ns.
+class Bitvector {
+ public:
+  // Constructs an empty (zero-length) vector.
+  Bitvector() = default;
+
+  // Constructs `num_bits` bits, all cleared (or all set when `value`).
+  explicit Bitvector(int64_t num_bits, bool value = false);
+
+  // Returns a vector of `num_bits` ones.
+  static Bitvector AllSet(int64_t num_bits) { return Bitvector(num_bits, true); }
+
+  // Returns a vector with exactly the given bit indices set. Indices must
+  // be unique and < num_bits.
+  static Bitvector FromIndices(int64_t num_bits,
+                               const std::vector<int64_t>& indices);
+
+  int64_t size_bits() const { return num_bits_; }
+
+  void Set(int64_t bit);
+  void Reset(int64_t bit);
+  bool Test(int64_t bit) const;
+
+  // Number of set bits.
+  int64_t Count() const;
+  bool None() const { return Count() == 0; }
+
+  // In-place algebra; both operands must have equal size_bits().
+  void AndWith(const Bitvector& other);
+  void OrWith(const Bitvector& other);
+  void AndNotWith(const Bitvector& other);  // this &= ~other
+
+  // Out-of-place algebra.
+  static Bitvector And(const Bitvector& a, const Bitvector& b);
+  static Bitvector Or(const Bitvector& a, const Bitvector& b);
+
+  // |a ∩ b| / |a ∪ b| popcounts without materializing the result.
+  static int64_t AndCount(const Bitvector& a, const Bitvector& b);
+  static int64_t OrCount(const Bitvector& a, const Bitvector& b);
+
+  // True iff every set bit of *this is set in `other`.
+  bool IsSubsetOf(const Bitvector& other) const;
+
+  // True iff a and b share at least one set bit.
+  static bool Intersects(const Bitvector& a, const Bitvector& b);
+
+  // Jaccard distance 1 − |a∩b|/|a∪b| (the paper's pattern distance,
+  // Definition 6, when a and b are support sets). Two empty sets are at
+  // distance 0 by convention.
+  static double JaccardDistance(const Bitvector& a, const Bitvector& b);
+
+  // The positions of set bits, in increasing order.
+  std::vector<int64_t> ToIndices() const;
+
+  // Renders as e.g. "0110" (bit 0 first). Intended for tests/debugging.
+  std::string ToString() const;
+
+  // 64-bit content hash (position-sensitive), for dedup tables.
+  uint64_t HashValue() const;
+
+  friend bool operator==(const Bitvector& a, const Bitvector& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  void ClearTrailingBits();
+
+  int64_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_COMMON_BITVECTOR_H_

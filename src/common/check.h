@@ -1,0 +1,46 @@
+#ifndef COLOSSAL_COMMON_CHECK_H_
+#define COLOSSAL_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace colossal {
+namespace internal_check {
+
+// Accumulates a failure message and aborts the process when destroyed.
+// Used only via the COLOSSAL_CHECK macro below; never instantiate directly.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "Check failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace colossal
+
+// Fatal assertion for internal invariants (programming errors, not data
+// errors — data errors are reported via Status). Enabled in all build
+// modes; the checked conditions are O(1) in practice.
+#define COLOSSAL_CHECK(condition)                                       \
+  while (!(condition))                                                  \
+  ::colossal::internal_check::CheckFailureStream(#condition, __FILE__, \
+                                                 __LINE__)
+
+#endif  // COLOSSAL_COMMON_CHECK_H_

@@ -1,0 +1,39 @@
+#ifndef COLOSSAL_COMMON_HASH_H_
+#define COLOSSAL_COMMON_HASH_H_
+
+#include <cstdint>
+
+#include "common/itemset.h"
+
+namespace colossal {
+
+// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit variant).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // Constant is the 64-bit golden ratio; shifts spread entropy across words.
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+// Content hash of an itemset, for use in unordered containers.
+inline uint64_t HashItemset(const Itemset& itemset) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (ItemId item : itemset) {
+    hash = HashCombine(hash, item);
+  }
+  return HashCombine(hash, static_cast<uint64_t>(itemset.size()));
+}
+
+// Functor adapters for std::unordered_{set,map}.
+struct ItemsetHash {
+  size_t operator()(const Itemset& itemset) const {
+    return static_cast<size_t>(HashItemset(itemset));
+  }
+};
+
+struct ItemsetEq {
+  bool operator()(const Itemset& a, const Itemset& b) const { return a == b; }
+};
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_COMMON_HASH_H_

@@ -1,0 +1,28 @@
+#ifndef COLOSSAL_COMMON_STOPWATCH_H_
+#define COLOSSAL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace colossal {
+
+// Monotonic wall-clock stopwatch used by benches and miner work budgets.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_COMMON_STOPWATCH_H_

@@ -1,0 +1,69 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace colossal {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  COLOSSAL_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  COLOSSAL_CHECK(cells.size() == header_.size())
+      << "row has " << cells.size() << " cells, header has "
+      << header_.size();
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+          << row[c];
+    }
+    out << "\n";
+  };
+  print_row(header_);
+  size_t rule = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(rule, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& out) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : ",") << row[c];
+    }
+    out << "\n";
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::FormatDouble(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string TablePrinter::FormatSeconds(double seconds) {
+  // Sub-millisecond timings get more digits so tiny runtimes stay visible.
+  return FormatDouble(seconds, seconds < 0.01 ? 5 : 3);
+}
+
+}  // namespace colossal

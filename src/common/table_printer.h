@@ -1,0 +1,44 @@
+#ifndef COLOSSAL_COMMON_TABLE_PRINTER_H_
+#define COLOSSAL_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace colossal {
+
+// Accumulates rows and renders a fixed-width ASCII table (and optionally
+// CSV). Used by the per-figure benchmark harnesses so their output reads
+// like the paper's tables.
+//
+// Example:
+//   TablePrinter table({"n", "lcm_seconds", "pf_seconds"});
+//   table.AddRow({"20", "0.531", "0.004"});
+//   table.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends a row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  // Renders the aligned table, header first, with a separator rule.
+  void Print(std::ostream& out) const;
+
+  // Renders RFC-4180-ish CSV (no quoting needed for our numeric cells).
+  void PrintCsv(std::ostream& out) const;
+
+  // Cell formatting helpers.
+  static std::string FormatDouble(double value, int precision);
+  static std::string FormatSeconds(double seconds);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,47 @@
+#include "core/colossal_miner.h"
+
+#include <utility>
+
+namespace colossal {
+
+StatusOr<ColossalMiningResult> MineColossal(
+    const TransactionDatabase& db, const ColossalMinerOptions& options) {
+  int64_t min_support_count = options.min_support_count;
+  if (options.sigma >= 0.0) {
+    if (options.sigma > 1.0) {
+      return Status::InvalidArgument("sigma must be in [0, 1]");
+    }
+    min_support_count = db.MinSupportCount(options.sigma);
+    if (min_support_count < 1) min_support_count = 1;
+  }
+
+  StatusOr<std::vector<Pattern>> pool =
+      BuildInitialPool(db, min_support_count, options.initial_pool_max_size,
+                       options.pool_miner);
+  if (!pool.ok()) return pool.status();
+
+  PatternFusionOptions fusion_options;
+  fusion_options.min_support_count = min_support_count;
+  fusion_options.tau = options.tau;
+  fusion_options.k = options.k;
+  fusion_options.max_iterations = options.max_iterations;
+  fusion_options.fusion_attempts_per_seed = options.fusion_attempts_per_seed;
+  fusion_options.max_superpatterns_per_seed =
+      options.max_superpatterns_per_seed;
+  fusion_options.seed = options.seed;
+
+  ColossalMiningResult result;
+  result.initial_pool_size = static_cast<int64_t>(pool->size());
+
+  StatusOr<PatternFusionResult> fusion =
+      RunPatternFusion(db, *std::move(pool), fusion_options);
+  if (!fusion.ok()) return fusion.status();
+
+  result.patterns = std::move(fusion->patterns);
+  result.iterations = static_cast<int>(fusion->iterations.size());
+  result.converged = fusion->converged;
+  result.iteration_stats = std::move(fusion->iterations);
+  return result;
+}
+
+}  // namespace colossal

@@ -1,0 +1,67 @@
+#ifndef COLOSSAL_CORE_COLOSSAL_MINER_H_
+#define COLOSSAL_CORE_COLOSSAL_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pattern.h"
+#include "core/pattern_fusion.h"
+#include "data/transaction_database.h"
+
+namespace colossal {
+
+// One-call facade over the whole pipeline: bounded complete mining for
+// the initial pool, then iterative pattern fusion. This is the API the
+// examples and benches use:
+//
+//   ColossalMinerOptions options;
+//   options.sigma = 0.03;   // or set min_support_count directly
+//   options.tau = 0.1;
+//   options.k = 100;
+//   StatusOr<ColossalMiningResult> result = MineColossal(db, options);
+//
+struct ColossalMinerOptions {
+  // Support threshold. If sigma >= 0 it takes precedence and is converted
+  // with TransactionDatabase::MinSupportCount; otherwise
+  // min_support_count is used as an absolute count.
+  double sigma = -1.0;
+  int64_t min_support_count = 1;
+
+  // Initial pool bound: mine the complete set of frequent patterns up to
+  // this size (paper uses 2 or 3 depending on the dataset).
+  int initial_pool_max_size = 3;
+
+  // Which complete miner builds the pool (identical output either way).
+  PoolMiner pool_miner = PoolMiner::kApriori;
+
+  // Fusion parameters (see PatternFusionOptions).
+  double tau = 0.5;
+  int k = 100;
+  int max_iterations = 50;
+  int fusion_attempts_per_seed = 2;
+  int max_superpatterns_per_seed = 2;
+  uint64_t seed = 1;
+};
+
+struct ColossalMiningResult {
+  // The approximation to the colossal patterns, largest first.
+  std::vector<Pattern> patterns;
+  // Size of the initial pool that fusion started from.
+  int64_t initial_pool_size = 0;
+  // Number of fusion iterations executed.
+  int iterations = 0;
+  // Whether fusion converged to ≤ k patterns (vs. stopping on the
+  // iteration bound).
+  bool converged = false;
+  // Per-iteration pool trajectory.
+  std::vector<FusionIterationStats> iteration_stats;
+};
+
+// Runs initial-pool mining + Pattern-Fusion end to end.
+StatusOr<ColossalMiningResult> MineColossal(const TransactionDatabase& db,
+                                            const ColossalMinerOptions& options);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_CORE_COLOSSAL_MINER_H_

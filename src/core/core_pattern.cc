@@ -1,0 +1,168 @@
+#include "core/core_pattern.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/bitvector.h"
+#include "common/check.h"
+
+namespace colossal {
+
+namespace {
+
+constexpr int kEnumerationLimit = 20;
+
+// Enumerates every nonempty subset of `alpha` via bitmask and invokes
+// `visit(subset_mask)`.
+template <typename Visitor>
+void ForEachSubsetMask(int alpha_size, Visitor visit) {
+  COLOSSAL_CHECK(alpha_size <= kEnumerationLimit)
+      << "core-pattern enumeration limited to " << kEnumerationLimit
+      << " items";
+  const uint32_t limit = 1u << alpha_size;
+  for (uint32_t mask = 1; mask < limit; ++mask) visit(mask);
+}
+
+Itemset SubsetFromMask(const Itemset& alpha, uint32_t mask) {
+  std::vector<ItemId> items;
+  for (int i = 0; i < alpha.size(); ++i) {
+    if ((mask >> i) & 1u) items.push_back(alpha[i]);
+  }
+  return Itemset::FromSorted(std::move(items));
+}
+
+}  // namespace
+
+bool IsTauCoreRatio(int64_t support_alpha, int64_t support_beta, double tau) {
+  COLOSSAL_CHECK(tau > 0.0 && tau <= 1.0) << "tau=" << tau;
+  if (support_beta == 0) return false;
+  // |D_α|/|D_β| ≥ τ, evaluated without division for exactness.
+  return static_cast<double>(support_alpha) >=
+         tau * static_cast<double>(support_beta) - 1e-12;
+}
+
+bool IsTauCorePattern(const TransactionDatabase& db, const Itemset& beta,
+                      const Itemset& alpha, double tau) {
+  if (beta.empty() || !beta.IsSubsetOf(alpha)) return false;
+  return IsTauCoreRatio(db.Support(alpha), db.Support(beta), tau);
+}
+
+std::vector<Itemset> EnumerateCorePatterns(const TransactionDatabase& db,
+                                           const Itemset& alpha, double tau) {
+  const int64_t support_alpha = db.Support(alpha);
+  std::vector<Itemset> cores;
+  ForEachSubsetMask(alpha.size(), [&](uint32_t mask) {
+    Itemset beta = SubsetFromMask(alpha, mask);
+    if (IsTauCoreRatio(support_alpha, db.Support(beta), tau)) {
+      cores.push_back(std::move(beta));
+    }
+  });
+  return cores;
+}
+
+int Robustness(const TransactionDatabase& db, const Itemset& alpha,
+               double tau) {
+  const int64_t support_alpha = db.Support(alpha);
+  int min_core_size = alpha.size();  // α is always a core of itself
+  ForEachSubsetMask(alpha.size(), [&](uint32_t mask) {
+    const int size = std::popcount(mask);
+    if (size >= min_core_size) return;
+    Itemset beta = SubsetFromMask(alpha, mask);
+    if (IsTauCoreRatio(support_alpha, db.Support(beta), tau)) {
+      min_core_size = size;
+    }
+  });
+  return alpha.size() - min_core_size;
+}
+
+bool IsCoreDescendant(const TransactionDatabase& db, const Itemset& beta,
+                      const Itemset& alpha, double tau) {
+  if (beta.empty() || !beta.IsSubsetOf(alpha)) return false;
+  if (beta == alpha) return true;
+  COLOSSAL_CHECK(alpha.size() <= kEnumerationLimit);
+
+  // Work in mask space relative to α. A chain β = β_0, …, β_k = α needs
+  // every step to be a subset with support ratio ≥ τ. Breadth-first
+  // search upward from β over supersets within α.
+  uint32_t beta_mask = 0;
+  for (int i = 0; i < alpha.size(); ++i) {
+    if (beta.Contains(alpha[i])) beta_mask |= 1u << i;
+  }
+  const uint32_t alpha_mask = (alpha.size() == 32)
+                                  ? ~0u
+                                  : ((1u << alpha.size()) - 1);
+
+  // Memoized supports per mask (computed lazily).
+  std::vector<int64_t> support(static_cast<size_t>(alpha_mask) + 1, -1);
+  auto support_of = [&](uint32_t mask) {
+    int64_t& slot = support[mask];
+    if (slot < 0) slot = db.Support(SubsetFromMask(alpha, mask));
+    return slot;
+  };
+
+  std::vector<uint32_t> frontier = {beta_mask};
+  std::vector<bool> visited(static_cast<size_t>(alpha_mask) + 1, false);
+  visited[beta_mask] = true;
+  while (!frontier.empty()) {
+    const uint32_t current = frontier.back();
+    frontier.pop_back();
+    if (current == alpha_mask) return true;
+    // One chain step: any superset `next` of `current` (within α) with
+    // current ∈ C_next, i.e. |D_next| / |D_current| ≥ τ. Enumerate
+    // supersets by adding any subset of the missing items; to keep the
+    // search polynomial per edge we add items one at a time — reaching a
+    // superset through single-item additions visits intermediate masks,
+    // and an intermediate that fails the ratio may still be passed
+    // through via a different chain, so we enumerate direct supersets of
+    // `current` exhaustively instead.
+    const uint32_t missing = alpha_mask & ~current;
+    // Iterate all non-empty submasks of `missing`.
+    for (uint32_t add = missing; add != 0; add = (add - 1) & missing) {
+      const uint32_t next = current | add;
+      if (visited[next]) continue;
+      if (IsTauCoreRatio(support_of(next), support_of(current), tau)) {
+        visited[next] = true;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+int64_t CountComplementaryCoreSets(const TransactionDatabase& db,
+                                   const Itemset& alpha, double tau) {
+  std::vector<Itemset> cores = EnumerateCorePatterns(db, alpha, tau);
+  std::vector<Itemset> proper;
+  for (Itemset& core : cores) {
+    if (!(core == alpha)) proper.push_back(std::move(core));
+  }
+  COLOSSAL_CHECK(static_cast<int>(proper.size()) <= kEnumerationLimit)
+      << "too many core patterns to count complementary sets";
+
+  // Masks of items (relative to α) covered by each proper core.
+  std::vector<uint32_t> cover;
+  cover.reserve(proper.size());
+  for (const Itemset& core : proper) {
+    uint32_t mask = 0;
+    for (int i = 0; i < alpha.size(); ++i) {
+      if (core.Contains(alpha[i])) mask |= 1u << i;
+    }
+    cover.push_back(mask);
+  }
+  const uint32_t alpha_mask = (alpha.size() == 32)
+                                  ? ~0u
+                                  : ((1u << alpha.size()) - 1);
+
+  int64_t count = 0;
+  const uint32_t limit = 1u << proper.size();
+  for (uint32_t subset = 1; subset < limit; ++subset) {
+    uint32_t united = 0;
+    for (size_t i = 0; i < cover.size(); ++i) {
+      if ((subset >> i) & 1u) united |= cover[i];
+    }
+    if (united == alpha_mask) ++count;
+  }
+  return count;
+}
+
+}  // namespace colossal

@@ -1,0 +1,56 @@
+#ifndef COLOSSAL_CORE_CORE_PATTERN_H_
+#define COLOSSAL_CORE_CORE_PATTERN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/itemset.h"
+#include "data/transaction_database.h"
+
+namespace colossal {
+
+// The core-pattern notions of paper §2.2 (Definitions 3–5), implemented
+// directly from their definitions. The enumeration/robustness routines
+// are exponential in |α| by nature and exist for tests, examples and
+// small-scale analysis — Pattern-Fusion itself never enumerates core
+// patterns; it only relies on their metric-space proximity (Theorem 2).
+
+// The support-ratio test of Definition 3: |D_α| / |D_β| ≥ τ. Requires
+// support_beta ≥ support_alpha ≥ 0 is NOT assumed; callers pass any pair.
+bool IsTauCoreRatio(int64_t support_alpha, int64_t support_beta, double tau);
+
+// True iff β is a τ-core pattern of α in `db` (Definition 3): β ⊆ α and
+// |D_α|/|D_β| ≥ τ. The empty β is excluded (patterns are nonempty).
+bool IsTauCorePattern(const TransactionDatabase& db, const Itemset& beta,
+                      const Itemset& alpha, double tau);
+
+// All nonempty τ-core patterns of α (the set C_α). Exponential; requires
+// |α| ≤ 20.
+std::vector<Itemset> EnumerateCorePatterns(const TransactionDatabase& db,
+                                           const Itemset& alpha, double tau);
+
+// The robustness d of (d,τ)-robustness (Definition 4): the maximum number
+// of items removable from α such that the remainder is still a τ-core
+// pattern of α. Equivalently |α| − (size of the smallest τ-core pattern),
+// by the monotonicity of Lemma 2. Returns 0 when only α itself is a core
+// (and α is always a 1.0-ratio core of itself). Exponential; requires
+// |α| ≤ 20.
+int Robustness(const TransactionDatabase& db, const Itemset& alpha,
+               double tau);
+
+// True iff β is a core descendant of α (Definition 5): some chain
+// β = β_0 ∈ C_{β_1}, β_1 ∈ C_{β_2}, …, β_k = α exists. Searches chains of
+// intermediate subsets; exponential, requires |α| ≤ 20.
+bool IsCoreDescendant(const TransactionDatabase& db, const Itemset& beta,
+                      const Itemset& alpha, double tau);
+
+// Number of sets of complementary core patterns of α (Definition 7):
+// subsets S ⊆ C_α \ {α} whose union is α. Counted exactly over the
+// enumerated C_α; doubly exponential, requires |C_α \ {α}| ≤ 20. Used to
+// validate Lemma 4's bound |Γ_α| ≥ 2^(d−1) − 1 on toy inputs.
+int64_t CountComplementaryCoreSets(const TransactionDatabase& db,
+                                   const Itemset& alpha, double tau);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_CORE_CORE_PATTERN_H_

@@ -1,0 +1,70 @@
+#include "core/evaluation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace colossal {
+
+ApproximationReport EvaluateApproximation(
+    const std::vector<Itemset>& mined_p,
+    const std::vector<Itemset>& complete_q) {
+  COLOSSAL_CHECK(!mined_p.empty()) << "P must contain at least one pattern";
+  for (const Itemset& center : mined_p) {
+    COLOSSAL_CHECK(!center.empty()) << "centers must be non-empty itemsets";
+  }
+
+  ApproximationReport report;
+  report.cluster_radii.assign(mined_p.size(), 0.0);
+  report.cluster_sizes.assign(mined_p.size(), 0);
+  report.assignments.reserve(complete_q.size());
+
+  for (const Itemset& reference : complete_q) {
+    int64_t best_center = 0;
+    int64_t best_distance = EditDistance(reference, mined_p[0]);
+    for (size_t c = 1; c < mined_p.size(); ++c) {
+      const int64_t distance = EditDistance(reference, mined_p[c]);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best_center = static_cast<int64_t>(c);
+      }
+    }
+    report.assignments.push_back({best_center, best_distance});
+    report.cluster_sizes[static_cast<size_t>(best_center)] += 1;
+    const double relative =
+        static_cast<double>(best_distance) /
+        static_cast<double>(mined_p[static_cast<size_t>(best_center)].size());
+    report.cluster_radii[static_cast<size_t>(best_center)] =
+        std::max(report.cluster_radii[static_cast<size_t>(best_center)],
+                 relative);
+  }
+
+  double total = 0.0;
+  for (double radius : report.cluster_radii) total += radius;
+  report.error = total / static_cast<double>(mined_p.size());
+  return report;
+}
+
+std::vector<Itemset> UniformSample(const std::vector<Itemset>& complete_q,
+                                   int64_t k, Rng& rng) {
+  const int64_t population = static_cast<int64_t>(complete_q.size());
+  const std::vector<int64_t> picks =
+      rng.SampleWithoutReplacement(population, std::min(k, population));
+  std::vector<Itemset> sample;
+  sample.reserve(picks.size());
+  for (int64_t index : picks) {
+    sample.push_back(complete_q[static_cast<size_t>(index)]);
+  }
+  return sample;
+}
+
+std::vector<Itemset> FilterBySize(const std::vector<Itemset>& patterns,
+                                  int min_size) {
+  std::vector<Itemset> filtered;
+  for (const Itemset& pattern : patterns) {
+    if (pattern.size() >= min_size) filtered.push_back(pattern);
+  }
+  return filtered;
+}
+
+}  // namespace colossal

@@ -1,0 +1,57 @@
+#ifndef COLOSSAL_CORE_EVALUATION_H_
+#define COLOSSAL_CORE_EVALUATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/itemset.h"
+#include "common/rng.h"
+
+namespace colossal {
+
+// The paper's quality-evaluation model (§5, Definitions 8–10): given a
+// mining result P and a reference set Q (the complete answer, or a sample
+// of it), each β ∈ Q is assigned to its nearest center α ∈ P under
+// itemset edit distance; a cluster's radius is the worst relative
+// distance max_β Edit(β, α_i) / |α_i|, and the approximation error
+// Δ(A_P^Q) is the mean radius over all |P| clusters. Small Δ means every
+// complete-set pattern has a close representative in the mining result.
+
+// One reference pattern's assignment.
+struct ClusterAssignment {
+  int64_t center_index = -1;  // index into P
+  int64_t edit_distance = 0;  // Edit(β, center)
+};
+
+struct ApproximationReport {
+  // Δ(A_P^Q) (Definition 10). 0 when P ⊇ Q elementwise.
+  double error = 0.0;
+  // Per-center radii r_i = max_{β ∈ Q_i} Edit(β, α_i)/|α_i| (0 for empty
+  // clusters — an empty cluster approximates nothing badly).
+  std::vector<double> cluster_radii;
+  // Number of reference patterns assigned to each center.
+  std::vector<int64_t> cluster_sizes;
+  // Assignment of each β ∈ Q, aligned with the input order.
+  std::vector<ClusterAssignment> assignments;
+};
+
+// Computes the approximation of P with respect to Q (Definition 9: a
+// nearest-center partition of Q, ties broken toward the lowest center
+// index) and its error (Definition 10). Requires non-empty P with
+// non-empty member itemsets; Q may be anything (empty Q yields Δ = 0).
+ApproximationReport EvaluateApproximation(const std::vector<Itemset>& mined_p,
+                                          const std::vector<Itemset>& complete_q);
+
+// The Figure-7 baseline: an "approximation" made of k patterns sampled
+// uniformly without replacement from the complete set. Returns min(k,
+// |complete_q|) patterns.
+std::vector<Itemset> UniformSample(const std::vector<Itemset>& complete_q,
+                                   int64_t k, Rng& rng);
+
+// Convenience filter: the members of `patterns` with size ≥ min_size.
+std::vector<Itemset> FilterBySize(const std::vector<Itemset>& patterns,
+                                  int min_size);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_CORE_EVALUATION_H_

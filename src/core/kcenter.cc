@@ -1,0 +1,58 @@
+#include "core/kcenter.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace colossal {
+
+std::vector<Itemset> GreedyKCenters(const std::vector<Itemset>& population,
+                                    int64_t k, int64_t first_index) {
+  std::vector<Itemset> centers;
+  if (population.empty() || k <= 0) return centers;
+  COLOSSAL_CHECK(first_index >= 0 &&
+                 first_index < static_cast<int64_t>(population.size()));
+
+  // nearest[i] = distance from population[i] to its closest chosen
+  // center so far.
+  std::vector<int64_t> nearest(population.size(),
+                               std::numeric_limits<int64_t>::max());
+  int64_t next = first_index;
+  const int64_t count =
+      std::min(k, static_cast<int64_t>(population.size()));
+  for (int64_t round = 0; round < count; ++round) {
+    const Itemset& center = population[static_cast<size_t>(next)];
+    centers.push_back(center);
+    int64_t farthest = 0;
+    int64_t farthest_index = next;
+    for (size_t i = 0; i < population.size(); ++i) {
+      nearest[i] = std::min(
+          nearest[i],
+          static_cast<int64_t>(EditDistance(population[i], center)));
+      if (nearest[i] > farthest) {
+        farthest = nearest[i];
+        farthest_index = static_cast<int64_t>(i);
+      }
+    }
+    next = farthest_index;
+  }
+  return centers;
+}
+
+int64_t KCenterObjective(const std::vector<Itemset>& centers,
+                         const std::vector<Itemset>& population) {
+  COLOSSAL_CHECK(!centers.empty());
+  int64_t objective = 0;
+  for (const Itemset& member : population) {
+    int64_t nearest = std::numeric_limits<int64_t>::max();
+    for (const Itemset& center : centers) {
+      nearest = std::min(nearest,
+                         static_cast<int64_t>(EditDistance(member, center)));
+    }
+    objective = std::max(objective, nearest);
+  }
+  return objective;
+}
+
+}  // namespace colossal

@@ -1,0 +1,33 @@
+#ifndef COLOSSAL_CORE_KCENTER_H_
+#define COLOSSAL_CORE_KCENTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/itemset.h"
+
+namespace colossal {
+
+// The paper (§3.2) frames "best K-pattern approximation of the complete
+// set" as the K-Center problem in the edit-distance metric space. This
+// is the classic greedy farthest-point-traversal 2-approximation
+// (Gonzalez 1985) for that problem, used as a reference point when
+// evaluating Pattern-Fusion's approximation quality: K-center needs the
+// COMPLETE set as input, so it is not a mining algorithm — it is the
+// quality ceiling an approximation could aim for.
+
+// Picks min(k, |population|) centers from `population` by farthest-point
+// traversal under itemset edit distance, starting from
+// population[first_index]. Deterministic.
+std::vector<Itemset> GreedyKCenters(const std::vector<Itemset>& population,
+                                    int64_t k, int64_t first_index = 0);
+
+// The K-center objective value of `centers` w.r.t. `population`: the
+// maximum over population members of the edit distance to the nearest
+// center. Returns 0 for an empty population; requires non-empty centers.
+int64_t KCenterObjective(const std::vector<Itemset>& centers,
+                         const std::vector<Itemset>& population);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_CORE_KCENTER_H_

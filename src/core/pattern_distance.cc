@@ -1,0 +1,34 @@
+#include "core/pattern_distance.h"
+
+#include "common/check.h"
+
+namespace colossal {
+
+namespace {
+// Tolerance for boundary membership in ball queries. Theorem 2's bound is
+// attained exactly on adversarial inputs (e.g., Diag_n), and the distance
+// is a ratio of small integers, so a tiny epsilon keeps those cases in.
+constexpr double kBallEpsilon = 1e-9;
+}  // namespace
+
+double PatternDistance(const Pattern& a, const Pattern& b) {
+  return Bitvector::JaccardDistance(a.support_set, b.support_set);
+}
+
+double BallRadius(double tau) {
+  COLOSSAL_CHECK(tau > 0.0 && tau <= 1.0) << "tau=" << tau;
+  return 1.0 - 1.0 / (2.0 / tau - 1.0);
+}
+
+std::vector<int64_t> BallQuery(const std::vector<Pattern>& pool,
+                               const Pattern& center, double radius) {
+  std::vector<int64_t> members;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (PatternDistance(pool[i], center) <= radius + kBallEpsilon) {
+      members.push_back(static_cast<int64_t>(i));
+    }
+  }
+  return members;
+}
+
+}  // namespace colossal

@@ -1,0 +1,239 @@
+#include "core/pattern_fusion.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "core/pattern_distance.h"
+#include "mining/apriori.h"
+#include "mining/eclat.h"
+
+namespace colossal {
+
+namespace {
+
+Status ValidateOptions(const TransactionDatabase& db,
+                       const PatternFusionOptions& options) {
+  if (options.min_support_count < 1 ||
+      options.min_support_count > db.num_transactions()) {
+    return Status::InvalidArgument(
+        "min_support_count out of range: " +
+        std::to_string(options.min_support_count));
+  }
+  if (!(options.tau > 0.0 && options.tau <= 1.0)) {
+    return Status::InvalidArgument("tau must be in (0, 1]");
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (options.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  if (options.fusion_attempts_per_seed < 1) {
+    return Status::InvalidArgument("fusion_attempts_per_seed must be >= 1");
+  }
+  if (options.max_superpatterns_per_seed < 1) {
+    return Status::InvalidArgument("max_superpatterns_per_seed must be >= 1");
+  }
+  return Status::Ok();
+}
+
+// A candidate super-pattern produced by fusing one seed's ball, with the
+// weight used by the retention sampling.
+struct Candidate {
+  Pattern pattern;
+  int merged_count = 0;
+};
+
+// Keeps at most `cap` candidates, sampling without replacement with
+// probability proportional to merged_count — the paper's heuristic that
+// "βi with a larger core pattern set would retain with higher
+// probability".
+std::vector<Candidate> SampleByWeight(std::vector<Candidate> candidates,
+                                      int cap, Rng& rng) {
+  if (static_cast<int>(candidates.size()) <= cap) return candidates;
+  std::vector<Candidate> kept;
+  kept.reserve(static_cast<size_t>(cap));
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  for (const Candidate& candidate : candidates) {
+    weights.push_back(static_cast<double>(candidate.merged_count));
+  }
+  for (int round = 0; round < cap; ++round) {
+    const int64_t pick = rng.WeightedIndex(weights);
+    kept.push_back(std::move(candidates[static_cast<size_t>(pick)]));
+    weights[static_cast<size_t>(pick)] = 0.0;
+  }
+  return kept;
+}
+
+}  // namespace
+
+FusionOutcome FuseOnce(const std::vector<Pattern>& pool,
+                       const std::vector<int64_t>& ball_order,
+                       int64_t seed_index, int64_t min_support_count,
+                       double tau, int max_merges) {
+  const Pattern& seed = pool[static_cast<size_t>(seed_index)];
+  FusionOutcome outcome;
+  outcome.fused = seed;
+  outcome.merged_count = 1;
+
+  // Invariant: every merged pattern β (including the seed) must be a
+  // τ-core of the running fusion R, i.e. |D_R| ≥ τ·|D_β|. D_R only
+  // shrinks, so it suffices to keep |D_R| ≥ τ·max merged support.
+  int64_t max_merged_support = seed.support;
+
+  for (int64_t index : ball_order) {
+    if (max_merges != 0 && outcome.merged_count >= max_merges) break;
+    if (index == seed_index) continue;
+    const Pattern& member = pool[static_cast<size_t>(index)];
+    if (member.items.IsSubsetOf(outcome.fused.items)) {
+      // Already absorbed; merging would change nothing.
+      continue;
+    }
+    Bitvector merged_set =
+        Bitvector::And(outcome.fused.support_set, member.support_set);
+    const int64_t merged_support = merged_set.Count();
+    if (merged_support < min_support_count) continue;
+    const double needed =
+        tau * static_cast<double>(
+                  std::max(max_merged_support, member.support)) -
+        1e-12;
+    if (static_cast<double>(merged_support) < needed) continue;
+
+    outcome.fused.items = Union(outcome.fused.items, member.items);
+    outcome.fused.support_set = std::move(merged_set);
+    outcome.fused.support = merged_support;
+    max_merged_support = std::max(max_merged_support, member.support);
+    ++outcome.merged_count;
+  }
+  return outcome;
+}
+
+StatusOr<PatternFusionResult> RunPatternFusion(
+    const TransactionDatabase& db, std::vector<Pattern> initial_pool,
+    const PatternFusionOptions& options) {
+  Status valid = ValidateOptions(db, options);
+  if (!valid.ok()) return valid;
+  if (initial_pool.empty()) {
+    return Status::InvalidArgument("initial pool is empty");
+  }
+  for (const Pattern& pattern : initial_pool) {
+    if (pattern.support < options.min_support_count) {
+      return Status::InvalidArgument(
+          "initial pool pattern " + pattern.items.ToString() +
+          " is infrequent (support " + std::to_string(pattern.support) + ")");
+    }
+  }
+
+  Rng rng(options.seed);
+  const double radius = BallRadius(options.tau);
+
+  PatternPool pool;
+  pool.AddAll(std::move(initial_pool));
+
+  PatternFusionResult result;
+  int previous_min_size = pool.MinPatternSize();
+
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // Algorithm 1, line 4: stop once the pool fits the answer budget.
+    if (pool.size() <= options.k) {
+      result.converged = true;
+      break;
+    }
+
+    // Algorithm 2, lines 2–7: draw K seeds, record each seed's CoreList.
+    const std::vector<int64_t> seeds = pool.DrawSeeds(options.k, rng);
+
+    PatternPool next_pool;
+    for (int64_t seed_index : seeds) {
+      const Pattern& seed = pool.pattern(seed_index);
+      std::vector<int64_t> ball =
+          BallQuery(pool.patterns(), seed, radius);
+
+      // Fusion(α.CoreList): several shuffled greedy passes, each able to
+      // reach a different super-pattern the ball's members are cores of.
+      // The first pass saturates; later passes may stop at a random
+      // depth, emitting the intermediate super-patterns the paper's
+      // subset-based Fusion also generates.
+      std::vector<Candidate> candidates;
+      for (int attempt = 0; attempt < options.fusion_attempts_per_seed;
+           ++attempt) {
+        rng.Shuffle(ball);
+        int max_merges = 0;
+        if (options.variable_merge_depth && attempt > 0) {
+          max_merges = static_cast<int>(int64_t{2}
+                                        << rng.UniformInt(0, 3));  // 2..16
+        }
+        FusionOutcome outcome =
+            FuseOnce(pool.patterns(), ball, seed_index,
+                     options.min_support_count, options.tau, max_merges);
+        bool duplicate = false;
+        for (Candidate& existing : candidates) {
+          if (existing.pattern.items == outcome.fused.items) {
+            existing.merged_count =
+                std::max(existing.merged_count, outcome.merged_count);
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) {
+          candidates.push_back(
+              {std::move(outcome.fused), outcome.merged_count});
+        }
+      }
+      candidates = SampleByWeight(std::move(candidates),
+                                  options.max_superpatterns_per_seed, rng);
+      for (Candidate& candidate : candidates) {
+        next_pool.Add(std::move(candidate.pattern));
+      }
+    }
+
+    COLOSSAL_CHECK(!next_pool.empty());
+    // Lemma 5: fusion takes unions, so the smallest pattern size never
+    // decreases across iterations.
+    COLOSSAL_CHECK(next_pool.MinPatternSize() >= previous_min_size);
+    previous_min_size = next_pool.MinPatternSize();
+
+    pool = std::move(next_pool);
+    result.iterations.push_back({pool.size(), pool.MinPatternSize(),
+                                 pool.MaxPatternSize()});
+  }
+  if (pool.size() <= options.k) result.converged = true;
+
+  result.patterns = pool.patterns();
+  std::sort(result.patterns.begin(), result.patterns.end(),
+            [](const Pattern& a, const Pattern& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a.items < b.items;
+            });
+  return result;
+}
+
+StatusOr<std::vector<Pattern>> BuildInitialPool(const TransactionDatabase& db,
+                                                int64_t min_support_count,
+                                                int max_pattern_size,
+                                                PoolMiner miner) {
+  if (max_pattern_size < 1) {
+    return Status::InvalidArgument("max_pattern_size must be >= 1");
+  }
+  MinerOptions miner_options;
+  miner_options.min_support_count = min_support_count;
+  miner_options.max_pattern_size = max_pattern_size;
+  StatusOr<MiningResult> mined = miner == PoolMiner::kApriori
+                                     ? MineApriori(db, miner_options)
+                                     : MineEclat(db, miner_options);
+  if (!mined.ok()) return mined.status();
+  if (mined->patterns.empty()) {
+    return Status::FailedPrecondition(
+        "no frequent patterns at min_support_count " +
+        std::to_string(min_support_count));
+  }
+  return MakePatterns(db, mined->patterns);
+}
+
+}  // namespace colossal

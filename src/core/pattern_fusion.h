@@ -1,0 +1,136 @@
+#ifndef COLOSSAL_CORE_PATTERN_FUSION_H_
+#define COLOSSAL_CORE_PATTERN_FUSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pattern.h"
+#include "core/pattern_pool.h"
+#include "data/transaction_database.h"
+
+namespace colossal {
+
+// The Pattern-Fusion mining model (paper §2.3 and §4, Algorithms 1–2).
+//
+// Given an initial pool — the complete set of frequent patterns up to a
+// small size — the algorithm iterates:
+//   1. draw K random seed patterns from the pool;
+//   2. for each seed α, collect its CoreList: every pool pattern within
+//      pattern distance r(τ) of α (by Theorem 2 this ball contains all
+//      τ-core patterns, present in the pool, of any pattern α is a
+//      τ-core of);
+//   3. fuse each CoreList into super-patterns whose merged members are
+//      all τ-core patterns of the result, retaining (when too many arise)
+//      a sample weighted by fused-set size;
+//   4. the fused super-patterns form the next pool.
+// The loop ends when the pool holds at most K patterns (Algorithm 1's
+// |S| > K condition) or after max_iterations.
+
+struct PatternFusionOptions {
+  // Absolute support threshold σ·|D| (≥ 1).
+  int64_t min_support_count = 1;
+
+  // Core ratio τ ∈ (0, 1] (Definition 3). Controls both the ball radius
+  // r(τ) and the fusion invariant. Smaller τ lets fusion jump farther
+  // down the pattern tree in one step but admits looser cores.
+  double tau = 0.5;
+
+  // K: seeds drawn per iteration, and the target answer-set size.
+  int k = 100;
+
+  // Safety bound on fusion iterations (the paper's loop provably makes
+  // progress because support sets shrink, but adversarial pools can
+  // plateau above K).
+  int max_iterations = 50;
+
+  // Independent shuffled greedy merges attempted per seed. Each attempt
+  // can discover a different super-pattern when the seed's ball supports
+  // several (the CoreList members are cores "of more than one pattern",
+  // §4).
+  int fusion_attempts_per_seed = 2;
+
+  // At most this many distinct super-patterns are kept per seed; when
+  // attempts produce more, retention samples them weighted by the number
+  // of fused core patterns (the paper's size-weighted sampling
+  // heuristic).
+  int max_superpatterns_per_seed = 2;
+
+  // The paper's Fusion(α.CoreList) fuses *subsets* of the CoreList, so a
+  // seed can yield super-patterns of several depths, not only the
+  // deepest reachable one. When true (default), the first attempt per
+  // seed merges to saturation (so colossal ancestors stay reachable) and
+  // subsequent attempts stop at a randomly drawn merge budget, emitting
+  // intermediate super-patterns as well. When false every attempt
+  // saturates — an ablation knob (see bench/ablation_fusion_depth).
+  bool variable_merge_depth = true;
+
+  // RNG seed for the draws and shuffles; fixed seed ⇒ identical runs.
+  uint64_t seed = 1;
+};
+
+// Pool trajectory of one fusion iteration, for benches/tests (e.g.,
+// asserting Lemma 5's min-size monotonicity).
+struct FusionIterationStats {
+  int64_t pool_size = 0;
+  int min_pattern_size = 0;
+  int max_pattern_size = 0;
+};
+
+struct PatternFusionResult {
+  // The final pool: the approximation to the colossal patterns, sorted by
+  // descending size (largest first), ties lexicographic.
+  std::vector<Pattern> patterns;
+  // Stats per executed iteration (after the new pool replaced the old).
+  std::vector<FusionIterationStats> iterations;
+  // True iff the loop ended because |pool| ≤ K (vs. hitting
+  // max_iterations).
+  bool converged = false;
+};
+
+// Runs iterative pattern fusion from the given initial pool. The pool
+// patterns must carry support sets consistent with `db` and be frequent
+// at options.min_support_count. Fails on invalid options or an empty
+// pool.
+StatusOr<PatternFusionResult> RunPatternFusion(
+    const TransactionDatabase& db, std::vector<Pattern> initial_pool,
+    const PatternFusionOptions& options);
+
+// Which complete miner builds the initial pool. The paper allows "any
+// existing efficient mining algorithm"; both choices produce the
+// identical pool (verified by tests) with different cost profiles —
+// breadth-first Apriori reuses level-(k−1) support sets, depth-first
+// Eclat uses less transient memory.
+enum class PoolMiner {
+  kApriori,
+  kEclat,
+};
+
+// Builds the initial pool (paper §2.3 phase 1): the complete set of
+// frequent patterns of size ≤ max_pattern_size, with support sets
+// materialized.
+StatusOr<std::vector<Pattern>> BuildInitialPool(
+    const TransactionDatabase& db, int64_t min_support_count,
+    int max_pattern_size, PoolMiner miner = PoolMiner::kApriori);
+
+// One fusion of a seed with its CoreList (the Fusion(α.CoreList) routine
+// of Algorithm 2, one sampling pass): greedily merges ball members in the
+// given order, accepting a member only when the merged support set keeps
+// (a) frequency and (b) the τ-core invariant — every merged pattern,
+// including the seed, must remain a τ-core of the running result.
+// `max_merges` bounds how many members (seed included) may be fused;
+// 0 means unbounded (merge to saturation). Exposed for unit testing.
+// Returns the fused pattern and the number of ball members merged (≥ 1:
+// the seed).
+struct FusionOutcome {
+  Pattern fused;
+  int merged_count = 0;
+};
+FusionOutcome FuseOnce(const std::vector<Pattern>& pool,
+                       const std::vector<int64_t>& ball_order,
+                       int64_t seed_index, int64_t min_support_count,
+                       double tau, int max_merges = 0);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_CORE_PATTERN_FUSION_H_

@@ -1,0 +1,42 @@
+#include "core/pattern_pool.h"
+
+#include <algorithm>
+
+namespace colossal {
+
+bool PatternPool::Add(Pattern pattern) {
+  if (!index_.insert(pattern.items).second) return false;
+  patterns_.push_back(std::move(pattern));
+  return true;
+}
+
+int64_t PatternPool::AddAll(std::vector<Pattern> patterns) {
+  int64_t added = 0;
+  for (Pattern& pattern : patterns) {
+    if (Add(std::move(pattern))) ++added;
+  }
+  return added;
+}
+
+int PatternPool::MinPatternSize() const {
+  int smallest = 0;
+  for (const Pattern& pattern : patterns_) {
+    if (smallest == 0 || pattern.size() < smallest) smallest = pattern.size();
+  }
+  return smallest;
+}
+
+int PatternPool::MaxPatternSize() const {
+  int largest = 0;
+  for (const Pattern& pattern : patterns_) {
+    largest = std::max(largest, pattern.size());
+  }
+  return largest;
+}
+
+std::vector<int64_t> PatternPool::DrawSeeds(int64_t k, Rng& rng) const {
+  const int64_t count = std::min(k, size());
+  return rng.SampleWithoutReplacement(size(), count);
+}
+
+}  // namespace colossal

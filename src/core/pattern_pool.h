@@ -1,0 +1,56 @@
+#ifndef COLOSSAL_CORE_PATTERN_POOL_H_
+#define COLOSSAL_CORE_PATTERN_POOL_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "core/pattern.h"
+
+namespace colossal {
+
+// The candidate pool Pattern-Fusion pushes down the search tree: a set of
+// patterns deduplicated by itemset, supporting the two operations the
+// algorithm needs — random seed draws without replacement (Algorithm 2,
+// line 3) and linear scans for ball queries (lines 5–7).
+class PatternPool {
+ public:
+  PatternPool() = default;
+
+  // Inserts `pattern` unless an equal itemset is already present.
+  // Returns true iff inserted.
+  bool Add(Pattern pattern);
+
+  // Bulk insert; returns the number actually added.
+  int64_t AddAll(std::vector<Pattern> patterns);
+
+  int64_t size() const { return static_cast<int64_t>(patterns_.size()); }
+  bool empty() const { return patterns_.empty(); }
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+  const Pattern& pattern(int64_t i) const {
+    return patterns_[static_cast<size_t>(i)];
+  }
+
+  bool Contains(const Itemset& items) const {
+    return index_.count(items) > 0;
+  }
+
+  // Cardinality of the smallest / largest pattern; 0 on an empty pool.
+  // Lemma 5 states the minimum is non-decreasing across fusion
+  // iterations, which the algorithm asserts via these.
+  int MinPatternSize() const;
+  int MaxPatternSize() const;
+
+  // Draws min(k, size()) distinct pattern indices uniformly at random.
+  std::vector<int64_t> DrawSeeds(int64_t k, Rng& rng) const;
+
+ private:
+  std::vector<Pattern> patterns_;
+  std::unordered_set<Itemset, ItemsetHash, ItemsetEq> index_;
+};
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_CORE_PATTERN_POOL_H_

@@ -1,0 +1,59 @@
+#include "core/pattern_report.h"
+
+#include <sstream>
+
+namespace colossal {
+
+std::map<int, int, std::greater<int>> SizeHistogram(
+    const std::vector<Itemset>& patterns, int min_size) {
+  std::map<int, int, std::greater<int>> histogram;
+  for (const Itemset& pattern : patterns) {
+    if (pattern.size() > min_size) ++histogram[pattern.size()];
+  }
+  return histogram;
+}
+
+std::map<int, int, std::greater<int>> SizeHistogram(
+    const std::vector<Pattern>& patterns, int min_size) {
+  return SizeHistogram(ItemsetsOf(patterns), min_size);
+}
+
+RecoveryReport ScoreRecovery(const std::vector<Itemset>& mined,
+                             const std::vector<Itemset>& reference) {
+  RecoveryReport report;
+  report.total = static_cast<int>(reference.size());
+  for (size_t r = 0; r < reference.size(); ++r) {
+    bool exact = false;
+    bool covered = false;
+    for (const Itemset& pattern : mined) {
+      if (pattern == reference[r]) {
+        exact = true;
+        covered = true;
+        break;
+      }
+      if (reference[r].IsSubsetOf(pattern)) covered = true;
+    }
+    if (exact) {
+      ++report.exact;
+      report.exact_indices.push_back(static_cast<int>(r));
+    }
+    if (covered) ++report.covered;
+  }
+  return report;
+}
+
+std::vector<Itemset> ItemsetsOf(const std::vector<Pattern>& patterns) {
+  std::vector<Itemset> itemsets;
+  itemsets.reserve(patterns.size());
+  for (const Pattern& pattern : patterns) itemsets.push_back(pattern.items);
+  return itemsets;
+}
+
+std::string RecoveryToString(const RecoveryReport& report) {
+  std::ostringstream out;
+  out << report.exact << "/" << report.total << " exact, " << report.covered
+      << "/" << report.total << " covered";
+  return out.str();
+}
+
+}  // namespace colossal

@@ -1,0 +1,52 @@
+#ifndef COLOSSAL_CORE_PATTERN_REPORT_H_
+#define COLOSSAL_CORE_PATTERN_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/itemset.h"
+#include "core/pattern.h"
+
+namespace colossal {
+
+// Reporting and scoring helpers shared by the benches, examples and the
+// CLI: size histograms (the Figure 9 presentation) and recovery scoring
+// against a known ground truth.
+
+// Number of patterns per cardinality, restricted to sizes > min_size
+// (pass 0 for everything). Keys descend so iteration prints largest
+// first, matching the paper's Figure 9 layout.
+std::map<int, int, std::greater<int>> SizeHistogram(
+    const std::vector<Itemset>& patterns, int min_size);
+
+// Overload for patterns with supports.
+std::map<int, int, std::greater<int>> SizeHistogram(
+    const std::vector<Pattern>& patterns, int min_size);
+
+// Result of scoring a mined set against planted/reference patterns.
+struct RecoveryReport {
+  // How many reference patterns appear in the mined set verbatim.
+  int exact = 0;
+  // How many are contained in some mined pattern (superset recovery).
+  int covered = 0;
+  // Total reference patterns.
+  int total = 0;
+  // Indices (into the reference vector) of the exact recoveries.
+  std::vector<int> exact_indices;
+};
+
+// Scores `mined` against `reference` (order-independent).
+RecoveryReport ScoreRecovery(const std::vector<Itemset>& mined,
+                             const std::vector<Itemset>& reference);
+
+// Convenience: extracts the itemsets of a pattern vector.
+std::vector<Itemset> ItemsetsOf(const std::vector<Pattern>& patterns);
+
+// Renders "exact/total exact, covered/total covered".
+std::string RecoveryToString(const RecoveryReport& report);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_CORE_PATTERN_REPORT_H_

@@ -1,0 +1,32 @@
+#ifndef COLOSSAL_DATA_DATASET_IO_H_
+#define COLOSSAL_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+
+namespace colossal {
+
+// Reading and writing the FIMI workshop text format: one transaction per
+// line, items as whitespace-separated non-negative decimal integers.
+// Blank lines are ignored; any other token is a parse error. This is the
+// format used by the FIMI'03/'04 implementations (FPClose, LCM) the paper
+// benchmarks against, so external datasets drop in directly.
+
+// Parses a whole FIMI document from memory. Error messages carry 1-based
+// line numbers.
+StatusOr<TransactionDatabase> ParseFimi(const std::string& text);
+
+// Reads a FIMI file from disk.
+StatusOr<TransactionDatabase> ReadFimiFile(const std::string& path);
+
+// Serializes `db` in FIMI format (items in increasing order per line).
+std::string ToFimiString(const TransactionDatabase& db);
+
+// Writes `db` to `path` in FIMI format.
+Status WriteFimiFile(const TransactionDatabase& db, const std::string& path);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_DATA_DATASET_IO_H_

@@ -1,0 +1,57 @@
+#include "data/dataset_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace colossal {
+
+int64_t DatasetStats::CountFrequentItems(const TransactionDatabase& db,
+                                         int64_t min_support) const {
+  int64_t count = 0;
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    if (db.ItemSupport(item) >= min_support) ++count;
+  }
+  return count;
+}
+
+DatasetStats ComputeStats(const TransactionDatabase& db) {
+  DatasetStats stats;
+  stats.num_transactions = db.num_transactions();
+  stats.item_domain = db.num_items();
+  stats.density = db.Density();
+
+  int64_t min_size = db.transaction(0).size();
+  int64_t max_size = min_size;
+  int64_t total = 0;
+  for (int64_t t = 0; t < db.num_transactions(); ++t) {
+    const int64_t size = db.transaction(t).size();
+    min_size = std::min(min_size, size);
+    max_size = std::max(max_size, size);
+    total += size;
+  }
+  stats.min_transaction_size = min_size;
+  stats.max_transaction_size = max_size;
+  stats.avg_transaction_size =
+      static_cast<double>(total) / static_cast<double>(db.num_transactions());
+
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    const int64_t support = db.ItemSupport(item);
+    if (support > 0) ++stats.num_items_used;
+    stats.max_item_support = std::max(stats.max_item_support, support);
+  }
+  return stats;
+}
+
+std::string StatsToString(const DatasetStats& stats) {
+  std::ostringstream out;
+  out << "transactions: " << stats.num_transactions
+      << ", items used: " << stats.num_items_used << " (domain "
+      << stats.item_domain << ")"
+      << ", row size: min " << stats.min_transaction_size << " / avg "
+      << static_cast<int64_t>(stats.avg_transaction_size + 0.5) << " / max "
+      << stats.max_transaction_size << ", density "
+      << static_cast<int64_t>(stats.density * 1000.0 + 0.5) / 1000.0;
+  return out.str();
+}
+
+}  // namespace colossal

@@ -1,0 +1,36 @@
+#ifndef COLOSSAL_DATA_DATASET_STATS_H_
+#define COLOSSAL_DATA_DATASET_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/transaction_database.h"
+
+namespace colossal {
+
+// Summary statistics of a transaction database, as printed by the
+// examples and recorded in EXPERIMENTS.md for each generated dataset.
+struct DatasetStats {
+  int64_t num_transactions = 0;
+  int64_t num_items_used = 0;     // items with support ≥ 1
+  int64_t item_domain = 0;        // num_items() of the database
+  int64_t min_transaction_size = 0;
+  int64_t max_transaction_size = 0;
+  double avg_transaction_size = 0.0;
+  double density = 0.0;
+  int64_t max_item_support = 0;
+  // Number of items with support ≥ the given absolute threshold.
+  int64_t CountFrequentItems(const TransactionDatabase& db,
+                             int64_t min_support) const;
+};
+
+// Computes summary statistics in one pass.
+DatasetStats ComputeStats(const TransactionDatabase& db);
+
+// Renders a short human-readable report.
+std::string StatsToString(const DatasetStats& stats);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_DATA_DATASET_STATS_H_

@@ -1,0 +1,436 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace colossal {
+
+namespace {
+
+TransactionDatabase BuildOrDie(std::vector<std::vector<ItemId>> transactions) {
+  StatusOr<TransactionDatabase> db =
+      TransactionDatabase::FromTransactions(transactions);
+  COLOSSAL_CHECK(db.ok()) << db.status().ToString();
+  return *std::move(db);
+}
+
+}  // namespace
+
+TransactionDatabase MakeDiag(int n) {
+  COLOSSAL_CHECK(n >= 2);
+  std::vector<std::vector<ItemId>> transactions;
+  transactions.reserve(static_cast<size_t>(n));
+  for (int skip = 0; skip < n; ++skip) {
+    std::vector<ItemId> row;
+    row.reserve(static_cast<size_t>(n - 1));
+    for (int item = 0; item < n; ++item) {
+      if (item != skip) row.push_back(static_cast<ItemId>(item));
+    }
+    transactions.push_back(std::move(row));
+  }
+  return BuildOrDie(std::move(transactions));
+}
+
+LabeledDatabase MakeDiagPlus(int n, int extra_rows) {
+  COLOSSAL_CHECK(n >= 2);
+  COLOSSAL_CHECK(extra_rows >= 1);
+  std::vector<std::vector<ItemId>> transactions;
+  transactions.reserve(static_cast<size_t>(n + extra_rows));
+  for (int skip = 0; skip < n; ++skip) {
+    std::vector<ItemId> row;
+    for (int item = 0; item < n; ++item) {
+      if (item != skip) row.push_back(static_cast<ItemId>(item));
+    }
+    transactions.push_back(std::move(row));
+  }
+  std::vector<ItemId> colossal_row;
+  for (int item = n; item < 2 * n - 1; ++item) {
+    colossal_row.push_back(static_cast<ItemId>(item));
+  }
+  for (int r = 0; r < extra_rows; ++r) transactions.push_back(colossal_row);
+
+  LabeledDatabase labeled;
+  labeled.db = BuildOrDie(std::move(transactions));
+  labeled.planted.push_back(Itemset::FromUnsorted(colossal_row));
+  labeled.min_support_count = extra_rows;
+  labeled.sigma = static_cast<double>(extra_rows) /
+                  static_cast<double>(labeled.db.num_transactions());
+  return labeled;
+}
+
+TransactionDatabase MakePaperFigure3() {
+  // a=0 b=1 c=2 e=3 f=4.
+  const std::vector<std::vector<ItemId>> distinct = {
+      {0, 1, 3},        // (abe)
+      {1, 2, 4},        // (bcf)
+      {0, 2, 4},        // (acf)
+      {0, 1, 2, 3, 4},  // (abcef)
+  };
+  std::vector<std::vector<ItemId>> transactions;
+  transactions.reserve(400);
+  for (const auto& row : distinct) {
+    for (int copy = 0; copy < 100; ++copy) transactions.push_back(row);
+  }
+  return BuildOrDie(std::move(transactions));
+}
+
+std::string Figure3ItemName(ItemId item) {
+  static const char* const kNames[] = {"a", "b", "c", "e", "f"};
+  COLOSSAL_CHECK(item < 5) << "figure-3 items are 0..4";
+  return kNames[item];
+}
+
+// ---------------------------------------------------------------------------
+// Program-trace stand-in ("Replace").
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Item layout for MakeProgramTraceLike. 57 items total:
+//   [0, 18)   backbone calls, in every execution
+//   [18, 36)  path-specific calls: path p owns [18 + 6p, 18 + 6p + 6)
+//   [36, 56)  10 optional feature groups with sizes {1,1,2,2,2,2,2,2,3,3}
+//   56        rare diagnostic item (infrequent noise)
+constexpr int kTraceBackboneSize = 18;
+constexpr int kTracePathItems = 6;
+constexpr int kTracePaths = 3;
+constexpr int kTraceTransactions = 4395;
+constexpr double kTraceFeatureProbability = 0.9;
+constexpr double kTraceDiagnosticProbability = 0.1;
+
+const std::vector<std::vector<ItemId>>& TraceFeatureGroups() {
+  static const std::vector<std::vector<ItemId>> kGroups = {
+      {36},         {37},         {38, 39}, {40, 41}, {42, 43},
+      {44, 45},     {46, 47},     {48, 49}, {50, 51, 52}, {53, 54, 55}};
+  return kGroups;
+}
+
+}  // namespace
+
+LabeledDatabase MakeProgramTraceLike(uint64_t seed) {
+  Rng rng(seed);
+  const auto& groups = TraceFeatureGroups();
+
+  std::vector<std::vector<ItemId>> transactions;
+  transactions.reserve(kTraceTransactions);
+  for (int t = 0; t < kTraceTransactions; ++t) {
+    std::vector<ItemId> row;
+    row.reserve(48);
+    for (int item = 0; item < kTraceBackboneSize; ++item) {
+      row.push_back(static_cast<ItemId>(item));
+    }
+    const int path = t % kTracePaths;  // balanced path mix
+    const int path_base = kTraceBackboneSize + path * kTracePathItems;
+    for (int offset = 0; offset < kTracePathItems; ++offset) {
+      row.push_back(static_cast<ItemId>(path_base + offset));
+    }
+    for (const auto& group : groups) {
+      if (rng.Bernoulli(kTraceFeatureProbability)) {
+        row.insert(row.end(), group.begin(), group.end());
+      }
+    }
+    if (rng.Bernoulli(kTraceDiagnosticProbability)) {
+      row.push_back(56);
+    }
+    transactions.push_back(std::move(row));
+  }
+
+  LabeledDatabase labeled;
+  labeled.db = BuildOrDie(std::move(transactions));
+  for (int path = 0; path < kTracePaths; ++path) {
+    std::vector<ItemId> pattern;
+    for (int item = 0; item < kTraceBackboneSize; ++item) {
+      pattern.push_back(static_cast<ItemId>(item));
+    }
+    const int path_base = kTraceBackboneSize + path * kTracePathItems;
+    for (int offset = 0; offset < kTracePathItems; ++offset) {
+      pattern.push_back(static_cast<ItemId>(path_base + offset));
+    }
+    for (const auto& group : groups) {
+      pattern.insert(pattern.end(), group.begin(), group.end());
+    }
+    labeled.planted.push_back(Itemset::FromUnsorted(pattern));
+  }
+  labeled.sigma = 0.03;
+  labeled.min_support_count = labeled.db.MinSupportCount(labeled.sigma);
+  return labeled;
+}
+
+// ---------------------------------------------------------------------------
+// Microarray stand-in ("ALL").
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kArrayTransactions = 38;
+constexpr int kArrayTransactionLength = 866;
+constexpr ItemId kArrayNumItems = 1736;
+constexpr int kArrayUniversalItems = 60;
+constexpr int kArrayMissSize = 7;        // 38 − 7 = support 31 per pattern
+constexpr int kArrayMaxMissOverlap = 5;  // keeps cross-pattern mixes infrequent
+constexpr int kArrayConfusableItems = 27;  // the Figure-10 explosion block
+// Confusable items have support 38 − 8 = 30: as singletons they are
+// (barely) frequent at the paper's σ = 30 but their closures stay far
+// below colossal size; combinations of them only become frequent as σ
+// drops, and then in combinatorially exploding numbers.
+constexpr int kArrayConfusableMiss = 8;
+constexpr int kArrayConfusableWindow = 11;  // shared part of each miss-set
+
+// Draws a size-`size` subset of [0, 38) as a sorted vector.
+std::vector<int> DrawMissSet(Rng& rng, int size) {
+  std::vector<int64_t> chosen =
+      rng.SampleWithoutReplacement(kArrayTransactions, size);
+  std::vector<int> result(chosen.begin(), chosen.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+int OverlapSize(const std::vector<int>& a, const std::vector<int>& b) {
+  int count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+const std::vector<int>& MicroarrayPlantedSizes() {
+  static const std::vector<int> kSizes = {110, 107, 102, 91, 86, 84, 84, 83,
+                                          83,  83,  83,  83, 83, 82, 77, 77,
+                                          76,  75,  74,  73, 73, 71};
+  return kSizes;
+}
+
+LabeledDatabase MakeMicroarrayLike(uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<int>& sizes = MicroarrayPlantedSizes();
+  const int num_patterns = static_cast<int>(sizes.size());
+
+  // Per-pattern miss-sets: the 7 transactions NOT supporting the pattern.
+  // Kept pairwise ≤ kArrayMaxMissOverlap so that any itemset mixing two
+  // patterns' private items has support ≤ 38 − 9 = 29 < 30: the planted
+  // patterns are exactly the σ=30 closed patterns of colossal size.
+  std::vector<std::vector<int>> pattern_miss;
+  pattern_miss.reserve(static_cast<size_t>(num_patterns));
+  while (static_cast<int>(pattern_miss.size()) < num_patterns) {
+    std::vector<int> candidate = DrawMissSet(rng, kArrayMissSize);
+    bool acceptable = true;
+    for (const auto& existing : pattern_miss) {
+      if (existing == candidate ||
+          OverlapSize(existing, candidate) > kArrayMaxMissOverlap) {
+        acceptable = false;
+        break;
+      }
+    }
+    if (acceptable) pattern_miss.push_back(std::move(candidate));
+  }
+
+  // Item layout:
+  //   [0, 60)                universal items (every transaction)
+  //   [60, 580)              private items, n_k = size_k − 60 per pattern
+  //   [580, 640)             confusable block (support 29 each)
+  //   [640, 1736)            noise pool (fills rows up to 866 items)
+  std::vector<bool> cell(static_cast<size_t>(kArrayTransactions) *
+                             kArrayNumItems,
+                         false);
+  auto set_cell = [&cell](int transaction, ItemId item) {
+    cell[static_cast<size_t>(transaction) * kArrayNumItems + item] = true;
+  };
+  auto test_cell = [&cell](int transaction, ItemId item) {
+    return cell[static_cast<size_t>(transaction) * kArrayNumItems + item];
+  };
+
+  for (int t = 0; t < kArrayTransactions; ++t) {
+    for (ItemId item = 0; item < kArrayUniversalItems; ++item) {
+      set_cell(t, item);
+    }
+  }
+
+  LabeledDatabase labeled;
+  ItemId next_item = kArrayUniversalItems;
+  for (int k = 0; k < num_patterns; ++k) {
+    const int private_count = sizes[static_cast<size_t>(k)] -
+                              kArrayUniversalItems;
+    COLOSSAL_CHECK(private_count > 0);
+    std::vector<ItemId> pattern_items;
+    for (ItemId item = 0; item < kArrayUniversalItems; ++item) {
+      pattern_items.push_back(item);
+    }
+    for (int p = 0; p < private_count; ++p) {
+      const ItemId item = next_item++;
+      pattern_items.push_back(item);
+      for (int t = 0; t < kArrayTransactions; ++t) {
+        const auto& miss = pattern_miss[static_cast<size_t>(k)];
+        if (!std::binary_search(miss.begin(), miss.end(), t)) {
+          set_cell(t, item);
+        }
+      }
+    }
+    labeled.planted.push_back(Itemset::FromUnsorted(pattern_items));
+  }
+  const ItemId confusable_base = next_item;
+  COLOSSAL_CHECK(confusable_base == kMicroarrayConfusableBase)
+      << confusable_base;
+
+  // Confusable block. Each item's 8-transaction miss-set is one PRIVATE
+  // transaction (unique per item, outside a fixed 11-transaction window)
+  // plus 7 transactions from the window. Consequences:
+  //   * every item has support exactly 30 — barely frequent at σ = 30,
+  //     with a small (non-colossal) closure;
+  //   * a k-item combination misses at most k privates + 11 window
+  //     transactions, so its support is ≥ 27 − k: as σ drops below 27,
+  //     progressively deeper combinations become frequent — Σ_k C(27,k)
+  //     of them, the Figure-10 explosion;
+  //   * the private markers stop closures from absorbing other block
+  //     items (a closure would need the other item's private transaction
+  //     in its miss-union), so all those frequent combinations have
+  //     DISTINCT closures and complete miners must enumerate them all.
+  const std::vector<int64_t> window_raw =
+      rng.SampleWithoutReplacement(kArrayTransactions, kArrayConfusableWindow);
+  std::vector<int> window(window_raw.begin(), window_raw.end());
+  std::sort(window.begin(), window.end());
+  std::vector<int> non_window;
+  for (int t = 0; t < kArrayTransactions; ++t) {
+    if (!std::binary_search(window.begin(), window.end(), t)) {
+      non_window.push_back(t);
+    }
+  }
+  COLOSSAL_CHECK(static_cast<int>(non_window.size()) >=
+                 kArrayConfusableItems);
+  std::vector<std::vector<int>> confusable_miss;
+  while (static_cast<int>(confusable_miss.size()) < kArrayConfusableItems) {
+    const int private_transaction =
+        non_window[confusable_miss.size()];
+    std::vector<int> miss = {private_transaction};
+    for (int64_t pick : rng.SampleWithoutReplacement(
+             kArrayConfusableWindow, kArrayConfusableMiss - 1)) {
+      miss.push_back(window[static_cast<size_t>(pick)]);
+    }
+    std::sort(miss.begin(), miss.end());
+    if (std::find(confusable_miss.begin(), confusable_miss.end(), miss) !=
+        confusable_miss.end()) {
+      continue;  // identical miss-sets would merge into one closure
+    }
+    confusable_miss.push_back(std::move(miss));
+  }
+  for (int w = 0; w < kArrayConfusableItems; ++w) {
+    const ItemId item = confusable_base + static_cast<ItemId>(w);
+    const std::vector<int>& miss = confusable_miss[static_cast<size_t>(w)];
+    for (int t = 0; t < kArrayTransactions; ++t) {
+      if (!std::binary_search(miss.begin(), miss.end(), t)) set_cell(t, item);
+    }
+  }
+  const ItemId noise_base = confusable_base + kArrayConfusableItems;
+  COLOSSAL_CHECK(noise_base == kMicroarrayNoiseBase) << noise_base;
+
+  // Top every transaction up to exactly 866 items with noise items. A
+  // rotating cursor (with a random per-row phase) spreads the fills
+  // almost evenly over the noise pool, so every noise item ends up with
+  // support ≈ 12 — comfortably below Figure 10's lowest threshold (21),
+  // keeping the low-σ explosion attributable to the confusable block
+  // alone.
+  const int noise_pool = static_cast<int>(kArrayNumItems - noise_base);
+  int cursor = static_cast<int>(rng.UniformInt(0, noise_pool - 1));
+  for (int t = 0; t < kArrayTransactions; ++t) {
+    int row_size = 0;
+    for (ItemId item = 0; item < noise_base; ++item) {
+      if (test_cell(t, item)) ++row_size;
+    }
+    COLOSSAL_CHECK(row_size <= kArrayTransactionLength)
+        << "structured items exceed row budget: " << row_size;
+    cursor = (cursor + static_cast<int>(rng.UniformInt(0, 17))) % noise_pool;
+    while (row_size < kArrayTransactionLength) {
+      const ItemId item = noise_base + static_cast<ItemId>(cursor);
+      cursor = (cursor + 1) % noise_pool;
+      if (!test_cell(t, item)) {
+        set_cell(t, item);
+        ++row_size;
+      }
+    }
+  }
+
+  std::vector<std::vector<ItemId>> transactions(kArrayTransactions);
+  for (int t = 0; t < kArrayTransactions; ++t) {
+    transactions[static_cast<size_t>(t)].reserve(kArrayTransactionLength);
+    for (ItemId item = 0; item < kArrayNumItems; ++item) {
+      if (test_cell(t, item)) {
+        transactions[static_cast<size_t>(t)].push_back(item);
+      }
+    }
+  }
+  labeled.db = BuildOrDie(std::move(transactions));
+  labeled.min_support_count = 30;
+  labeled.sigma = 30.0 / 38.0;
+  return labeled;
+}
+
+// ---------------------------------------------------------------------------
+// Generic generators.
+// ---------------------------------------------------------------------------
+
+TransactionDatabase MakeRandomDatabase(const RandomDatabaseOptions& options) {
+  COLOSSAL_CHECK(options.num_transactions > 0);
+  COLOSSAL_CHECK(options.num_items > 0);
+  COLOSSAL_CHECK(options.density >= 0.0 && options.density <= 1.0);
+  Rng rng(options.seed);
+  std::vector<std::vector<ItemId>> transactions(
+      static_cast<size_t>(options.num_transactions));
+  for (auto& row : transactions) {
+    for (ItemId item = 0; item < options.num_items; ++item) {
+      if (rng.Bernoulli(options.density)) row.push_back(item);
+    }
+    if (row.empty()) {
+      row.push_back(static_cast<ItemId>(
+          rng.UniformInt(0, static_cast<int64_t>(options.num_items) - 1)));
+    }
+  }
+  return BuildOrDie(std::move(transactions));
+}
+
+TransactionDatabase MakePlantedDatabase(const PlantedDatabaseOptions& options) {
+  COLOSSAL_CHECK(options.num_transactions > 0);
+  COLOSSAL_CHECK(options.num_items > 0);
+  Rng rng(options.seed);
+  std::vector<std::vector<ItemId>> transactions(
+      static_cast<size_t>(options.num_transactions));
+  for (auto& row : transactions) {
+    for (ItemId item = 0; item < options.num_items; ++item) {
+      if (rng.Bernoulli(options.noise_density)) row.push_back(item);
+    }
+  }
+  for (const PlantedPattern& pattern : options.patterns) {
+    COLOSSAL_CHECK(pattern.support >= 1 &&
+                   pattern.support <= options.num_transactions)
+        << "pattern support out of range";
+    const std::vector<int64_t> rows = rng.SampleWithoutReplacement(
+        options.num_transactions, pattern.support);
+    for (int64_t row : rows) {
+      auto& transaction = transactions[static_cast<size_t>(row)];
+      transaction.insert(transaction.end(), pattern.items.begin(),
+                         pattern.items.end());
+    }
+  }
+  for (auto& row : transactions) {
+    if (row.empty()) {
+      row.push_back(static_cast<ItemId>(
+          rng.UniformInt(0, static_cast<int64_t>(options.num_items) - 1)));
+    }
+  }
+  return BuildOrDie(std::move(transactions));
+}
+
+}  // namespace colossal

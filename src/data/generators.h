@@ -1,0 +1,135 @@
+#ifndef COLOSSAL_DATA_GENERATORS_H_
+#define COLOSSAL_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/itemset.h"
+#include "data/transaction_database.h"
+
+namespace colossal {
+
+// Synthetic dataset generators reproducing (exactly or in shape) every
+// dataset used in the paper's evaluation. All generators are
+// deterministic given their arguments; randomized ones take a seed.
+
+// A generated database together with its known ground truth, used by
+// benches and tests to score mining results without re-deriving the
+// answer from scratch.
+struct LabeledDatabase {
+  TransactionDatabase db;
+  // The planted colossal patterns (for Diag: the single colossal pattern;
+  // for the trace/microarray stand-ins: all planted closed patterns of
+  // colossal size), largest first.
+  std::vector<Itemset> planted;
+  // The support threshold the paper uses for this dataset.
+  int64_t min_support_count = 0;
+  double sigma = 0.0;
+};
+
+// --- Exact paper constructions -------------------------------------------
+
+// Diag_n (paper §6, "Synthetic data set"): an n×(n−1) table whose i-th row
+// contains every integer in [0, n) except i. With σ = n/2, every itemset of
+// size ≤ n/2 is frequent (support n − |X|), all of them are closed, and
+// the maximal frequent patterns are exactly the C(n, n/2) itemsets of size
+// n/2 — the mid-size explosion of Figure 6/7. Requires n ≥ 2.
+TransactionDatabase MakeDiag(int n);
+
+// The introduction's scenario: Diag_n plus `extra_rows` identical rows
+// holding the n−1 items [n, 2n−1). With σ = extra_rows, the only colossal
+// pattern is that second block (size n−1, support extra_rows) while
+// C(n, extra_rows)-style mid-size patterns trap complete miners.
+// planted = the one colossal pattern. Requires n ≥ 2, extra_rows ≥ 1.
+LabeledDatabase MakeDiagPlus(int n, int extra_rows);
+
+// The Figure 3 toy database: transactions (abe), (bcf), (acf), (abcef),
+// each duplicated 100 times, with a=0, b=1, c=2, e=3, f=4.
+TransactionDatabase MakePaperFigure3();
+
+// Item names for MakePaperFigure3 ("a".."f"), for pretty-printing.
+std::string Figure3ItemName(ItemId item);
+
+// --- Stand-ins for the paper's real datasets ------------------------------
+
+// Shape-faithful stand-in for the paper's "Replace" dataset (Siemens
+// program traces; not redistributable). Simulates traced executions of a
+// program with three control-flow paths:
+//   * a backbone of 18 calls/transitions common to every execution,
+//   * 6 path-specific calls per path,
+//   * 10 optional features (20 items total) each taken with probability
+//     0.9 independently,
+//   * a rare diagnostic item.
+// Yields 4,395 transactions over 57 items. At σ = 0.03 the complete closed
+// set is a few thousand patterns and the three largest closed patterns are
+// exactly the three full paths, size 44 — the paper's headline structure
+// for Figure 8. planted = those three paths.
+LabeledDatabase MakeProgramTraceLike(uint64_t seed);
+
+// Shape-faithful stand-in for the paper's "ALL" microarray dataset (the
+// binary discretization is unpublished). 38 transactions of exactly 866
+// items each over 1,736 items:
+//   * 60 universal items (present in every transaction),
+//   * 22 planted colossal closed patterns whose sizes reproduce the
+//     paper's Figure 9 histogram exactly
+//     (110,107,102,91,86,84×2,83×6,82,77×2,76,75,74,73×2,71), each with
+//     support 31 and pairwise-incomparable support sets,
+//   * a 27-item "confusable block" (support 30 each, pairwise-distinct
+//     support sets built from private-marker transactions): its single
+//     items are barely frequent at σ = 30 with small closures, but its
+//     item combinations become frequent — with pairwise-distinct
+//     closures — in combinatorially exploding numbers (Σ_k C(27,k)) as σ
+//     drops toward 21, driving Figure 10's baseline blow-up,
+//   * low-support noise filling every transaction to 866 items.
+// At σ = 30/38 the closed patterns of size > 70 are exactly the 22
+// planted ones. planted = those patterns, largest first.
+LabeledDatabase MakeMicroarrayLike(uint64_t seed);
+
+// The paper's Figure 9 size histogram, largest first, used by the
+// generator and by tests/benches: {110,107,102,91,86,84,84,83×6,...,71}.
+const std::vector<int>& MicroarrayPlantedSizes();
+
+// Item-layout boundaries of MakeMicroarrayLike, for tests and analyses:
+// [0, kMicroarrayUniversalEnd)            universal items (support 38)
+// [kMicroarrayUniversalEnd, kMicroarrayConfusableBase)  pattern privates
+// [kMicroarrayConfusableBase, kMicroarrayNoiseBase)     confusable block
+// [kMicroarrayNoiseBase, 1736)                          noise pool
+inline constexpr ItemId kMicroarrayUniversalEnd = 60;
+inline constexpr ItemId kMicroarrayConfusableBase = 580;
+inline constexpr ItemId kMicroarrayNoiseBase = 607;
+
+// --- Generic generators (tests, ablations) --------------------------------
+
+struct RandomDatabaseOptions {
+  int64_t num_transactions = 100;
+  ItemId num_items = 20;
+  double density = 0.3;  // independent Bernoulli per (transaction, item)
+  uint64_t seed = 1;
+};
+
+// Independent random database; empty transactions are patched with one
+// random item so the result is always valid.
+TransactionDatabase MakeRandomDatabase(const RandomDatabaseOptions& options);
+
+struct PlantedPattern {
+  Itemset items;
+  int64_t support = 0;  // number of transactions the pattern is planted in
+};
+
+struct PlantedDatabaseOptions {
+  int64_t num_transactions = 100;
+  ItemId num_items = 50;
+  double noise_density = 0.05;
+  std::vector<PlantedPattern> patterns;
+  uint64_t seed = 1;
+};
+
+// Random noise plus the given patterns, each inserted into a uniformly
+// chosen set of `support` transactions. Noisy supersets can make actual
+// supports slightly larger than requested; they are never smaller.
+TransactionDatabase MakePlantedDatabase(const PlantedDatabaseOptions& options);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_DATA_GENERATORS_H_

@@ -1,0 +1,35 @@
+#ifndef COLOSSAL_DATA_MATRIX_IO_H_
+#define COLOSSAL_DATA_MATRIX_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+
+namespace colossal {
+
+// Binary-matrix input for microarray-style data: one row per sample, one
+// column per gene/feature, cells '0'/'1' separated by commas or
+// whitespace. Row r becomes transaction r containing item c for every
+// cell (r, c) == 1. This is the natural interchange form for discretized
+// expression matrices like the paper's ALL dataset.
+//
+// Example document (3 samples × 4 features):
+//   1,0,0,1
+//   0,1,0,1
+//   1,1,1,0
+
+// Parses a whole matrix document from memory. All rows must have the
+// same number of cells and at least one 1; errors carry 1-based line
+// numbers.
+StatusOr<TransactionDatabase> ParseBinaryMatrix(const std::string& text);
+
+// Reads a binary-matrix file from disk.
+StatusOr<TransactionDatabase> ReadBinaryMatrixFile(const std::string& path);
+
+// Serializes `db` as a dense 0/1 matrix (num_items() columns).
+std::string ToBinaryMatrixString(const TransactionDatabase& db);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_DATA_MATRIX_IO_H_

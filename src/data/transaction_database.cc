@@ -1,0 +1,88 @@
+#include "data/transaction_database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+
+namespace colossal {
+
+StatusOr<TransactionDatabase> TransactionDatabase::FromTransactions(
+    const std::vector<std::vector<ItemId>>& transactions) {
+  std::vector<Itemset> itemsets;
+  itemsets.reserve(transactions.size());
+  for (const auto& transaction : transactions) {
+    itemsets.push_back(Itemset::FromUnsorted(transaction));
+  }
+  return FromItemsets(std::move(itemsets));
+}
+
+StatusOr<TransactionDatabase> TransactionDatabase::FromItemsets(
+    std::vector<Itemset> transactions) {
+  if (transactions.empty()) {
+    return Status::InvalidArgument("database must contain at least one transaction");
+  }
+  ItemId max_item = 0;
+  for (size_t t = 0; t < transactions.size(); ++t) {
+    const Itemset& itemset = transactions[t];
+    if (itemset.empty()) {
+      return Status::InvalidArgument("transaction " + std::to_string(t) +
+                                     " is empty");
+    }
+    const ItemId largest = itemset[itemset.size() - 1];
+    if (largest >= kMaxItems) {
+      return Status::InvalidArgument(
+          "item id " + std::to_string(largest) + " exceeds limit " +
+          std::to_string(kMaxItems));
+    }
+    max_item = std::max(max_item, largest);
+  }
+
+  TransactionDatabase db;
+  db.transactions_ = std::move(transactions);
+  db.num_items_ = max_item + 1;
+  db.tidsets_.assign(db.num_items_,
+                     Bitvector(static_cast<int64_t>(db.transactions_.size())));
+  for (size_t t = 0; t < db.transactions_.size(); ++t) {
+    for (ItemId item : db.transactions_[t]) {
+      db.tidsets_[item].Set(static_cast<int64_t>(t));
+    }
+    db.total_occurrences_ += db.transactions_[t].size();
+  }
+  return db;
+}
+
+const Bitvector& TransactionDatabase::item_tidset(ItemId item) const {
+  COLOSSAL_CHECK(item < num_items_) << "item=" << item;
+  return tidsets_[item];
+}
+
+Bitvector TransactionDatabase::SupportSet(const Itemset& itemset) const {
+  if (itemset.empty()) return Bitvector::AllSet(num_transactions());
+  Bitvector support = item_tidset(itemset[0]);
+  for (int i = 1; i < itemset.size(); ++i) {
+    support.AndWith(item_tidset(itemset[i]));
+  }
+  return support;
+}
+
+int64_t TransactionDatabase::Support(const Itemset& itemset) const {
+  return SupportSet(itemset).Count();
+}
+
+int64_t TransactionDatabase::MinSupportCount(double sigma) const {
+  COLOSSAL_CHECK(sigma >= 0.0 && sigma <= 1.0) << "sigma=" << sigma;
+  const double raw = sigma * static_cast<double>(num_transactions());
+  // ceil with a tolerance so that e.g. 0.3 * 10 == 3, not 4.
+  return static_cast<int64_t>(std::ceil(raw - 1e-9));
+}
+
+double TransactionDatabase::Density() const {
+  if (num_items_ == 0) return 0.0;
+  return static_cast<double>(total_occurrences_) /
+         (static_cast<double>(num_transactions()) *
+          static_cast<double>(num_items_));
+}
+
+}  // namespace colossal

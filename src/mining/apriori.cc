@@ -1,0 +1,113 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+
+#include "common/bitvector.h"
+
+namespace colossal {
+
+namespace {
+
+// One frequent itemset at the current level, carrying its support set so
+// the next level's counting is a single AND per candidate.
+struct LevelEntry {
+  Itemset items;
+  Bitvector support_set;
+  int64_t support = 0;
+};
+
+}  // namespace
+
+StatusOr<MiningResult> MineApriori(const TransactionDatabase& db,
+                                   const MinerOptions& options) {
+  Status valid = ValidateMinerOptions(db, options);
+  if (!valid.ok()) return valid;
+
+  MiningResult result;
+  const int max_size = options.max_pattern_size == 0
+                           ? static_cast<int>(db.num_items())
+                           : options.max_pattern_size;
+
+  // Level 1: frequent single items.
+  std::vector<LevelEntry> level;
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    ++result.stats.nodes_expanded;
+    if (options.max_nodes != 0 &&
+        result.stats.nodes_expanded > options.max_nodes) {
+      result.stats.budget_exceeded = true;
+      return result;
+    }
+    const Bitvector& tidset = db.item_tidset(item);
+    const int64_t support = tidset.Count();
+    if (support >= options.min_support_count) {
+      level.push_back({Itemset::Single(item), tidset, support});
+    }
+  }
+  if (max_size >= 1) {
+    for (const LevelEntry& entry : level) {
+      result.patterns.push_back({entry.items, entry.support});
+    }
+  }
+
+  for (int size = 2; size <= max_size && level.size() >= 2; ++size) {
+    // Join step: pairs sharing the first size−2 items. `level` is sorted
+    // lexicographically (construction order preserves this), so joinable
+    // partners are contiguous.
+    std::vector<LevelEntry> next_level;
+    for (size_t a = 0; a < level.size(); ++a) {
+      const Itemset& left = level[a].items;
+      for (size_t b = a + 1; b < level.size(); ++b) {
+        const Itemset& right = level[b].items;
+        bool same_prefix = true;
+        for (int i = 0; i < left.size() - 1; ++i) {
+          if (left[i] != right[i]) {
+            same_prefix = false;
+            break;
+          }
+        }
+        if (!same_prefix) break;  // sorted order: no later b can match
+
+        Itemset candidate = left.WithItem(right[right.size() - 1]);
+
+        // Prune step: every (size−1)-subset must be frequent. The two
+        // join parents are; check the others by binary search over the
+        // sorted level.
+        bool all_subsets_frequent = true;
+        for (int drop = 0; drop < candidate.size() - 2; ++drop) {
+          const Itemset subset = candidate.WithoutItem(candidate[drop]);
+          const auto it = std::lower_bound(
+              level.begin(), level.end(), subset,
+              [](const LevelEntry& entry, const Itemset& target) {
+                return entry.items < target;
+              });
+          if (it == level.end() || !(it->items == subset)) {
+            all_subsets_frequent = false;
+            break;
+          }
+        }
+        if (!all_subsets_frequent) continue;
+
+        ++result.stats.nodes_expanded;
+        if (options.max_nodes != 0 &&
+            result.stats.nodes_expanded > options.max_nodes) {
+          result.stats.budget_exceeded = true;
+          return result;
+        }
+        Bitvector support_set =
+            Bitvector::And(level[a].support_set, level[b].support_set);
+        const int64_t support = support_set.Count();
+        if (support >= options.min_support_count) {
+          next_level.push_back(
+              {std::move(candidate), std::move(support_set), support});
+        }
+      }
+    }
+    for (const LevelEntry& entry : next_level) {
+      result.patterns.push_back({entry.items, entry.support});
+    }
+    level = std::move(next_level);
+  }
+  return result;
+}
+
+}  // namespace colossal

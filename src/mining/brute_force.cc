@@ -1,0 +1,99 @@
+#include "mining/brute_force.h"
+
+#include <string>
+#include <vector>
+
+#include "mining/closed_miner.h"
+#include "mining/maximal_miner.h"
+
+namespace colossal {
+
+namespace {
+
+constexpr ItemId kBruteForceItemLimit = 24;
+
+Status CheckSmall(const TransactionDatabase& db) {
+  if (db.num_items() > kBruteForceItemLimit) {
+    return Status::InvalidArgument(
+        "brute force limited to " + std::to_string(kBruteForceItemLimit) +
+        " items, database has " + std::to_string(db.num_items()));
+  }
+  return Status::Ok();
+}
+
+// Counts transactions containing `items` by scanning rows — deliberately
+// independent of the vertical index the real miners use.
+int64_t ScanSupport(const TransactionDatabase& db, const Itemset& items) {
+  int64_t support = 0;
+  for (int64_t t = 0; t < db.num_transactions(); ++t) {
+    if (items.IsSubsetOf(db.transaction(t))) ++support;
+  }
+  return support;
+}
+
+}  // namespace
+
+StatusOr<MiningResult> BruteForceFrequent(const TransactionDatabase& db,
+                                          const MinerOptions& options) {
+  Status small = CheckSmall(db);
+  if (!small.ok()) return small;
+  Status valid = ValidateMinerOptions(db, options);
+  if (!valid.ok()) return valid;
+
+  MiningResult result;
+  const uint32_t limit = 1u << db.num_items();
+  for (uint32_t mask = 1; mask < limit; ++mask) {
+    std::vector<ItemId> items;
+    for (ItemId item = 0; item < db.num_items(); ++item) {
+      if ((mask >> item) & 1u) items.push_back(item);
+    }
+    if (options.max_pattern_size != 0 &&
+        static_cast<int>(items.size()) > options.max_pattern_size) {
+      continue;
+    }
+    const Itemset itemset = Itemset::FromSorted(std::move(items));
+    const int64_t support = ScanSupport(db, itemset);
+    ++result.stats.nodes_expanded;
+    if (support >= options.min_support_count) {
+      result.patterns.push_back({itemset, support});
+    }
+  }
+  SortPatterns(&result.patterns);
+  return result;
+}
+
+StatusOr<MiningResult> BruteForceClosed(const TransactionDatabase& db,
+                                        const MinerOptions& options) {
+  StatusOr<MiningResult> frequent = BruteForceFrequent(db, options);
+  if (!frequent.ok()) return frequent.status();
+
+  MiningResult result;
+  result.stats = frequent->stats;
+  for (const FrequentItemset& pattern : frequent->patterns) {
+    if (IsClosedItemset(db, pattern.items)) {
+      result.patterns.push_back(pattern);
+    }
+  }
+  return result;
+}
+
+StatusOr<MiningResult> BruteForceMaximal(const TransactionDatabase& db,
+                                         const MinerOptions& options) {
+  if (options.max_pattern_size != 0) {
+    return Status::InvalidArgument(
+        "max_pattern_size is not supported for maximal mining");
+  }
+  StatusOr<MiningResult> frequent = BruteForceFrequent(db, options);
+  if (!frequent.ok()) return frequent.status();
+
+  MiningResult result;
+  result.stats = frequent->stats;
+  for (const FrequentItemset& pattern : frequent->patterns) {
+    if (IsMaximalItemset(db, pattern.items, options.min_support_count)) {
+      result.patterns.push_back(pattern);
+    }
+  }
+  return result;
+}
+
+}  // namespace colossal

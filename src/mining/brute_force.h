@@ -1,0 +1,33 @@
+#ifndef COLOSSAL_MINING_BRUTE_FORCE_H_
+#define COLOSSAL_MINING_BRUTE_FORCE_H_
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+#include "mining/miner.h"
+
+namespace colossal {
+
+// Exponential reference miners used only as test oracles. They evaluate
+// definitions directly — no pruning beyond downward closure, no vertical
+// index — so their correctness is evident by inspection, which makes them
+// the independent ground truth the real miners are validated against.
+// Restricted to small item domains (checked).
+
+// All frequent itemsets (sizes bounded by options.max_pattern_size when
+// non-zero). Requires db.num_items() <= 24.
+StatusOr<MiningResult> BruteForceFrequent(const TransactionDatabase& db,
+                                          const MinerOptions& options);
+
+// All closed frequent itemsets, by filtering BruteForceFrequent through
+// the closure definition.
+StatusOr<MiningResult> BruteForceClosed(const TransactionDatabase& db,
+                                        const MinerOptions& options);
+
+// All maximal frequent itemsets, by filtering BruteForceFrequent through
+// the maximality definition.
+StatusOr<MiningResult> BruteForceMaximal(const TransactionDatabase& db,
+                                         const MinerOptions& options);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_MINING_BRUTE_FORCE_H_

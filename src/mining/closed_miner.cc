@@ -1,0 +1,107 @@
+#include "mining/closed_miner.h"
+
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace colossal {
+
+namespace {
+
+struct ClosedState {
+  const TransactionDatabase* db;
+  const MinerOptions* options;
+  MiningResult* result;
+  int max_size;
+
+  bool ChargeNode() {
+    ++result->stats.nodes_expanded;
+    if (options->max_nodes != 0 &&
+        result->stats.nodes_expanded > options->max_nodes) {
+      result->stats.budget_exceeded = true;
+      return false;
+    }
+    return true;
+  }
+
+  // Closure of the itemset whose support set is `tidset`: every item
+  // whose tidset covers it.
+  Itemset Closure(const Bitvector& tidset) const {
+    std::vector<ItemId> items;
+    for (ItemId item = 0; item < db->num_items(); ++item) {
+      if (tidset.IsSubsetOf(db->item_tidset(item))) items.push_back(item);
+    }
+    return Itemset::FromSorted(std::move(items));
+  }
+
+  // Expands closed set `closed` (with support set `tidset`) by ppc
+  // extensions with items > `core_item`.
+  void Expand(const Itemset& closed, const Bitvector& tidset,
+              int core_item) {
+    for (ItemId item = static_cast<ItemId>(core_item + 1);
+         item < db->num_items(); ++item) {
+      if (result->stats.budget_exceeded) return;
+      if (closed.Contains(item)) continue;
+      if (!ChargeNode()) return;
+
+      Bitvector extended = Bitvector::And(tidset, db->item_tidset(item));
+      if (extended.Count() < options->min_support_count) continue;
+
+      const Itemset child = Closure(extended);
+      // Prefix-preserving check: the closure must not introduce any item
+      // smaller than `item` that the parent lacks; otherwise this closed
+      // set is generated (once) elsewhere in the tree.
+      bool prefix_preserved = true;
+      for (ItemId member : child) {
+        if (member >= item) break;
+        if (!closed.Contains(member)) {
+          prefix_preserved = false;
+          break;
+        }
+      }
+      if (!prefix_preserved) continue;
+
+      if (max_size != 0 && child.size() > max_size) continue;
+      result->patterns.push_back({child, extended.Count()});
+      Expand(child, extended, static_cast<int>(item));
+    }
+  }
+};
+
+}  // namespace
+
+StatusOr<MiningResult> MineClosed(const TransactionDatabase& db,
+                                  const MinerOptions& options) {
+  Status valid = ValidateMinerOptions(db, options);
+  if (!valid.ok()) return valid;
+
+  MiningResult result;
+  ClosedState state{&db, &options, &result, options.max_pattern_size};
+
+  const Bitvector all = Bitvector::AllSet(db.num_transactions());
+  const Itemset root = state.Closure(all);
+  // The closure of the empty set is the set of items present in every
+  // transaction; it is the root closed set. It is reported only when
+  // non-empty (the empty itemset is not a pattern, §2.1).
+  if (!root.empty() &&
+      (options.max_pattern_size == 0 ||
+       root.size() <= options.max_pattern_size)) {
+    result.patterns.push_back({root, db.num_transactions()});
+  }
+  if (options.max_pattern_size == 0 ||
+      root.size() <= options.max_pattern_size) {
+    state.Expand(root, all, -1);
+  }
+  return result;
+}
+
+bool IsClosedItemset(const TransactionDatabase& db, const Itemset& items) {
+  const Bitvector tidset = db.SupportSet(items);
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    if (items.Contains(item)) continue;
+    if (tidset.IsSubsetOf(db.item_tidset(item))) return false;
+  }
+  return true;
+}
+
+}  // namespace colossal

@@ -1,0 +1,89 @@
+#include "mining/eclat.h"
+
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace colossal {
+
+namespace {
+
+struct EclatState {
+  const TransactionDatabase* db;
+  const MinerOptions* options;
+  MiningResult* result;
+  int max_size;
+  std::vector<ItemId> prefix;
+
+  bool BudgetExceeded() {
+    return options->max_nodes != 0 &&
+           result->stats.nodes_expanded > options->max_nodes;
+  }
+
+  // Expands the node whose itemset is `prefix`. `extensions` holds the
+  // (item, tidset) pairs that extend `prefix` frequently, every item
+  // larger than the last prefix item; each child's own extension list is
+  // built by intersecting tidsets before recursing.
+  void Recurse(const std::vector<std::pair<ItemId, Bitvector>>& extensions) {
+    if (static_cast<int>(prefix.size()) >= max_size) return;
+    for (size_t i = 0; i < extensions.size(); ++i) {
+      if (result->stats.budget_exceeded) return;
+      prefix.push_back(extensions[i].first);
+      result->patterns.push_back(
+          {Itemset::FromSorted(prefix),
+           extensions[i].second.Count()});
+
+      // Build this child's frequent extension list.
+      std::vector<std::pair<ItemId, Bitvector>> child_extensions;
+      for (size_t j = i + 1; j < extensions.size(); ++j) {
+        ++result->stats.nodes_expanded;
+        if (BudgetExceeded()) {
+          result->stats.budget_exceeded = true;
+          break;
+        }
+        Bitvector tidset =
+            Bitvector::And(extensions[i].second, extensions[j].second);
+        if (tidset.Count() >=
+            static_cast<int64_t>(options->min_support_count)) {
+          child_extensions.emplace_back(extensions[j].first,
+                                        std::move(tidset));
+        }
+      }
+      if (!result->stats.budget_exceeded) Recurse(child_extensions);
+      prefix.pop_back();
+      if (result->stats.budget_exceeded) return;
+    }
+  }
+};
+
+}  // namespace
+
+StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
+                                 const MinerOptions& options) {
+  Status valid = ValidateMinerOptions(db, options);
+  if (!valid.ok()) return valid;
+
+  MiningResult result;
+  EclatState state{&db, &options, &result,
+                   options.max_pattern_size == 0
+                       ? static_cast<int>(db.num_items())
+                       : options.max_pattern_size,
+                   {}};
+
+  std::vector<std::pair<ItemId, Bitvector>> roots;
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    ++result.stats.nodes_expanded;
+    if (state.BudgetExceeded()) {
+      result.stats.budget_exceeded = true;
+      return result;
+    }
+    const Bitvector& tidset = db.item_tidset(item);
+    if (tidset.Count() >= options.min_support_count) {
+      roots.emplace_back(item, tidset);
+    }
+  }
+  state.Recurse(roots);
+  return result;
+}
+
+}  // namespace colossal

@@ -1,0 +1,24 @@
+#ifndef COLOSSAL_MINING_ECLAT_H_
+#define COLOSSAL_MINING_ECLAT_H_
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+#include "mining/miner.h"
+
+namespace colossal {
+
+// Depth-first complete frequent-itemset miner over the vertical layout
+// (Zaki's Eclat family). Each search node extends a prefix itemset with a
+// larger item, intersecting tidsets; the downward-closure property prunes
+// infrequent extensions.
+//
+// Serves as the second leg of the miner cross-check (against Apriori and
+// FP-growth) and as an alternative initial-pool generator for
+// Pattern-Fusion. One tidset intersection = one node against
+// options.max_nodes.
+StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
+                                 const MinerOptions& options);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_MINING_ECLAT_H_

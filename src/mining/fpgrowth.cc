@@ -1,0 +1,176 @@
+#include "mining/fpgrowth.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace colossal {
+
+namespace {
+
+// An FP-tree over a (possibly conditional) transaction multiset. Node 0
+// is the root. Items inside the tree are stored in "rank" space: rank 0
+// is the most frequent item, so every path from the root is increasing in
+// rank. Header lists link all nodes of one rank.
+class FpTree {
+ public:
+  struct Node {
+    int rank = -1;
+    int64_t count = 0;
+    int parent = -1;
+    int next_same_rank = -1;          // header chain
+    std::vector<int> children;        // indices into nodes_
+  };
+
+  explicit FpTree(int num_ranks) : headers_(num_ranks, -1) {
+    nodes_.push_back(Node{});  // root
+  }
+
+  // Inserts a rank-sorted transaction with multiplicity `count`.
+  void Insert(const std::vector<int>& ranks, int64_t count) {
+    int current = 0;
+    for (int rank : ranks) {
+      int child = FindChild(current, rank);
+      if (child < 0) {
+        child = static_cast<int>(nodes_.size());
+        Node node;
+        node.rank = rank;
+        node.parent = current;
+        node.next_same_rank = headers_[static_cast<size_t>(rank)];
+        headers_[static_cast<size_t>(rank)] = child;
+        nodes_.push_back(node);
+        nodes_[static_cast<size_t>(current)].children.push_back(child);
+      }
+      nodes_[static_cast<size_t>(child)].count += count;
+      current = child;
+    }
+  }
+
+  const Node& node(int index) const {
+    return nodes_[static_cast<size_t>(index)];
+  }
+  int header(int rank) const { return headers_[static_cast<size_t>(rank)]; }
+  int num_ranks() const { return static_cast<int>(headers_.size()); }
+
+  // Total count of nodes with `rank` (the item's support in this tree).
+  int64_t RankSupport(int rank) const {
+    int64_t total = 0;
+    for (int n = header(rank); n >= 0; n = node(n).next_same_rank) {
+      total += node(n).count;
+    }
+    return total;
+  }
+
+ private:
+  int FindChild(int parent, int rank) const {
+    for (int child : nodes_[static_cast<size_t>(parent)].children) {
+      if (nodes_[static_cast<size_t>(child)].rank == rank) return child;
+    }
+    return -1;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<int> headers_;
+};
+
+struct FpState {
+  const MinerOptions* options;
+  MiningResult* result;
+  std::vector<ItemId> rank_to_item;
+  std::vector<ItemId> suffix;  // the pattern under construction (item ids)
+  int max_size;
+
+  bool ChargeNode() {
+    ++result->stats.nodes_expanded;
+    if (options->max_nodes != 0 &&
+        result->stats.nodes_expanded > options->max_nodes) {
+      result->stats.budget_exceeded = true;
+      return false;
+    }
+    return true;
+  }
+
+  // Mines `tree`, emitting every frequent pattern extending `suffix`.
+  void Mine(const FpTree& tree) {
+    if (result->stats.budget_exceeded) return;
+    if (static_cast<int>(suffix.size()) >= max_size) return;
+    // Process ranks from least frequent to most frequent (bottom-up).
+    for (int rank = tree.num_ranks() - 1; rank >= 0; --rank) {
+      if (tree.header(rank) < 0) continue;
+      const int64_t support = tree.RankSupport(rank);
+      if (support < options->min_support_count) continue;
+      if (!ChargeNode()) return;
+
+      suffix.push_back(rank_to_item[static_cast<size_t>(rank)]);
+      result->patterns.push_back(
+          {Itemset::FromUnsorted(suffix), support});
+
+      // Conditional pattern base: prefix paths of every `rank` node.
+      FpTree conditional(rank);
+      std::vector<int> path;
+      for (int n = tree.header(rank); n >= 0;
+           n = tree.node(n).next_same_rank) {
+        path.clear();
+        for (int p = tree.node(n).parent; p > 0; p = tree.node(p).parent) {
+          path.push_back(tree.node(p).rank);
+        }
+        std::reverse(path.begin(), path.end());
+        if (!path.empty()) conditional.Insert(path, tree.node(n).count);
+      }
+      Mine(conditional);
+      suffix.pop_back();
+      if (result->stats.budget_exceeded) return;
+    }
+  }
+};
+
+}  // namespace
+
+StatusOr<MiningResult> MineFpGrowth(const TransactionDatabase& db,
+                                    const MinerOptions& options) {
+  Status valid = ValidateMinerOptions(db, options);
+  if (!valid.ok()) return valid;
+
+  MiningResult result;
+
+  // Global item ranking: descending support among frequent items.
+  std::vector<std::pair<int64_t, ItemId>> frequent;
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    const int64_t support = db.ItemSupport(item);
+    if (support >= options.min_support_count) {
+      frequent.emplace_back(support, item);
+    }
+  }
+  std::sort(frequent.begin(), frequent.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::vector<int> item_to_rank(db.num_items(), -1);
+  FpState state;
+  state.options = &options;
+  state.result = &result;
+  state.max_size = options.max_pattern_size == 0
+                       ? static_cast<int>(db.num_items())
+                       : options.max_pattern_size;
+  for (size_t rank = 0; rank < frequent.size(); ++rank) {
+    state.rank_to_item.push_back(frequent[rank].second);
+    item_to_rank[frequent[rank].second] = static_cast<int>(rank);
+  }
+
+  FpTree tree(static_cast<int>(frequent.size()));
+  std::vector<int> ranks;
+  for (int64_t t = 0; t < db.num_transactions(); ++t) {
+    ranks.clear();
+    for (ItemId item : db.transaction(t)) {
+      const int rank = item_to_rank[item];
+      if (rank >= 0) ranks.push_back(rank);
+    }
+    std::sort(ranks.begin(), ranks.end());
+    if (!ranks.empty()) tree.Insert(ranks, 1);
+  }
+
+  state.Mine(tree);
+  return result;
+}
+
+}  // namespace colossal

@@ -1,0 +1,25 @@
+#ifndef COLOSSAL_MINING_FPGROWTH_H_
+#define COLOSSAL_MINING_FPGROWTH_H_
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+#include "mining/miner.h"
+
+namespace colossal {
+
+// FP-growth (Han, Pei & Yin, SIGMOD'00): complete frequent-itemset mining
+// without candidate generation. Transactions are compressed into an
+// FP-tree (items in descending global support order); patterns grow by
+// recursively projecting conditional trees per suffix item.
+//
+// The paper names FP-growth as the archetypal depth-first complete miner
+// that gets trapped by mid-size explosions; we include it both for that
+// baseline role and as the third leg of the miner cross-check tests.
+//
+// One conditional-tree construction = one node against options.max_nodes.
+StatusOr<MiningResult> MineFpGrowth(const TransactionDatabase& db,
+                                    const MinerOptions& options);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_MINING_FPGROWTH_H_

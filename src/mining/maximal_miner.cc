@@ -1,0 +1,149 @@
+#include "mining/maximal_miner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace colossal {
+
+namespace {
+
+struct Extension {
+  ItemId item;
+  Bitvector tidset;  // tidset of prefix ∪ {item}
+};
+
+struct MaximalState {
+  const TransactionDatabase* db;
+  const MinerOptions* options;
+  MiningResult* result;
+  std::vector<ItemId> prefix;
+
+  bool ChargeNode() {
+    ++result->stats.nodes_expanded;
+    if (options->max_nodes != 0 &&
+        result->stats.nodes_expanded > options->max_nodes) {
+      result->stats.budget_exceeded = true;
+      return false;
+    }
+    return true;
+  }
+
+  // True iff some item outside `itemset` extends it frequently.
+  bool HasFrequentExtension(const Itemset& itemset, const Bitvector& tidset) {
+    for (ItemId item = 0; item < db->num_items(); ++item) {
+      if (itemset.Contains(item)) continue;
+      if (Bitvector::AndCount(tidset, db->item_tidset(item)) >=
+          options->min_support_count) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void EmitIfMaximal(const Itemset& itemset, const Bitvector& tidset) {
+    if (!ChargeNode()) return;
+    if (!HasFrequentExtension(itemset, tidset)) {
+      result->patterns.push_back({itemset, tidset.Count()});
+    }
+  }
+
+  // `tidset` is the support set of `prefix`; `extensions` are the items
+  // (with extended tidsets) that extend `prefix` frequently, in the fixed
+  // global order.
+  void Recurse(const Bitvector& tidset, const std::vector<Extension>& extensions) {
+    if (result->stats.budget_exceeded) return;
+
+    if (extensions.empty()) {
+      EmitIfMaximal(Itemset::FromUnsorted(prefix), tidset);
+      return;
+    }
+
+    // Head-union-tail lookahead: intersect all extension tidsets.
+    Bitvector all = extensions[0].tidset;
+    for (size_t i = 1; i < extensions.size(); ++i) {
+      all.AndWith(extensions[i].tidset);
+    }
+    if (!ChargeNode()) return;
+    if (all.Count() >= options->min_support_count) {
+      std::vector<ItemId> united = prefix;
+      for (const Extension& extension : extensions) {
+        united.push_back(extension.item);
+      }
+      EmitIfMaximal(Itemset::FromUnsorted(united), all);
+      return;  // everything in this subtree is a subset of `united`
+    }
+
+    for (size_t i = 0; i < extensions.size(); ++i) {
+      if (result->stats.budget_exceeded) return;
+      prefix.push_back(extensions[i].item);
+      std::vector<Extension> child_extensions;
+      for (size_t j = i + 1; j < extensions.size(); ++j) {
+        if (!ChargeNode()) break;
+        Bitvector extended =
+            Bitvector::And(extensions[i].tidset, extensions[j].tidset);
+        if (extended.Count() >= options->min_support_count) {
+          child_extensions.push_back(
+              {extensions[j].item, std::move(extended)});
+        }
+      }
+      if (!result->stats.budget_exceeded) {
+        Recurse(extensions[i].tidset, child_extensions);
+      }
+      prefix.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+StatusOr<MiningResult> MineMaximal(const TransactionDatabase& db,
+                                   const MinerOptions& options) {
+  Status valid = ValidateMinerOptions(db, options);
+  if (!valid.ok()) return valid;
+  if (options.max_pattern_size != 0) {
+    return Status::InvalidArgument(
+        "max_pattern_size is not supported for maximal mining");
+  }
+
+  MiningResult result;
+  MaximalState state{&db, &options, &result, {}};
+
+  // Root extensions: frequent items, ordered by ascending support (the
+  // classic MaxMiner/GenMax heuristic — low-support items first keeps
+  // subtrees shallow).
+  std::vector<Extension> roots;
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    const Bitvector& tidset = db.item_tidset(item);
+    if (tidset.Count() >= options.min_support_count) {
+      roots.push_back({item, tidset});
+    }
+  }
+  if (roots.empty()) return result;
+  std::stable_sort(roots.begin(), roots.end(),
+                   [](const Extension& a, const Extension& b) {
+                     return a.tidset.Count() < b.tidset.Count();
+                   });
+  // With ascending-support order the "extend to the right" rule still
+  // enumerates every itemset exactly once — the order just has to be
+  // fixed. Child extension lists inherit this root order.
+  state.Recurse(Bitvector::AllSet(db.num_transactions()), roots);
+  return result;
+}
+
+bool IsMaximalItemset(const TransactionDatabase& db, const Itemset& items,
+                      int64_t min_support_count) {
+  const Bitvector tidset = db.SupportSet(items);
+  if (tidset.Count() < min_support_count) return false;
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    if (items.Contains(item)) continue;
+    if (Bitvector::AndCount(tidset, db.item_tidset(item)) >=
+        min_support_count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace colossal

@@ -1,0 +1,40 @@
+#ifndef COLOSSAL_MINING_MAXIMAL_MINER_H_
+#define COLOSSAL_MINING_MAXIMAL_MINER_H_
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+#include "mining/miner.h"
+
+namespace colossal {
+
+// Maximal-frequent-itemset miner — the stand-in for LCM_maximal [18] /
+// MaxMiner [3], the baseline of the paper's Figures 6 and 10. Depth-first
+// vertical search (items ordered by ascending support) with two classic
+// optimizations:
+//   * head-union-tail lookahead: if the node's itemset together with all
+//     of its candidate extensions is frequent, that union is the only
+//     potential maximal set in the subtree — test it and prune;
+//   * leaf maximality by direct check: a leaf (no frequent extensions to
+//     the right) is maximal iff no item outside it at all extends it
+//     frequently, which one pass over the vertical index decides.
+// Every emitted pattern is therefore maximal by construction; no global
+// subsumption table is needed.
+//
+// On Diag_n this honestly explodes — the output itself is C(n, n/2) — so
+// benches run it under options.max_nodes and report budget exhaustion,
+// mirroring the paper's ">10 hours" entries. One tidset intersection or
+// leaf check = one node against the budget.
+//
+// options.max_pattern_size is not meaningful for maximal mining and must
+// be 0.
+StatusOr<MiningResult> MineMaximal(const TransactionDatabase& db,
+                                   const MinerOptions& options);
+
+// Returns true iff `items` is frequent and no single-item extension is
+// frequent (the paper's definition of maximal). Used by tests.
+bool IsMaximalItemset(const TransactionDatabase& db, const Itemset& items,
+                      int64_t min_support_count);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_MINING_MAXIMAL_MINER_H_

@@ -1,0 +1,46 @@
+#include "mining/miner.h"
+
+#include <algorithm>
+#include <string>
+
+namespace colossal {
+
+Status ValidateMinerOptions(const TransactionDatabase& db,
+                            const MinerOptions& options) {
+  if (options.min_support_count < 1) {
+    return Status::InvalidArgument(
+        "min_support_count must be >= 1, got " +
+        std::to_string(options.min_support_count));
+  }
+  if (options.min_support_count > db.num_transactions()) {
+    return Status::InvalidArgument(
+        "min_support_count " + std::to_string(options.min_support_count) +
+        " exceeds database size " + std::to_string(db.num_transactions()));
+  }
+  if (options.max_pattern_size < 0) {
+    return Status::InvalidArgument("max_pattern_size must be >= 0");
+  }
+  if (options.max_nodes < 0) {
+    return Status::InvalidArgument("max_nodes must be >= 0");
+  }
+  return Status::Ok();
+}
+
+void SortPatterns(std::vector<FrequentItemset>* patterns) {
+  std::sort(patterns->begin(), patterns->end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+}
+
+bool ContainsPattern(const MiningResult& result, const Itemset& items) {
+  for (const FrequentItemset& pattern : result.patterns) {
+    if (pattern.items == items) return true;
+  }
+  return false;
+}
+
+}  // namespace colossal

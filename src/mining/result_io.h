@@ -1,0 +1,37 @@
+#ifndef COLOSSAL_MINING_RESULT_IO_H_
+#define COLOSSAL_MINING_RESULT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mining/miner.h"
+
+namespace colossal {
+
+// Serialization of mining results in the FIMI output convention: one
+// pattern per line, items in increasing order, absolute support in
+// parentheses:
+//
+//   3 17 42 (128)
+//
+// This is the format the FIMI-workshop reference implementations print,
+// so results interchange with external tooling and with the CLI's
+// `evaluate` subcommand.
+
+// Renders patterns one per line.
+std::string PatternsToString(const std::vector<FrequentItemset>& patterns);
+
+// Parses a whole document. Blank lines are ignored; errors carry 1-based
+// line numbers.
+StatusOr<std::vector<FrequentItemset>> ParsePatterns(const std::string& text);
+
+// File variants.
+Status WritePatternsFile(const std::vector<FrequentItemset>& patterns,
+                         const std::string& path);
+StatusOr<std::vector<FrequentItemset>> ReadPatternsFile(
+    const std::string& path);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_MINING_RESULT_IO_H_

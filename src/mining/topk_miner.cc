@@ -1,0 +1,132 @@
+#include "mining/topk_miner.h"
+
+#include <algorithm>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace colossal {
+
+namespace {
+
+// Orders the running top-k min-heap: the weakest pattern (lowest support)
+// sits on top so it can be evicted.
+struct HeapWeaker {
+  bool operator()(const FrequentItemset& a, const FrequentItemset& b) const {
+    return a.support > b.support;
+  }
+};
+
+struct TopKState {
+  const TransactionDatabase* db;
+  const TopKOptions* options;
+  MinerStats* stats;
+  std::priority_queue<FrequentItemset, std::vector<FrequentItemset>,
+                      HeapWeaker>
+      best;
+  int64_t dynamic_threshold;
+
+  bool ChargeNode() {
+    ++stats->nodes_expanded;
+    if (options->max_nodes != 0 &&
+        stats->nodes_expanded > options->max_nodes) {
+      stats->budget_exceeded = true;
+      return false;
+    }
+    return true;
+  }
+
+  void Offer(const Itemset& items, int64_t support) {
+    if (items.size() < options->min_pattern_size) return;
+    best.push({items, support});
+    if (static_cast<int>(best.size()) > options->k) best.pop();
+    if (static_cast<int>(best.size()) == options->k) {
+      // TFP's dynamic raising: no pattern weaker than the current k-th
+      // best can enter the answer, so prune at its support.
+      dynamic_threshold = std::max(dynamic_threshold, best.top().support);
+    }
+  }
+
+  Itemset Closure(const Bitvector& tidset) const {
+    std::vector<ItemId> items;
+    for (ItemId item = 0; item < db->num_items(); ++item) {
+      if (tidset.IsSubsetOf(db->item_tidset(item))) items.push_back(item);
+    }
+    return Itemset::FromSorted(std::move(items));
+  }
+
+  void Expand(const Itemset& closed, const Bitvector& tidset, int core_item) {
+    for (ItemId item = static_cast<ItemId>(core_item + 1);
+         item < db->num_items(); ++item) {
+      if (stats->budget_exceeded) return;
+      if (closed.Contains(item)) continue;
+      if (!ChargeNode()) return;
+
+      Bitvector extended = Bitvector::And(tidset, db->item_tidset(item));
+      const int64_t support = extended.Count();
+      if (support < dynamic_threshold) continue;
+
+      const Itemset child = Closure(extended);
+      bool prefix_preserved = true;
+      for (ItemId member : child) {
+        if (member >= item) break;
+        if (!closed.Contains(member)) {
+          prefix_preserved = false;
+          break;
+        }
+      }
+      if (!prefix_preserved) continue;
+
+      Offer(child, support);
+      Expand(child, extended, static_cast<int>(item));
+    }
+  }
+};
+
+}  // namespace
+
+StatusOr<MiningResult> MineTopKClosed(const TransactionDatabase& db,
+                                      const TopKOptions& options) {
+  if (options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1, got " +
+                                   std::to_string(options.k));
+  }
+  if (options.min_pattern_size < 1) {
+    return Status::InvalidArgument("min_pattern_size must be >= 1");
+  }
+  if (options.min_support_count < 1 ||
+      options.min_support_count > db.num_transactions()) {
+    return Status::InvalidArgument("min_support_count out of range");
+  }
+  if (options.max_nodes < 0) {
+    return Status::InvalidArgument("max_nodes must be >= 0");
+  }
+
+  MiningResult result;
+  TopKState state{&db, &options, &result.stats, {}, options.min_support_count};
+
+  const Bitvector all = Bitvector::AllSet(db.num_transactions());
+  const Itemset root = state.Closure(all);
+  if (!root.empty()) state.Offer(root, db.num_transactions());
+  state.Expand(root, all, -1);
+
+  while (!state.best.empty()) {
+    result.patterns.push_back(state.best.top());
+    state.best.pop();
+  }
+  // Heap pops weakest-first; present strongest-first with deterministic
+  // tie-breaks.
+  std::sort(result.patterns.begin(), result.patterns.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.support != b.support) return a.support > b.support;
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return result;
+}
+
+}  // namespace colossal

@@ -1,0 +1,37 @@
+#ifndef COLOSSAL_MINING_TOPK_MINER_H_
+#define COLOSSAL_MINING_TOPK_MINER_H_
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+#include "mining/miner.h"
+
+namespace colossal {
+
+// Options for top-k closed mining (the TFP baseline of Figure 10).
+struct TopKOptions {
+  // Number of patterns to return.
+  int k = 100;
+  // Minimum pattern cardinality (TFP's min_l): patterns smaller than this
+  // do not compete for the top-k slots.
+  int min_pattern_size = 1;
+  // Optional support floor; 1 reproduces TFP's "no user threshold" mode.
+  int64_t min_support_count = 1;
+  // Work budget, as in MinerOptions (0 = unbounded).
+  int64_t max_nodes = 0;
+};
+
+// Mines the k most frequent closed itemsets of size ≥ min_pattern_size —
+// a reimplementation of the TFP idea (Wang, Han, Lu & Tzvetkov, TKDE'05):
+// run the closed-pattern search with a support threshold that is raised
+// dynamically to the k-th best support seen so far, so the search
+// self-prunes as good patterns accumulate.
+//
+// Results are ordered by descending support, ties by size then
+// lexicographically. When the work budget trips, stats.budget_exceeded is
+// set and the best k found so far are returned.
+StatusOr<MiningResult> MineTopKClosed(const TransactionDatabase& db,
+                                      const TopKOptions& options);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_MINING_TOPK_MINER_H_

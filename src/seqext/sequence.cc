@@ -1,0 +1,89 @@
+#include "seqext/sequence.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace colossal {
+
+bool Sequence::IsSubsequenceOf(const Sequence& other) const {
+  size_t position = 0;
+  for (ItemId event : other.events_) {
+    if (position < events_.size() && events_[position] == event) {
+      ++position;
+    }
+  }
+  return position == events_.size();
+}
+
+std::string Sequence::ToString() const {
+  std::ostringstream out;
+  out << "<";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) out << " ";
+    out << events_[i];
+  }
+  out << ">";
+  return out.str();
+}
+
+namespace {
+
+// Full LCS table: table[i][j] = LCS length of a[0..i) and b[0..j).
+std::vector<std::vector<int>> LcsTable(const Sequence& a, const Sequence& b) {
+  std::vector<std::vector<int>> table(
+      static_cast<size_t>(a.size()) + 1,
+      std::vector<int>(static_cast<size_t>(b.size()) + 1, 0));
+  for (int i = 1; i <= a.size(); ++i) {
+    for (int j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        table[i][j] = table[i - 1][j - 1] + 1;
+      } else {
+        table[i][j] = std::max(table[i - 1][j], table[i][j - 1]);
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+int LongestCommonSubsequenceLength(const Sequence& a, const Sequence& b) {
+  return LcsTable(a, b)[static_cast<size_t>(a.size())]
+                       [static_cast<size_t>(b.size())];
+}
+
+int ShortestCommonSupersequenceLength(const Sequence& a, const Sequence& b) {
+  return a.size() + b.size() - LongestCommonSubsequenceLength(a, b);
+}
+
+Sequence ShortestCommonSupersequence(const Sequence& a, const Sequence& b) {
+  const std::vector<std::vector<int>> table = LcsTable(a, b);
+  std::vector<ItemId> merged;
+  int i = a.size();
+  int j = b.size();
+  while (i > 0 && j > 0) {
+    if (a[i - 1] == b[j - 1]) {
+      merged.push_back(a[i - 1]);
+      --i;
+      --j;
+    } else if (table[static_cast<size_t>(i - 1)][static_cast<size_t>(j)] >=
+               table[static_cast<size_t>(i)][static_cast<size_t>(j - 1)]) {
+      merged.push_back(a[i - 1]);
+      --i;
+    } else {
+      merged.push_back(b[j - 1]);
+      --j;
+    }
+  }
+  while (i > 0) merged.push_back(a[--i]);
+  while (j > 0) merged.push_back(b[--j]);
+  std::reverse(merged.begin(), merged.end());
+  return Sequence(std::move(merged));
+}
+
+int SequenceEditDistance(const Sequence& a, const Sequence& b) {
+  const int lcs = LongestCommonSubsequenceLength(a, b);
+  return (a.size() - lcs) + (b.size() - lcs);
+}
+
+}  // namespace colossal

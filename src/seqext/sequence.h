@@ -1,0 +1,81 @@
+#ifndef COLOSSAL_SEQEXT_SEQUENCE_H_
+#define COLOSSAL_SEQEXT_SEQUENCE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/itemset.h"
+
+namespace colossal {
+
+// Sequence-data extension (paper §8: "This paper is an initial effort
+// toward mining colossal frequent patterns in more complicated data,
+// such as sequences and graphs, where the essential idea developed in
+// this paper could be applied."). A Sequence is an ordered list of
+// events (repetitions allowed); a pattern is a subsequence.
+class Sequence {
+ public:
+  Sequence() = default;
+  Sequence(std::initializer_list<ItemId> events)
+      : events_(events.begin(), events.end()) {}
+  explicit Sequence(std::vector<ItemId> events)
+      : events_(std::move(events)) {}
+
+  int size() const { return static_cast<int>(events_.size()); }
+  bool empty() const { return events_.empty(); }
+  ItemId operator[](int i) const { return events_[static_cast<size_t>(i)]; }
+  const std::vector<ItemId>& events() const { return events_; }
+
+  std::vector<ItemId>::const_iterator begin() const { return events_.begin(); }
+  std::vector<ItemId>::const_iterator end() const { return events_.end(); }
+
+  // True iff *this is a (not necessarily contiguous) subsequence of
+  // `other`. O(|other|).
+  bool IsSubsequenceOf(const Sequence& other) const;
+
+  // Renders as "<1 2 3>".
+  std::string ToString() const;
+
+  friend bool operator==(const Sequence& a, const Sequence& b) {
+    return a.events_ == b.events_;
+  }
+  friend bool operator<(const Sequence& a, const Sequence& b) {
+    return a.events_ < b.events_;
+  }
+
+ private:
+  std::vector<ItemId> events_;
+};
+
+// Length of a shortest common supersequence of a and b — the fusion
+// operator's cost measure. |SCS| = |a| + |b| − |LCS|.
+int ShortestCommonSupersequenceLength(const Sequence& a, const Sequence& b);
+
+// A shortest common supersequence of a and b (the sequence analogue of
+// itemset union, used by sequence fusion). Deterministic tie-breaking.
+Sequence ShortestCommonSupersequence(const Sequence& a, const Sequence& b);
+
+// Longest common subsequence length (classic DP).
+int LongestCommonSubsequenceLength(const Sequence& a, const Sequence& b);
+
+// Sequence edit distance in the spirit of the paper's Definition 8:
+// |SCS(a,b)| − |LCS(a,b)| (insertions + deletions transforming a into
+// b). A metric on sequences.
+int SequenceEditDistance(const Sequence& a, const Sequence& b);
+
+// Hash functor for unordered containers.
+struct SequenceHash {
+  size_t operator()(const Sequence& sequence) const {
+    uint64_t hash = 1469598103934665603ULL;
+    for (ItemId event : sequence) {
+      hash ^= event + 0x9e3779b97f4a7c15ULL + (hash << 12) + (hash >> 4);
+    }
+    return static_cast<size_t>(hash ^ static_cast<uint64_t>(sequence.size()));
+  }
+};
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_SEQEXT_SEQUENCE_H_

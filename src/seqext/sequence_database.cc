@@ -1,0 +1,39 @@
+#include "seqext/sequence_database.h"
+
+#include <algorithm>
+#include <string>
+
+namespace colossal {
+
+StatusOr<SequenceDatabase> SequenceDatabase::FromSequences(
+    std::vector<Sequence> sequences) {
+  if (sequences.empty()) {
+    return Status::InvalidArgument("database must contain at least one sequence");
+  }
+  ItemId max_event = 0;
+  for (size_t s = 0; s < sequences.size(); ++s) {
+    if (sequences[s].empty()) {
+      return Status::InvalidArgument("sequence " + std::to_string(s) +
+                                     " is empty");
+    }
+    for (ItemId event : sequences[s]) {
+      max_event = std::max(max_event, event);
+    }
+  }
+  SequenceDatabase db;
+  db.sequences_ = std::move(sequences);
+  db.num_events_ = max_event + 1;
+  return db;
+}
+
+Bitvector SequenceDatabase::SupportSet(const Sequence& pattern) const {
+  Bitvector support(num_sequences());
+  for (int64_t s = 0; s < num_sequences(); ++s) {
+    if (pattern.IsSubsequenceOf(sequences_[static_cast<size_t>(s)])) {
+      support.Set(s);
+    }
+  }
+  return support;
+}
+
+}  // namespace colossal

@@ -1,0 +1,54 @@
+#ifndef COLOSSAL_SEQEXT_SEQUENCE_DATABASE_H_
+#define COLOSSAL_SEQEXT_SEQUENCE_DATABASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/status.h"
+#include "seqext/sequence.h"
+
+namespace colossal {
+
+// A database of sequences with subsequence-containment support queries.
+// The support set of a sequence pattern is the Bitvector of database
+// sequences containing it as a subsequence — the same representation the
+// itemset system uses, so the pattern metric (Jaccard on support sets)
+// and Theorem 2's ball radius carry over unchanged. That shared metric
+// backbone is precisely what the paper means by the core-pattern idea
+// extending to richer data.
+class SequenceDatabase {
+ public:
+  // Constructs an empty placeholder.
+  SequenceDatabase() = default;
+
+  // Builds from raw sequences. Fails on empty input or empty sequences.
+  static StatusOr<SequenceDatabase> FromSequences(
+      std::vector<Sequence> sequences);
+
+  int64_t num_sequences() const {
+    return static_cast<int64_t>(sequences_.size());
+  }
+  const Sequence& sequence(int64_t s) const {
+    return sequences_[static_cast<size_t>(s)];
+  }
+
+  // One past the largest event id in use.
+  ItemId num_events() const { return num_events_; }
+
+  // The support set of `pattern`: bit s set iff sequence s contains
+  // `pattern` as a subsequence. O(Σ|sequence|).
+  Bitvector SupportSet(const Sequence& pattern) const;
+
+  int64_t Support(const Sequence& pattern) const {
+    return SupportSet(pattern).Count();
+  }
+
+ private:
+  std::vector<Sequence> sequences_;
+  ItemId num_events_ = 0;
+};
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_SEQEXT_SEQUENCE_DATABASE_H_

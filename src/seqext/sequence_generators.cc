@@ -1,0 +1,71 @@
+#include "seqext/sequence_generators.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace colossal {
+
+LabeledSequenceDatabase MakePlantedSequenceDatabase(
+    const SequenceScenarioOptions& options) {
+  COLOSSAL_CHECK(options.num_sequences > 0);
+  COLOSSAL_CHECK(!options.planted_lengths.empty());
+  COLOSSAL_CHECK(options.pattern_alphabet > 0);
+  Rng rng(options.seed);
+
+  LabeledSequenceDatabase labeled;
+  // Planted patterns: random strings over the pattern alphabet, with no
+  // immediate repeats so subsequence containment stays discriminative.
+  for (int length : options.planted_lengths) {
+    COLOSSAL_CHECK(length > 0);
+    std::vector<ItemId> events;
+    ItemId previous = options.pattern_alphabet;  // sentinel ≠ any event
+    for (int i = 0; i < length; ++i) {
+      ItemId event;
+      do {
+        event = static_cast<ItemId>(rng.UniformInt(
+            0, static_cast<int64_t>(options.pattern_alphabet) - 1));
+      } while (event == previous);
+      events.push_back(event);
+      previous = event;
+    }
+    labeled.planted.emplace_back(std::move(events));
+  }
+  std::sort(labeled.planted.begin(), labeled.planted.end(),
+            [](const Sequence& a, const Sequence& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+
+  std::vector<Sequence> rows;
+  rows.reserve(static_cast<size_t>(options.num_sequences));
+  for (int64_t row = 0; row < options.num_sequences; ++row) {
+    const Sequence& base =
+        labeled.planted[static_cast<size_t>(row) % labeled.planted.size()];
+    std::vector<ItemId> events = base.events();
+    for (int insertion = 0; insertion < options.noise_insertions;
+         ++insertion) {
+      const ItemId noise_event =
+          options.pattern_alphabet +
+          static_cast<ItemId>(rng.UniformInt(
+              0, static_cast<int64_t>(options.noise_alphabet) - 1));
+      const size_t position = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(events.size())));
+      events.insert(events.begin() + static_cast<int64_t>(position),
+                    noise_event);
+    }
+    rows.emplace_back(std::move(events));
+  }
+
+  StatusOr<SequenceDatabase> db = SequenceDatabase::FromSequences(rows);
+  COLOSSAL_CHECK(db.ok()) << db.status().ToString();
+  labeled.db = *std::move(db);
+  labeled.min_support_count =
+      options.num_sequences /
+      (2 * static_cast<int64_t>(labeled.planted.size()));
+  if (labeled.min_support_count < 1) labeled.min_support_count = 1;
+  return labeled;
+}
+
+}  // namespace colossal

@@ -1,0 +1,44 @@
+#ifndef COLOSSAL_SEQEXT_SEQUENCE_GENERATORS_H_
+#define COLOSSAL_SEQEXT_SEQUENCE_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "seqext/sequence_database.h"
+
+namespace colossal {
+
+// A generated sequence database with its planted ground truth.
+struct LabeledSequenceDatabase {
+  SequenceDatabase db;
+  // The planted colossal subsequences, longest first.
+  std::vector<Sequence> planted;
+  int64_t min_support_count = 0;
+};
+
+struct SequenceScenarioOptions {
+  int64_t num_sequences = 200;
+  // Lengths of the colossal subsequences to plant.
+  std::vector<int> planted_lengths = {30, 24};
+  // Events [0, pattern_alphabet) are reserved for planted patterns;
+  // noise uses [pattern_alphabet, pattern_alphabet + noise_alphabet).
+  ItemId pattern_alphabet = 40;
+  ItemId noise_alphabet = 30;
+  // Each database sequence embeds one planted pattern with this many
+  // random noise events interleaved.
+  int noise_insertions = 15;
+  uint64_t seed = 1;
+};
+
+// Builds a sequence database where each row is one planted colossal
+// subsequence with random noise interleaved — the sequence analogue of
+// the planted-itemset generators. Every planted pattern is a subsequence
+// of ≈ num_sequences / |planted| rows; the recommended threshold is half
+// that, so all planted patterns are frequent while typical noisy merges
+// are not.
+LabeledSequenceDatabase MakePlantedSequenceDatabase(
+    const SequenceScenarioOptions& options);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_SEQEXT_SEQUENCE_GENERATORS_H_

@@ -1,0 +1,89 @@
+#include "seqext/sequence_miner.h"
+
+#include <string>
+#include <utility>
+
+namespace colossal {
+
+StatusOr<SequenceMiningResult> MineFrequentSequences(
+    const SequenceDatabase& db, const SequenceMinerOptions& options) {
+  if (options.min_support_count < 1 ||
+      options.min_support_count > db.num_sequences()) {
+    return Status::InvalidArgument(
+        "min_support_count out of range: " +
+        std::to_string(options.min_support_count));
+  }
+  if (options.max_pattern_length < 0 || options.max_nodes < 0) {
+    return Status::InvalidArgument("bounds must be >= 0");
+  }
+
+  SequenceMiningResult result;
+  const int max_length = options.max_pattern_length == 0
+                             ? 1 << 20
+                             : options.max_pattern_length;
+
+  // Level 1: frequent single events.
+  std::vector<SequencePattern> level;
+  for (ItemId event = 0; event < db.num_events(); ++event) {
+    ++result.nodes_expanded;
+    if (options.max_nodes != 0 &&
+        result.nodes_expanded > options.max_nodes) {
+      result.budget_exceeded = true;
+      return result;
+    }
+    SequencePattern pattern;
+    pattern.sequence = Sequence({event});
+    pattern.support_set = db.SupportSet(pattern.sequence);
+    pattern.support = pattern.support_set.Count();
+    if (pattern.support >= options.min_support_count) {
+      level.push_back(std::move(pattern));
+    }
+  }
+  // Frequent single events double as the extension alphabet.
+  std::vector<ItemId> alphabet;
+  for (const SequencePattern& pattern : level) {
+    alphabet.push_back(pattern.sequence[0]);
+  }
+  for (const SequencePattern& pattern : level) {
+    if (max_length >= 1) result.patterns.push_back(pattern);
+  }
+
+  for (int length = 2; length <= max_length && !level.empty(); ++length) {
+    std::vector<SequencePattern> next_level;
+    for (const SequencePattern& prefix : level) {
+      for (ItemId event : alphabet) {
+        ++result.nodes_expanded;
+        if (options.max_nodes != 0 &&
+            result.nodes_expanded > options.max_nodes) {
+          result.budget_exceeded = true;
+          return result;
+        }
+        std::vector<ItemId> extended_events = prefix.sequence.events();
+        extended_events.push_back(event);
+        Sequence extended(std::move(extended_events));
+
+        // Count support only among the prefix's supporters (Lemma 1's
+        // sequence analogue: supersequence support sets shrink).
+        Bitvector support_set(db.num_sequences());
+        for (int64_t s : prefix.support_set.ToIndices()) {
+          if (extended.IsSubsequenceOf(db.sequence(s))) support_set.Set(s);
+        }
+        const int64_t support = support_set.Count();
+        if (support >= options.min_support_count) {
+          SequencePattern pattern;
+          pattern.sequence = std::move(extended);
+          pattern.support_set = std::move(support_set);
+          pattern.support = support;
+          next_level.push_back(std::move(pattern));
+        }
+      }
+    }
+    for (const SequencePattern& pattern : next_level) {
+      result.patterns.push_back(pattern);
+    }
+    level = std::move(next_level);
+  }
+  return result;
+}
+
+}  // namespace colossal

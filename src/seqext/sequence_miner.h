@@ -1,0 +1,47 @@
+#ifndef COLOSSAL_SEQEXT_SEQUENCE_MINER_H_
+#define COLOSSAL_SEQEXT_SEQUENCE_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "seqext/sequence_database.h"
+
+namespace colossal {
+
+// A frequent sequence pattern with its materialized support set.
+struct SequencePattern {
+  Sequence sequence;
+  Bitvector support_set;
+  int64_t support = 0;
+
+  int size() const { return sequence.size(); }
+};
+
+struct SequenceMinerOptions {
+  int64_t min_support_count = 1;
+  // Upper bound on pattern length; 0 = unbounded. Bounded runs supply
+  // sequence-fusion initial pools.
+  int max_pattern_length = 0;
+  // Work budget (support-counting scans); 0 = unbounded.
+  int64_t max_nodes = 0;
+};
+
+struct SequenceMiningResult {
+  std::vector<SequencePattern> patterns;
+  int64_t nodes_expanded = 0;
+  bool budget_exceeded = false;
+};
+
+// Complete frequent-subsequence miner (GSP-style breadth-first append
+// extension): every frequent sequence of length L+1 extends a frequent
+// length-L prefix by one event, so level-wise append enumeration with
+// downward-closure pruning is complete. Intended for bounded runs (the
+// initial pool); unbounded runs on sequence data explode just like their
+// itemset counterparts — which is the point of the extension.
+StatusOr<SequenceMiningResult> MineFrequentSequences(
+    const SequenceDatabase& db, const SequenceMinerOptions& options);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_SEQEXT_SEQUENCE_MINER_H_

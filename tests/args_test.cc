@@ -1,0 +1,80 @@
+#include "tools/args.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace colossal {
+namespace {
+
+StatusOr<Args> ParseVector(const std::vector<const char*>& argv) {
+  return Args::Parse(static_cast<int>(argv.size()), argv.data(), 0);
+}
+
+TEST(ArgsTest, ParsesFlagValuePairs) {
+  StatusOr<Args> args =
+      ParseVector({"--dataset", "diag", "--n", "40", "--tau", "0.5"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args->Has("dataset"));
+  EXPECT_EQ(args->GetString("dataset"), "diag");
+  EXPECT_EQ(*args->GetInt("n", 0), 40);
+  EXPECT_DOUBLE_EQ(*args->GetDouble("tau", 0.0), 0.5);
+}
+
+TEST(ArgsTest, FallbacksApplyWhenAbsent) {
+  StatusOr<Args> args = ParseVector({});
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(args->Has("k"));
+  EXPECT_EQ(args->GetString("algo", "pf"), "pf");
+  EXPECT_EQ(*args->GetInt("k", 100), 100);
+  EXPECT_DOUBLE_EQ(*args->GetDouble("tau", 0.25), 0.25);
+}
+
+TEST(ArgsTest, RejectsBareValue) {
+  StatusOr<Args> args = ParseVector({"diag"});
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.status().message().find("expected --flag"),
+            std::string::npos);
+}
+
+TEST(ArgsTest, RejectsDanglingFlag) {
+  StatusOr<Args> args = ParseVector({"--out"});
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.status().message().find("needs a value"), std::string::npos);
+}
+
+TEST(ArgsTest, RejectsEmptyFlagName) {
+  EXPECT_FALSE(ParseVector({"--", "x"}).ok());
+}
+
+TEST(ArgsTest, NumericParsingErrors) {
+  StatusOr<Args> args = ParseVector({"--n", "fortytwo", "--tau", "0.5x"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(args->GetInt("n", 0).ok());
+  EXPECT_FALSE(args->GetDouble("tau", 0.0).ok());
+}
+
+TEST(ArgsTest, NegativeNumbersParse) {
+  StatusOr<Args> args = ParseVector({"--offset", "-7", "--x", "-0.25"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(*args->GetInt("offset", 0), -7);
+  EXPECT_DOUBLE_EQ(*args->GetDouble("x", 0.0), -0.25);
+}
+
+TEST(ArgsTest, CheckKnownCatchesTypos) {
+  StatusOr<Args> args = ParseVector({"--dataseet", "diag"});
+  ASSERT_TRUE(args.ok());
+  Status status = args->CheckKnown({"dataset", "out"});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("--dataseet"), std::string::npos);
+  EXPECT_TRUE(args->CheckKnown({"dataseet"}).ok());
+}
+
+TEST(ArgsTest, LaterValueWins) {
+  StatusOr<Args> args = ParseVector({"--k", "10", "--k", "20"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(*args->GetInt("k", 0), 20);
+}
+
+}  // namespace
+}  // namespace colossal

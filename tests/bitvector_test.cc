@@ -1,0 +1,155 @@
+#include "common/bitvector.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace colossal {
+namespace {
+
+TEST(BitvectorTest, ConstructsCleared) {
+  Bitvector bits(130);
+  EXPECT_EQ(bits.size_bits(), 130);
+  EXPECT_EQ(bits.Count(), 0);
+  EXPECT_TRUE(bits.None());
+}
+
+TEST(BitvectorTest, AllSetCountsExactly) {
+  EXPECT_EQ(Bitvector::AllSet(1).Count(), 1);
+  EXPECT_EQ(Bitvector::AllSet(64).Count(), 64);
+  EXPECT_EQ(Bitvector::AllSet(65).Count(), 65);
+  EXPECT_EQ(Bitvector::AllSet(130).Count(), 130);
+}
+
+TEST(BitvectorTest, SetTestReset) {
+  Bitvector bits(100);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(99);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(99));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.Count(), 4);
+  bits.Reset(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.Count(), 3);
+}
+
+TEST(BitvectorTest, FromIndicesRoundTripsToIndices) {
+  const std::vector<int64_t> indices = {0, 5, 63, 64, 120};
+  Bitvector bits = Bitvector::FromIndices(130, indices);
+  EXPECT_EQ(bits.ToIndices(), indices);
+}
+
+TEST(BitvectorTest, AndOrKernels) {
+  Bitvector a = Bitvector::FromIndices(70, {1, 3, 65});
+  Bitvector b = Bitvector::FromIndices(70, {3, 65, 69});
+  EXPECT_EQ(Bitvector::And(a, b).ToIndices(),
+            (std::vector<int64_t>{3, 65}));
+  EXPECT_EQ(Bitvector::Or(a, b).ToIndices(),
+            (std::vector<int64_t>{1, 3, 65, 69}));
+  EXPECT_EQ(Bitvector::AndCount(a, b), 2);
+  EXPECT_EQ(Bitvector::OrCount(a, b), 4);
+}
+
+TEST(BitvectorTest, InPlaceKernelsMatchOutOfPlace) {
+  Bitvector a = Bitvector::FromIndices(70, {1, 3, 65});
+  Bitvector b = Bitvector::FromIndices(70, {3, 65, 69});
+  Bitvector and_copy = a;
+  and_copy.AndWith(b);
+  EXPECT_EQ(and_copy, Bitvector::And(a, b));
+  Bitvector or_copy = a;
+  or_copy.OrWith(b);
+  EXPECT_EQ(or_copy, Bitvector::Or(a, b));
+  Bitvector andnot_copy = a;
+  andnot_copy.AndNotWith(b);
+  EXPECT_EQ(andnot_copy.ToIndices(), (std::vector<int64_t>{1}));
+}
+
+TEST(BitvectorTest, SubsetChecks) {
+  Bitvector small = Bitvector::FromIndices(100, {4, 70});
+  Bitvector big = Bitvector::FromIndices(100, {4, 20, 70});
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_TRUE(Bitvector(100).IsSubsetOf(small));
+}
+
+TEST(BitvectorTest, IntersectsDetectsSharedBits) {
+  Bitvector a = Bitvector::FromIndices(80, {10});
+  Bitvector b = Bitvector::FromIndices(80, {11});
+  Bitvector c = Bitvector::FromIndices(80, {10, 11});
+  EXPECT_FALSE(Bitvector::Intersects(a, b));
+  EXPECT_TRUE(Bitvector::Intersects(a, c));
+  EXPECT_TRUE(Bitvector::Intersects(b, c));
+}
+
+TEST(BitvectorTest, JaccardDistanceBasics) {
+  Bitvector a = Bitvector::FromIndices(10, {0, 1, 2});
+  Bitvector b = Bitvector::FromIndices(10, {1, 2, 3});
+  // |∩| = 2, |∪| = 4.
+  EXPECT_DOUBLE_EQ(Bitvector::JaccardDistance(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(Bitvector::JaccardDistance(a, a), 0.0);
+  Bitvector empty(10);
+  EXPECT_DOUBLE_EQ(Bitvector::JaccardDistance(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(Bitvector::JaccardDistance(a, empty), 1.0);
+}
+
+TEST(BitvectorTest, EqualityIncludesLength) {
+  Bitvector a(64);
+  Bitvector b(65);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a == Bitvector(64));
+}
+
+TEST(BitvectorTest, HashValueMatchesForEqualContent) {
+  Bitvector a = Bitvector::FromIndices(100, {1, 50, 99});
+  Bitvector b = Bitvector::FromIndices(100, {1, 50, 99});
+  EXPECT_EQ(a.HashValue(), b.HashValue());
+  b.Reset(50);
+  EXPECT_NE(a.HashValue(), b.HashValue());
+}
+
+TEST(BitvectorTest, ToStringShowsBitZeroFirst) {
+  Bitvector bits = Bitvector::FromIndices(4, {1, 3});
+  EXPECT_EQ(bits.ToString(), "0101");
+}
+
+// Parameterized sweep: kernels agree with a naive per-bit reference
+// across lengths spanning word boundaries.
+class BitvectorKernelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitvectorKernelSweep, KernelsMatchNaiveReference) {
+  const int num_bits = GetParam();
+  Bitvector a(num_bits);
+  Bitvector b(num_bits);
+  int64_t expected_and = 0;
+  int64_t expected_or = 0;
+  for (int i = 0; i < num_bits; ++i) {
+    const bool in_a = (i * 7 + 3) % 5 < 2;
+    const bool in_b = (i * 11 + 1) % 3 == 0;
+    if (in_a) a.Set(i);
+    if (in_b) b.Set(i);
+    if (in_a && in_b) ++expected_and;
+    if (in_a || in_b) ++expected_or;
+  }
+  EXPECT_EQ(Bitvector::AndCount(a, b), expected_and);
+  EXPECT_EQ(Bitvector::OrCount(a, b), expected_or);
+  EXPECT_EQ(Bitvector::And(a, b).Count(), expected_and);
+  EXPECT_EQ(Bitvector::Or(a, b).Count(), expected_or);
+  if (expected_or > 0) {
+    EXPECT_DOUBLE_EQ(Bitvector::JaccardDistance(a, b),
+                     1.0 - static_cast<double>(expected_and) /
+                               static_cast<double>(expected_or));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BitvectorKernelSweep,
+                         ::testing::Values(1, 2, 37, 63, 64, 65, 127, 128,
+                                           129, 1000));
+
+}  // namespace
+}  // namespace colossal

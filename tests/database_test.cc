@@ -1,0 +1,108 @@
+#include "data/transaction_database.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/itemset.h"
+
+namespace colossal {
+namespace {
+
+TransactionDatabase SmallDb() {
+  StatusOr<TransactionDatabase> db = TransactionDatabase::FromTransactions({
+      {0, 1, 2},
+      {1, 2},
+      {0, 2},
+      {2, 3},
+  });
+  EXPECT_TRUE(db.ok());
+  return *std::move(db);
+}
+
+TEST(TransactionDatabaseTest, BasicShape) {
+  TransactionDatabase db = SmallDb();
+  EXPECT_EQ(db.num_transactions(), 4);
+  EXPECT_EQ(db.num_items(), 4u);
+  EXPECT_EQ(db.TotalItemOccurrences(), 9);
+  EXPECT_DOUBLE_EQ(db.Density(), 9.0 / 16.0);
+}
+
+TEST(TransactionDatabaseTest, NormalizesUnsortedDuplicates) {
+  StatusOr<TransactionDatabase> db =
+      TransactionDatabase::FromTransactions({{3, 1, 3, 2, 1}});
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->transaction(0), Itemset({1, 2, 3}));
+}
+
+TEST(TransactionDatabaseTest, RejectsEmptyDatabase) {
+  StatusOr<TransactionDatabase> db = TransactionDatabase::FromTransactions({});
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TransactionDatabaseTest, RejectsEmptyTransaction) {
+  StatusOr<TransactionDatabase> db =
+      TransactionDatabase::FromTransactions({{1}, {}});
+  EXPECT_FALSE(db.ok());
+  EXPECT_NE(db.status().message().find("transaction 1"), std::string::npos);
+}
+
+TEST(TransactionDatabaseTest, RejectsHugeItemIds) {
+  StatusOr<TransactionDatabase> db = TransactionDatabase::FromTransactions(
+      {{TransactionDatabase::kMaxItems}});
+  EXPECT_FALSE(db.ok());
+}
+
+TEST(TransactionDatabaseTest, ItemTidsetsMatchRows) {
+  TransactionDatabase db = SmallDb();
+  EXPECT_EQ(db.item_tidset(0).ToIndices(), (std::vector<int64_t>{0, 2}));
+  EXPECT_EQ(db.item_tidset(1).ToIndices(), (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(db.item_tidset(2).ToIndices(), (std::vector<int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(db.item_tidset(3).ToIndices(), (std::vector<int64_t>{3}));
+  EXPECT_EQ(db.ItemSupport(2), 4);
+}
+
+TEST(TransactionDatabaseTest, SupportSetIntersectsTidsets) {
+  TransactionDatabase db = SmallDb();
+  EXPECT_EQ(db.SupportSet(Itemset({0, 1})).ToIndices(),
+            (std::vector<int64_t>{0}));
+  EXPECT_EQ(db.Support(Itemset({0, 1})), 1);
+  EXPECT_EQ(db.Support(Itemset({2})), 4);
+  EXPECT_EQ(db.Support(Itemset({0, 3})), 0);
+}
+
+TEST(TransactionDatabaseTest, EmptyItemsetSupportedEverywhere) {
+  TransactionDatabase db = SmallDb();
+  EXPECT_EQ(db.Support(Itemset()), 4);
+  EXPECT_EQ(db.SupportSet(Itemset()).Count(), 4);
+}
+
+// Lemma 1: α ⊆ α' ⇒ D(α') ⊆ D(α).
+TEST(TransactionDatabaseTest, Lemma1AntiMonotonicity) {
+  TransactionDatabase db = SmallDb();
+  const Itemset small({2});
+  const Itemset big({1, 2});
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_TRUE(db.SupportSet(big).IsSubsetOf(db.SupportSet(small)));
+}
+
+TEST(TransactionDatabaseTest, MinSupportCountRounding) {
+  TransactionDatabase db = SmallDb();  // 4 transactions
+  EXPECT_EQ(db.MinSupportCount(0.0), 0);
+  EXPECT_EQ(db.MinSupportCount(0.5), 2);
+  EXPECT_EQ(db.MinSupportCount(0.51), 3);
+  EXPECT_EQ(db.MinSupportCount(0.75), 3);
+  EXPECT_EQ(db.MinSupportCount(1.0), 4);
+  // Exact integer products must not round up.
+  EXPECT_EQ(db.MinSupportCount(0.25), 1);
+}
+
+TEST(TransactionDatabaseTest, DefaultConstructedIsEmptyPlaceholder) {
+  TransactionDatabase db;
+  EXPECT_EQ(db.num_transactions(), 0);
+  EXPECT_EQ(db.num_items(), 0u);
+}
+
+}  // namespace
+}  // namespace colossal

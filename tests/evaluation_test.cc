@@ -1,0 +1,130 @@
+#include "core/evaluation.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace colossal {
+namespace {
+
+// Example 1 from the paper (§5, Figure 5): P = {P1 = abcde, P2 = xyz},
+// Q = {abcdf, acde, abcd, abcde, xy, xyz, yz}. r1 = 2/5, r2 = 1/3,
+// Δ(A_P^Q) = 11/30 ≈ 0.37.
+TEST(EvaluationTest, PaperExample1ComputesElevenThirtieths) {
+  // Items: a=0 b=1 c=2 d=3 e=4 f=5 x=10 y=11 z=12.
+  const Itemset p1({0, 1, 2, 3, 4});   // abcde
+  const Itemset p2({10, 11, 12});      // xyz
+  const std::vector<Itemset> mined = {p1, p2};
+  const std::vector<Itemset> complete = {
+      Itemset({0, 1, 2, 3, 5}),  // Q1 = abcdf, Edit to P1 = 2
+      Itemset({0, 2, 3, 4}),     // Q2 = acde, Edit 1
+      Itemset({0, 1, 2, 3}),     // Q3 = abcd, Edit 1
+      p1,                        // Q4 = abcde, Edit 0
+      Itemset({10, 11}),         // Q5 = xy, Edit 1
+      p2,                        // Q6 = xyz, Edit 0
+      Itemset({11, 12}),         // Q7 = yz, Edit 1
+  };
+  ApproximationReport report = EvaluateApproximation(mined, complete);
+  EXPECT_DOUBLE_EQ(report.cluster_radii[0], 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(report.cluster_radii[1], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(report.error, 11.0 / 30.0);
+  EXPECT_EQ(report.cluster_sizes[0], 4);
+  EXPECT_EQ(report.cluster_sizes[1], 3);
+  // Q1 is the farthest member of P1's cluster.
+  EXPECT_EQ(report.assignments[0].center_index, 0);
+  EXPECT_EQ(report.assignments[0].edit_distance, 2);
+}
+
+TEST(EvaluationTest, PerfectCoverHasZeroError) {
+  const std::vector<Itemset> mined = {Itemset({1, 2}), Itemset({5, 6})};
+  const std::vector<Itemset> complete = {Itemset({1, 2}), Itemset({5, 6})};
+  ApproximationReport report = EvaluateApproximation(mined, complete);
+  EXPECT_DOUBLE_EQ(report.error, 0.0);
+}
+
+TEST(EvaluationTest, EmptyReferenceSetHasZeroError) {
+  ApproximationReport report =
+      EvaluateApproximation({Itemset({1})}, std::vector<Itemset>{});
+  EXPECT_DOUBLE_EQ(report.error, 0.0);
+  EXPECT_TRUE(report.assignments.empty());
+}
+
+TEST(EvaluationTest, EmptyClustersContributeZero) {
+  // Second center attracts nothing: all references are nearest to the
+  // first.
+  const std::vector<Itemset> mined = {Itemset({1, 2, 3}),
+                                      Itemset({100, 101, 102})};
+  const std::vector<Itemset> complete = {Itemset({1, 2}), Itemset({1, 2, 3})};
+  ApproximationReport report = EvaluateApproximation(mined, complete);
+  EXPECT_EQ(report.cluster_sizes[1], 0);
+  EXPECT_DOUBLE_EQ(report.cluster_radii[1], 0.0);
+  // r1 = Edit({1,2},{1,2,3})/3 = 1/3; Δ = (1/3 + 0)/2.
+  EXPECT_DOUBLE_EQ(report.error, 1.0 / 6.0);
+}
+
+TEST(EvaluationTest, TiesBreakTowardLowestCenterIndex) {
+  const std::vector<Itemset> mined = {Itemset({1}), Itemset({2})};
+  // {1,2} is at distance 1 from both centers.
+  ApproximationReport report =
+      EvaluateApproximation(mined, {Itemset({1, 2})});
+  EXPECT_EQ(report.assignments[0].center_index, 0);
+}
+
+TEST(EvaluationTest, ErrorScalesWithCenterSize) {
+  // Same absolute edit distance is a smaller relative error for a
+  // larger center — the definition divides by |α_i|.
+  const std::vector<Itemset> small_center = {Itemset({1, 2})};
+  const std::vector<Itemset> big_center = {
+      Itemset({1, 2, 3, 4, 5, 6, 7, 8, 9, 10})};
+  const std::vector<Itemset> q_small = {Itemset({1, 2, 3})};
+  const std::vector<Itemset> q_big = {Itemset({1, 2, 3, 4, 5, 6, 7, 8, 9})};
+  EXPECT_DOUBLE_EQ(EvaluateApproximation(small_center, q_small).error, 0.5);
+  EXPECT_DOUBLE_EQ(EvaluateApproximation(big_center, q_big).error, 0.1);
+}
+
+TEST(UniformSampleTest, SamplesDistinctMembers) {
+  std::vector<Itemset> complete;
+  for (ItemId i = 0; i < 50; ++i) complete.push_back(Itemset::Single(i));
+  Rng rng(5);
+  std::vector<Itemset> sample = UniformSample(complete, 10, rng);
+  EXPECT_EQ(sample.size(), 10u);
+  for (size_t a = 0; a < sample.size(); ++a) {
+    for (size_t b = a + 1; b < sample.size(); ++b) {
+      EXPECT_FALSE(sample[a] == sample[b]);
+    }
+  }
+}
+
+TEST(UniformSampleTest, ClampsToPopulation) {
+  std::vector<Itemset> complete = {Itemset({1}), Itemset({2})};
+  Rng rng(5);
+  EXPECT_EQ(UniformSample(complete, 10, rng).size(), 2u);
+  EXPECT_EQ(UniformSample(complete, 0, rng).size(), 0u);
+}
+
+TEST(FilterBySizeTest, KeepsOnlyLargeEnough) {
+  const std::vector<Itemset> patterns = {Itemset({1}), Itemset({1, 2}),
+                                         Itemset({1, 2, 3})};
+  EXPECT_EQ(FilterBySize(patterns, 2).size(), 2u);
+  EXPECT_EQ(FilterBySize(patterns, 4).size(), 0u);
+  EXPECT_EQ(FilterBySize(patterns, 0).size(), 3u);
+}
+
+// A sampled approximation of a set by itself should have error 0 only
+// when the sample covers all outliers; with K = |Q| UniformSample is the
+// identity up to order.
+TEST(UniformSampleTest, FullSampleGivesZeroError) {
+  std::vector<Itemset> complete;
+  for (ItemId i = 0; i < 20; ++i) {
+    complete.push_back(Itemset({i, static_cast<ItemId>(i + 1)}));
+  }
+  Rng rng(7);
+  std::vector<Itemset> sample =
+      UniformSample(complete, static_cast<int64_t>(complete.size()), rng);
+  EXPECT_DOUBLE_EQ(EvaluateApproximation(sample, complete).error, 0.0);
+}
+
+}  // namespace
+}  // namespace colossal

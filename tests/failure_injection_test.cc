@@ -1,0 +1,192 @@
+// Failure-injection tests: malformed inputs, boundary thresholds, budget
+// exhaustion paths, and fatal-contract violations (death tests) across
+// the library. A downstream user's first mistake should produce a clear
+// Status or a crisp crash message, never silent corruption.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/bitvector.h"
+#include "core/colossal_miner.h"
+#include "core/core_pattern.h"
+#include "core/evaluation.h"
+#include "core/pattern_distance.h"
+#include "data/dataset_io.h"
+#include "data/generators.h"
+#include "mining/apriori.h"
+#include "mining/closed_miner.h"
+#include "mining/eclat.h"
+#include "mining/fpgrowth.h"
+#include "mining/maximal_miner.h"
+#include "mining/topk_miner.h"
+
+namespace colossal {
+namespace {
+
+// --- Malformed external input ----------------------------------------------
+
+TEST(FailureInjectionTest, FimiGarbageVariants) {
+  EXPECT_FALSE(ParseFimi("1 2 three\n").ok());
+  EXPECT_FALSE(ParseFimi("1,2,3\n").ok());
+  EXPECT_FALSE(ParseFimi("0x12\n").ok());
+  EXPECT_FALSE(ParseFimi("1 2 3.5\n").ok());
+  // Huge ids rejected before allocation.
+  EXPECT_FALSE(ParseFimi("4294967295\n").ok());
+}
+
+TEST(FailureInjectionTest, FimiWhitespaceOnlyDocument) {
+  EXPECT_FALSE(ParseFimi("   \n\t\n  \r\n").ok());
+}
+
+// --- Threshold boundaries ---------------------------------------------------
+
+TEST(FailureInjectionTest, MinSupportEqualToDatabaseSize) {
+  TransactionDatabase db = MakePaperFigure3();  // 400 transactions
+  MinerOptions options;
+  options.min_support_count = 400;
+  StatusOr<MiningResult> result = MineApriori(db, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->patterns.empty());  // no item is universal here
+
+  StatusOr<TransactionDatabase> uniform =
+      TransactionDatabase::FromTransactions({{1, 2}, {1, 2}, {1, 2}});
+  ASSERT_TRUE(uniform.ok());
+  options.min_support_count = 3;
+  result = MineApriori(*uniform, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->patterns.size(), 3u);  // {1} {2} {1,2}
+}
+
+TEST(FailureInjectionTest, MinSupportAboveDatabaseSizeIsRejected) {
+  TransactionDatabase db = MakePaperFigure3();
+  MinerOptions options;
+  options.min_support_count = 401;
+  EXPECT_FALSE(MineApriori(db, options).ok());
+  EXPECT_FALSE(MineEclat(db, options).ok());
+  EXPECT_FALSE(MineFpGrowth(db, options).ok());
+  EXPECT_FALSE(MineClosed(db, options).ok());
+  EXPECT_FALSE(MineMaximal(db, options).ok());
+}
+
+// --- Budget exhaustion across every miner ------------------------------------
+
+TEST(FailureInjectionTest, EveryMinerHonorsNodeBudget) {
+  TransactionDatabase db = MakeDiag(16);
+  MinerOptions options;
+  options.min_support_count = 8;
+  options.max_nodes = 20;
+
+  StatusOr<MiningResult> apriori = MineApriori(db, options);
+  ASSERT_TRUE(apriori.ok());
+  EXPECT_TRUE(apriori->stats.budget_exceeded);
+
+  StatusOr<MiningResult> eclat = MineEclat(db, options);
+  ASSERT_TRUE(eclat.ok());
+  EXPECT_TRUE(eclat->stats.budget_exceeded);
+
+  StatusOr<MiningResult> fpgrowth = MineFpGrowth(db, options);
+  ASSERT_TRUE(fpgrowth.ok());
+  EXPECT_TRUE(fpgrowth->stats.budget_exceeded);
+
+  StatusOr<MiningResult> closed = MineClosed(db, options);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(closed->stats.budget_exceeded);
+
+  StatusOr<MiningResult> maximal = MineMaximal(db, options);
+  ASSERT_TRUE(maximal.ok());
+  EXPECT_TRUE(maximal->stats.budget_exceeded);
+
+  TopKOptions topk_options;
+  topk_options.k = 10;
+  topk_options.max_nodes = 20;
+  StatusOr<MiningResult> topk = MineTopKClosed(db, topk_options);
+  ASSERT_TRUE(topk.ok());
+  EXPECT_TRUE(topk->stats.budget_exceeded);
+}
+
+TEST(FailureInjectionTest, BudgetedResultsAreStillConsistent) {
+  // A budget-truncated result must still contain only correct patterns.
+  TransactionDatabase db = MakeDiag(14);
+  MinerOptions options;
+  options.min_support_count = 7;
+  options.max_nodes = 500;
+  StatusOr<MiningResult> result = MineEclat(db, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.budget_exceeded);
+  for (const FrequentItemset& pattern : result->patterns) {
+    EXPECT_EQ(pattern.support, db.Support(pattern.items));
+    EXPECT_GE(pattern.support, 7);
+  }
+}
+
+// --- Fusion edge thresholds ---------------------------------------------------
+
+TEST(FailureInjectionTest, TauOneShrinksBallsToEqualSupportSets) {
+  // At τ = 1 the ball radius is 0: fusion may only merge patterns with
+  // identical support sets. On Figure 3, (ab) and (e) share D = {abe,
+  // abcef} rows, so the fusion of that ball is (abe).
+  TransactionDatabase db = MakePaperFigure3();
+  std::vector<Pattern> pool = {MakePattern(db, Itemset({0, 1})),
+                               MakePattern(db, Itemset({3})),
+                               MakePattern(db, Itemset({0}))};
+  FusionOutcome outcome = FuseOnce(pool, {0, 1, 2}, 0, 100, 1.0);
+  EXPECT_EQ(outcome.fused.items, Itemset({0, 1, 3}));
+  EXPECT_EQ(outcome.fused.support, 200);
+}
+
+TEST(FailureInjectionTest, SigmaZeroAndOneAreHandled) {
+  TransactionDatabase db = MakePaperFigure3();
+  ColossalMinerOptions options;
+  options.initial_pool_max_size = 1;
+  options.k = 50;
+  options.sigma = 1.0;  // only universal items qualify; Figure 3 has none
+  StatusOr<ColossalMiningResult> result = MineColossal(db, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// --- Fatal contract violations (death tests) ----------------------------------
+
+TEST(FailureInjectionDeathTest, BitvectorSizeMismatchAborts) {
+  Bitvector a(10);
+  Bitvector b(11);
+  EXPECT_DEATH(a.AndWith(b), "Check failed");
+  EXPECT_DEATH(Bitvector::AndCount(a, b), "Check failed");
+  EXPECT_DEATH((void)a.IsSubsetOf(b), "Check failed");
+}
+
+TEST(FailureInjectionDeathTest, BitvectorOutOfRangeBitAborts) {
+  Bitvector bits(8);
+  EXPECT_DEATH(bits.Set(8), "bit=8");
+  EXPECT_DEATH(bits.Reset(-1), "Check failed");
+  EXPECT_DEATH((void)bits.Test(100), "bit=100");
+}
+
+TEST(FailureInjectionDeathTest, FromSortedRejectsUnsorted) {
+  EXPECT_DEATH(Itemset::FromSorted({3, 1}), "strictly increasing");
+  EXPECT_DEATH(Itemset::FromSorted({1, 1}), "strictly increasing");
+}
+
+TEST(FailureInjectionDeathTest, BallRadiusRejectsBadTau) {
+  EXPECT_DEATH(BallRadius(0.0), "tau");
+  EXPECT_DEATH(BallRadius(1.5), "tau");
+}
+
+TEST(FailureInjectionDeathTest, EvaluationRejectsEmptyMinedSet) {
+  EXPECT_DEATH(
+      EvaluateApproximation({}, {Itemset({1})}),
+      "P must contain at least one pattern");
+  EXPECT_DEATH(EvaluateApproximation({Itemset()}, {Itemset({1})}),
+               "non-empty itemsets");
+}
+
+TEST(FailureInjectionDeathTest, CoreEnumerationRefusesHugePatterns) {
+  LabeledDatabase labeled = MakeDiagPlus(30, 10);
+  EXPECT_DEATH(
+      EnumerateCorePatterns(labeled.db, labeled.planted[0], 0.5),
+      "enumeration limited");
+}
+
+}  // namespace
+}  // namespace colossal

@@ -1,0 +1,216 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset_io.h"
+#include "data/dataset_stats.h"
+
+namespace colossal {
+namespace {
+
+TEST(DiagTest, ShapeMatchesDefinition) {
+  TransactionDatabase db = MakeDiag(6);
+  EXPECT_EQ(db.num_transactions(), 6);
+  EXPECT_EQ(db.num_items(), 6u);
+  for (int64_t t = 0; t < 6; ++t) {
+    EXPECT_EQ(db.transaction(t).size(), 5);
+    EXPECT_FALSE(db.transaction(t).Contains(static_cast<ItemId>(t)));
+  }
+}
+
+// In Diag_n the support of any itemset X is exactly n − |X|.
+TEST(DiagTest, SupportIsNMinusSize) {
+  TransactionDatabase db = MakeDiag(8);
+  EXPECT_EQ(db.Support(Itemset({0})), 7);
+  EXPECT_EQ(db.Support(Itemset({0, 1})), 6);
+  EXPECT_EQ(db.Support(Itemset({0, 3, 5, 7})), 4);
+  EXPECT_EQ(db.Support(Itemset({0, 1, 2, 3, 4, 5, 6, 7})), 0);
+}
+
+TEST(DiagPlusTest, IntroScenarioShape) {
+  LabeledDatabase labeled = MakeDiagPlus(40, 20);
+  EXPECT_EQ(labeled.db.num_transactions(), 60);
+  EXPECT_EQ(labeled.db.num_items(), 79u);
+  ASSERT_EQ(labeled.planted.size(), 1u);
+  EXPECT_EQ(labeled.planted[0].size(), 39);  // items 40..78
+  EXPECT_EQ(labeled.min_support_count, 20);
+  // The colossal pattern has support exactly 20 (the extra rows).
+  EXPECT_EQ(labeled.db.Support(labeled.planted[0]), 20);
+  // Mid-size diag patterns of size 20 have support 20 as well.
+  std::vector<ItemId> half;
+  for (ItemId item = 0; item < 20; ++item) half.push_back(item);
+  EXPECT_EQ(labeled.db.Support(Itemset::FromUnsorted(half)), 20);
+}
+
+TEST(Figure3Test, MatchesPaperTable) {
+  TransactionDatabase db = MakePaperFigure3();
+  EXPECT_EQ(db.num_transactions(), 400);
+  EXPECT_EQ(db.num_items(), 5u);
+  // Supports from the paper's Figure 3 discussion.
+  EXPECT_EQ(db.Support(Itemset({0, 1, 3})), 200);     // (abe)
+  EXPECT_EQ(db.Support(Itemset({0, 1})), 200);        // (ab)
+  EXPECT_EQ(db.Support(Itemset({3})), 200);           // (e)
+  EXPECT_EQ(db.Support(Itemset({0})), 300);           // (a)
+  EXPECT_EQ(db.Support(Itemset({0, 1, 2, 3, 4})), 100);  // (abcef)
+  EXPECT_EQ(Figure3ItemName(0), "a");
+  EXPECT_EQ(Figure3ItemName(4), "f");
+}
+
+TEST(ProgramTraceTest, ShapeMatchesReplaceStandIn) {
+  LabeledDatabase labeled = MakeProgramTraceLike(7);
+  EXPECT_EQ(labeled.db.num_transactions(), 4395);
+  EXPECT_EQ(labeled.db.num_items(), 57u);
+  EXPECT_EQ(labeled.min_support_count, 132);  // ceil(0.03 * 4395)
+  ASSERT_EQ(labeled.planted.size(), 3u);
+  for (const Itemset& path : labeled.planted) {
+    EXPECT_EQ(path.size(), 44);
+    // Each full path must itself be frequent at σ = 0.03.
+    EXPECT_GE(labeled.db.Support(path), labeled.min_support_count);
+  }
+  // The three paths differ exactly in their 6 path-specific items.
+  EXPECT_EQ(Intersection(labeled.planted[0], labeled.planted[1]).size(), 38);
+}
+
+TEST(ProgramTraceTest, DeterministicForFixedSeed) {
+  LabeledDatabase a = MakeProgramTraceLike(123);
+  LabeledDatabase b = MakeProgramTraceLike(123);
+  EXPECT_EQ(a.db.TotalItemOccurrences(), b.db.TotalItemOccurrences());
+  EXPECT_EQ(a.db.transaction(17), b.db.transaction(17));
+  LabeledDatabase c = MakeProgramTraceLike(124);
+  EXPECT_NE(a.db.TotalItemOccurrences(), c.db.TotalItemOccurrences());
+}
+
+TEST(MicroarrayTest, ShapeMatchesAllStandIn) {
+  LabeledDatabase labeled = MakeMicroarrayLike(5);
+  EXPECT_EQ(labeled.db.num_transactions(), 38);
+  EXPECT_EQ(labeled.db.num_items(), 1736u);
+  EXPECT_EQ(labeled.min_support_count, 30);
+  for (int64_t t = 0; t < labeled.db.num_transactions(); ++t) {
+    EXPECT_EQ(labeled.db.transaction(t).size(), 866);
+  }
+}
+
+TEST(MicroarrayTest, PlantedPatternsMatchFigure9Histogram) {
+  LabeledDatabase labeled = MakeMicroarrayLike(5);
+  const std::vector<int>& sizes = MicroarrayPlantedSizes();
+  ASSERT_EQ(labeled.planted.size(), sizes.size());
+  for (size_t k = 0; k < sizes.size(); ++k) {
+    EXPECT_EQ(labeled.planted[k].size(), sizes[k]) << "pattern " << k;
+    // Every planted pattern has support exactly 31 (38 − 7 missing rows).
+    EXPECT_EQ(labeled.db.Support(labeled.planted[k]), 31) << "pattern " << k;
+  }
+}
+
+TEST(MicroarrayTest, PlantedSupportSetsFormAnAntichain) {
+  LabeledDatabase labeled = MakeMicroarrayLike(11);
+  for (size_t a = 0; a < labeled.planted.size(); ++a) {
+    for (size_t b = 0; b < labeled.planted.size(); ++b) {
+      if (a == b) continue;
+      const Bitvector sa = labeled.db.SupportSet(labeled.planted[a]);
+      const Bitvector sb = labeled.db.SupportSet(labeled.planted[b]);
+      EXPECT_FALSE(sa.IsSubsetOf(sb)) << a << " vs " << b;
+    }
+  }
+}
+
+// Mixing private items of two different planted patterns must be
+// infrequent at σ = 30, so the planted patterns are exactly the colossal
+// closed patterns (the Figure 9 ground truth).
+TEST(MicroarrayTest, CrossPatternMixesAreInfrequent) {
+  LabeledDatabase labeled = MakeMicroarrayLike(5);
+  for (size_t a = 0; a + 1 < labeled.planted.size(); ++a) {
+    const Itemset mix =
+        Union(labeled.planted[a], labeled.planted[a + 1]);
+    EXPECT_LT(labeled.db.Support(mix), 30) << "mix at " << a;
+  }
+}
+
+TEST(MicroarrayTest, UniversalItemsPresentEverywhere) {
+  LabeledDatabase labeled = MakeMicroarrayLike(5);
+  for (ItemId item = 0; item < 60; ++item) {
+    EXPECT_EQ(labeled.db.ItemSupport(item), 38);
+  }
+}
+
+TEST(MicroarrayTest, ConfusableBlockHasSupportThirty) {
+  LabeledDatabase labeled = MakeMicroarrayLike(5);
+  for (ItemId item = kMicroarrayConfusableBase; item < kMicroarrayNoiseBase;
+       ++item) {
+    EXPECT_EQ(labeled.db.ItemSupport(item), 30);
+  }
+}
+
+// Pairs of confusable items must be infrequent at the paper threshold —
+// the block only explodes once σ drops — and pairwise support sets must
+// be distinct so closures do not merge the items.
+TEST(MicroarrayTest, ConfusablePairsInfrequentAtPaperThreshold) {
+  LabeledDatabase labeled = MakeMicroarrayLike(5);
+  for (ItemId a = kMicroarrayConfusableBase;
+       a < kMicroarrayConfusableBase + 20; ++a) {
+    for (ItemId b = a + 1; b < kMicroarrayConfusableBase + 20; ++b) {
+      EXPECT_LT(labeled.db.Support(Itemset({a, b})), 30);
+      EXPECT_FALSE(labeled.db.item_tidset(a) == labeled.db.item_tidset(b));
+    }
+  }
+}
+
+TEST(MicroarrayTest, NoiseStaysBelowFigure10Range) {
+  LabeledDatabase labeled = MakeMicroarrayLike(5);
+  int64_t max_noise_support = 0;
+  for (ItemId item = kMicroarrayNoiseBase; item < 1736; ++item) {
+    max_noise_support = std::max(max_noise_support, labeled.db.ItemSupport(item));
+  }
+  // Figure 10 sweeps σ down to 21; noise must not join the frequent
+  // items there (supports concentrate near 12).
+  EXPECT_LT(max_noise_support, 21);
+}
+
+TEST(RandomDatabaseTest, RespectsShapeAndDeterminism) {
+  RandomDatabaseOptions options;
+  options.num_transactions = 50;
+  options.num_items = 10;
+  options.density = 0.4;
+  options.seed = 3;
+  TransactionDatabase a = MakeRandomDatabase(options);
+  TransactionDatabase b = MakeRandomDatabase(options);
+  EXPECT_EQ(a.num_transactions(), 50);
+  EXPECT_LE(a.num_items(), 10u);
+  EXPECT_EQ(ToFimiString(a), ToFimiString(b));
+}
+
+TEST(PlantedDatabaseTest, PlantedPatternsReachRequestedSupport) {
+  PlantedDatabaseOptions options;
+  options.num_transactions = 80;
+  options.num_items = 30;
+  options.noise_density = 0.05;
+  options.seed = 9;
+  options.patterns.push_back({Itemset({1, 2, 3, 4, 5}), 25});
+  options.patterns.push_back({Itemset({20, 21, 22}), 40});
+  TransactionDatabase db = MakePlantedDatabase(options);
+  EXPECT_GE(db.Support(Itemset({1, 2, 3, 4, 5})), 25);
+  EXPECT_GE(db.Support(Itemset({20, 21, 22})), 40);
+}
+
+TEST(DatasetStatsTest, SummarizesCorrectly) {
+  StatusOr<TransactionDatabase> db = TransactionDatabase::FromTransactions({
+      {0, 1, 2, 3},
+      {0, 1},
+  });
+  ASSERT_TRUE(db.ok());
+  DatasetStats stats = ComputeStats(*db);
+  EXPECT_EQ(stats.num_transactions, 2);
+  EXPECT_EQ(stats.num_items_used, 4);
+  EXPECT_EQ(stats.min_transaction_size, 2);
+  EXPECT_EQ(stats.max_transaction_size, 4);
+  EXPECT_DOUBLE_EQ(stats.avg_transaction_size, 3.0);
+  EXPECT_EQ(stats.max_item_support, 2);
+  EXPECT_EQ(stats.CountFrequentItems(*db, 2), 2);
+  EXPECT_FALSE(StatsToString(stats).empty());
+}
+
+}  // namespace
+}  // namespace colossal

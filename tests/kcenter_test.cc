@@ -1,0 +1,99 @@
+#include "core/kcenter.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace colossal {
+namespace {
+
+std::vector<Itemset> ThreeClusters() {
+  // Three well-separated groups in edit-distance space.
+  return {
+      Itemset({0, 1, 2}),    Itemset({0, 1, 2, 3}),  Itemset({0, 1}),
+      Itemset({10, 11, 12}), Itemset({10, 11}),      Itemset({10, 11, 12, 13}),
+      Itemset({20, 21}),     Itemset({20, 21, 22}),
+  };
+}
+
+TEST(KCenterTest, PicksOneCenterPerCluster) {
+  const std::vector<Itemset> population = ThreeClusters();
+  const std::vector<Itemset> centers = GreedyKCenters(population, 3);
+  ASSERT_EQ(centers.size(), 3u);
+  // With three clusters and k = 3, the farthest-point traversal must
+  // place one center in each cluster; the objective then is within the
+  // intra-cluster diameter (≤ 2 here).
+  EXPECT_LE(KCenterObjective(centers, population), 2);
+}
+
+TEST(KCenterTest, ObjectiveDecreasesWithMoreCenters) {
+  const std::vector<Itemset> population = ThreeClusters();
+  int64_t previous = KCenterObjective(GreedyKCenters(population, 1),
+                                      population);
+  for (int64_t k = 2; k <= 5; ++k) {
+    const int64_t objective =
+        KCenterObjective(GreedyKCenters(population, k), population);
+    EXPECT_LE(objective, previous);
+    previous = objective;
+  }
+}
+
+TEST(KCenterTest, FullPopulationHasZeroObjective) {
+  const std::vector<Itemset> population = ThreeClusters();
+  const std::vector<Itemset> centers = GreedyKCenters(
+      population, static_cast<int64_t>(population.size()));
+  EXPECT_EQ(KCenterObjective(centers, population), 0);
+}
+
+TEST(KCenterTest, HandlesEdgeCases) {
+  EXPECT_TRUE(GreedyKCenters({}, 3).empty());
+  EXPECT_TRUE(GreedyKCenters(ThreeClusters(), 0).empty());
+  const std::vector<Itemset> one = {Itemset({1})};
+  EXPECT_EQ(GreedyKCenters(one, 5).size(), 1u);
+}
+
+TEST(KCenterTest, DeterministicGivenStart) {
+  const std::vector<Itemset> population = ThreeClusters();
+  EXPECT_EQ(GreedyKCenters(population, 3, 2),
+            GreedyKCenters(population, 3, 2));
+}
+
+// Greedy K-center is a 2-approximation: its objective is at most twice
+// the optimum. Testing against brute-force optimum on small populations.
+TEST(KCenterTest, TwoApproximationOnRandomPopulations) {
+  Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Itemset> population;
+    for (int i = 0; i < 9; ++i) {
+      std::vector<ItemId> items;
+      for (ItemId item = 0; item < 8; ++item) {
+        if (rng.Bernoulli(0.4)) items.push_back(item);
+      }
+      if (items.empty()) items.push_back(0);
+      population.push_back(Itemset::FromUnsorted(items));
+    }
+    const int64_t k = 3;
+    const int64_t greedy =
+        KCenterObjective(GreedyKCenters(population, k), population);
+    // Brute-force optimum over all C(9,3) center triples.
+    int64_t optimum = std::numeric_limits<int64_t>::max();
+    const size_t n = population.size();
+    for (size_t a = 0; a < n; ++a) {
+      for (size_t b = a + 1; b < n; ++b) {
+        for (size_t c = b + 1; c < n; ++c) {
+          const std::vector<Itemset> centers = {population[a], population[b],
+                                                population[c]};
+          optimum = std::min(optimum, KCenterObjective(centers, population));
+        }
+      }
+    }
+    EXPECT_LE(greedy, 2 * optimum) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace colossal

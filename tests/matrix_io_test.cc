@@ -1,0 +1,81 @@
+#include "data/matrix_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace colossal {
+namespace {
+
+TEST(MatrixIoTest, ParsesCommaSeparatedMatrix) {
+  StatusOr<TransactionDatabase> db = ParseBinaryMatrix("1,0,0,1\n0,1,0,1\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_transactions(), 2);
+  EXPECT_EQ(db->transaction(0), Itemset({0, 3}));
+  EXPECT_EQ(db->transaction(1), Itemset({1, 3}));
+}
+
+TEST(MatrixIoTest, ParsesWhitespaceSeparatedMatrix) {
+  StatusOr<TransactionDatabase> db = ParseBinaryMatrix("1 1 0\n0 1 1\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->transaction(0), Itemset({0, 1}));
+}
+
+TEST(MatrixIoTest, ParsesPackedMatrix) {
+  StatusOr<TransactionDatabase> db = ParseBinaryMatrix("101\n011\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->transaction(0), Itemset({0, 2}));
+}
+
+TEST(MatrixIoTest, RejectsRaggedRows) {
+  StatusOr<TransactionDatabase> db = ParseBinaryMatrix("1,0\n1,0,1\n");
+  ASSERT_FALSE(db.ok());
+  EXPECT_NE(db.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(MatrixIoTest, RejectsNonBinaryCells) {
+  EXPECT_FALSE(ParseBinaryMatrix("1,2\n").ok());
+  EXPECT_FALSE(ParseBinaryMatrix("1,x\n").ok());
+}
+
+TEST(MatrixIoTest, RejectsAllZeroRow) {
+  StatusOr<TransactionDatabase> db = ParseBinaryMatrix("1,1\n0,0\n");
+  ASSERT_FALSE(db.ok());
+  EXPECT_NE(db.status().message().find("no 1-cells"), std::string::npos);
+}
+
+TEST(MatrixIoTest, RejectsEmptyDocument) {
+  EXPECT_FALSE(ParseBinaryMatrix("").ok());
+  EXPECT_FALSE(ParseBinaryMatrix("\n\n").ok());
+}
+
+TEST(MatrixIoTest, RoundTripsThroughString) {
+  const std::string text = "1,0,1\n0,1,1\n";
+  StatusOr<TransactionDatabase> db = ParseBinaryMatrix(text);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(ToBinaryMatrixString(*db), text);
+}
+
+TEST(MatrixIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/colossal_matrix.csv";
+  StatusOr<TransactionDatabase> original = ParseBinaryMatrix("1,1\n1,0\n");
+  ASSERT_TRUE(original.ok());
+  {
+    std::ofstream out(path);
+    out << ToBinaryMatrixString(*original);
+  }
+  StatusOr<TransactionDatabase> reloaded = ReadBinaryMatrixFile(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(ToBinaryMatrixString(*reloaded), ToBinaryMatrixString(*original));
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadBinaryMatrixFile("/no/such/matrix.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace colossal

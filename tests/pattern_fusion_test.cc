@@ -1,0 +1,353 @@
+#include "core/pattern_fusion.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pattern_distance.h"
+#include "core/pattern_pool.h"
+#include "data/generators.h"
+
+namespace colossal {
+namespace {
+
+TEST(PatternPoolTest, DeduplicatesByItemset) {
+  TransactionDatabase db = MakePaperFigure3();
+  PatternPool pool;
+  EXPECT_TRUE(pool.Add(MakePattern(db, Itemset({0}))));
+  EXPECT_FALSE(pool.Add(MakePattern(db, Itemset({0}))));
+  EXPECT_TRUE(pool.Add(MakePattern(db, Itemset({0, 1}))));
+  EXPECT_EQ(pool.size(), 2);
+  EXPECT_TRUE(pool.Contains(Itemset({0})));
+  EXPECT_FALSE(pool.Contains(Itemset({1})));
+}
+
+TEST(PatternPoolTest, SizeExtremes) {
+  TransactionDatabase db = MakePaperFigure3();
+  PatternPool pool;
+  EXPECT_EQ(pool.MinPatternSize(), 0);
+  pool.Add(MakePattern(db, Itemset({0, 1, 3})));
+  pool.Add(MakePattern(db, Itemset({2})));
+  EXPECT_EQ(pool.MinPatternSize(), 1);
+  EXPECT_EQ(pool.MaxPatternSize(), 3);
+}
+
+TEST(PatternPoolTest, DrawSeedsAreDistinctAndClamped) {
+  TransactionDatabase db = MakePaperFigure3();
+  PatternPool pool;
+  for (ItemId item = 0; item < 5; ++item) {
+    pool.Add(MakePattern(db, Itemset::Single(item)));
+  }
+  Rng rng(3);
+  std::vector<int64_t> seeds = pool.DrawSeeds(3, rng);
+  EXPECT_EQ(seeds.size(), 3u);
+  std::set<int64_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 3u);
+  EXPECT_EQ(pool.DrawSeeds(100, rng).size(), 5u);
+}
+
+// --- FuseOnce -------------------------------------------------------------
+
+TEST(FuseOnceTest, SeedAloneWhenBallIsSingleton) {
+  TransactionDatabase db = MakePaperFigure3();
+  std::vector<Pattern> pool = {MakePattern(db, Itemset({0}))};
+  FusionOutcome outcome = FuseOnce(pool, {0}, 0, 100, 0.5);
+  EXPECT_EQ(outcome.fused.items, Itemset({0}));
+  EXPECT_EQ(outcome.merged_count, 1);
+}
+
+TEST(FuseOnceTest, MergesCompatibleCorePatterns) {
+  TransactionDatabase db = MakePaperFigure3();
+  // ab (200) and ce (100) are both cores of abcef; fusing them yields
+  // abce with support 100 ≥ τ·200.
+  std::vector<Pattern> pool = {MakePattern(db, Itemset({0, 1})),
+                               MakePattern(db, Itemset({2, 3}))};
+  FusionOutcome outcome = FuseOnce(pool, {0, 1}, 0, 100, 0.5);
+  EXPECT_EQ(outcome.fused.items, Itemset({0, 1, 2, 3}));
+  EXPECT_EQ(outcome.fused.support, 100);
+  EXPECT_EQ(outcome.merged_count, 2);
+}
+
+TEST(FuseOnceTest, RejectsMergeBreakingFrequency) {
+  LabeledDatabase labeled = MakeDiagPlus(10, 5);
+  // Diag item {0} and colossal item {10} have disjoint support sets: the
+  // merge would have support 0 < min_support.
+  std::vector<Pattern> pool = {MakePattern(labeled.db, Itemset({0})),
+                               MakePattern(labeled.db, Itemset({10}))};
+  FusionOutcome outcome = FuseOnce(pool, {0, 1}, 0, 5, 0.5);
+  EXPECT_EQ(outcome.fused.items, Itemset({0}));
+  EXPECT_EQ(outcome.merged_count, 1);
+}
+
+TEST(FuseOnceTest, RejectsMergeBreakingTauCoreInvariant) {
+  TransactionDatabase db = MakePaperFigure3();
+  // Seed (ce): support 100. Candidate (a): support 300. Merged support
+  // would be 100 < τ·300 = 150 at τ = 0.5: the member (a) would not be a
+  // τ-core of the result, so the merge must be refused.
+  std::vector<Pattern> pool = {MakePattern(db, Itemset({2, 3})),
+                               MakePattern(db, Itemset({0}))};
+  FusionOutcome outcome = FuseOnce(pool, {0, 1}, 0, 50, 0.5);
+  EXPECT_EQ(outcome.fused.items, Itemset({2, 3}));
+  // With τ = 0.3 the same merge passes (100 ≥ 0.3·300).
+  outcome = FuseOnce(pool, {0, 1}, 0, 50, 0.3);
+  EXPECT_EQ(outcome.fused.items, Itemset({0, 2, 3}));
+}
+
+TEST(FuseOnceTest, ResultSatisfiesTauCoreInvariantForAllMerged) {
+  // Property: every merged member must be a τ-core of the fused result.
+  LabeledDatabase labeled = MakeDiagPlus(12, 6);
+  std::vector<Pattern> pool;
+  for (ItemId item = 0; item < labeled.db.num_items(); ++item) {
+    Pattern p = MakePattern(labeled.db, Itemset::Single(item));
+    if (p.support >= 6) pool.push_back(std::move(p));
+  }
+  std::vector<int64_t> order;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    order.push_back(static_cast<int64_t>(i));
+  }
+  const double tau = 0.5;
+  FusionOutcome outcome = FuseOnce(pool, order, 0, 6, tau);
+  for (int64_t index : order) {
+    const Pattern& member = pool[static_cast<size_t>(index)];
+    if (member.items.IsSubsetOf(outcome.fused.items)) {
+      EXPECT_GE(static_cast<double>(outcome.fused.support) + 1e-9,
+                tau * static_cast<double>(member.support))
+          << member.items.ToString();
+    }
+  }
+}
+
+// --- RunPatternFusion ------------------------------------------------------
+
+TEST(PatternFusionTest, ValidatesOptions) {
+  TransactionDatabase db = MakePaperFigure3();
+  std::vector<Pattern> pool = {MakePattern(db, Itemset({0}))};
+  PatternFusionOptions options;
+  options.min_support_count = 0;
+  EXPECT_FALSE(RunPatternFusion(db, pool, options).ok());
+  options.min_support_count = 100;
+  options.tau = 0.0;
+  EXPECT_FALSE(RunPatternFusion(db, pool, options).ok());
+  options.tau = 1.5;
+  EXPECT_FALSE(RunPatternFusion(db, pool, options).ok());
+  options.tau = 0.5;
+  options.k = 0;
+  EXPECT_FALSE(RunPatternFusion(db, pool, options).ok());
+  options.k = 10;
+  EXPECT_FALSE(RunPatternFusion(db, {}, options).ok());
+}
+
+TEST(PatternFusionTest, RejectsInfrequentPoolPatterns) {
+  TransactionDatabase db = MakePaperFigure3();
+  std::vector<Pattern> pool = {MakePattern(db, Itemset({0, 1, 2, 3, 4}))};
+  PatternFusionOptions options;
+  options.min_support_count = 200;  // abcef has support 100
+  StatusOr<PatternFusionResult> result = RunPatternFusion(db, pool, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PatternFusionTest, SmallPoolReturnsImmediately) {
+  TransactionDatabase db = MakePaperFigure3();
+  std::vector<Pattern> pool = {MakePattern(db, Itemset({0})),
+                               MakePattern(db, Itemset({1}))};
+  PatternFusionOptions options;
+  options.min_support_count = 100;
+  options.k = 10;
+  StatusOr<PatternFusionResult> result = RunPatternFusion(db, pool, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_TRUE(result->iterations.empty());
+  EXPECT_EQ(result->patterns.size(), 2u);
+}
+
+TEST(PatternFusionTest, RecoversAbcefFromFigure3) {
+  TransactionDatabase db = MakePaperFigure3();
+  StatusOr<std::vector<Pattern>> pool = BuildInitialPool(db, 100, 2);
+  ASSERT_TRUE(pool.ok());
+  // 5 frequent items + 10 frequent pairs.
+  EXPECT_EQ(pool->size(), 15u);
+
+  PatternFusionOptions options;
+  options.min_support_count = 100;
+  options.tau = 0.5;
+  options.k = 5;
+  options.seed = 11;
+  StatusOr<PatternFusionResult> result =
+      RunPatternFusion(db, *std::move(pool), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  bool found_abcef = false;
+  for (const Pattern& pattern : result->patterns) {
+    if (pattern.items == Itemset({0, 1, 2, 3, 4})) found_abcef = true;
+    // Everything returned must be frequent.
+    EXPECT_GE(pattern.support, 100);
+    EXPECT_EQ(pattern.support, db.Support(pattern.items));
+  }
+  EXPECT_TRUE(found_abcef);
+}
+
+TEST(PatternFusionTest, FindsColossalPatternInDiagPlus) {
+  LabeledDatabase labeled = MakeDiagPlus(40, 20);
+  StatusOr<std::vector<Pattern>> pool =
+      BuildInitialPool(labeled.db, labeled.min_support_count, 2);
+  ASSERT_TRUE(pool.ok());
+  // 40 diag items + C(40,2) diag pairs + 39 colossal items + C(39,2)
+  // colossal pairs = 40 + 780 + 39 + 741 = 1600.
+  EXPECT_EQ(pool->size(), 1600u);
+
+  PatternFusionOptions options;
+  options.min_support_count = labeled.min_support_count;
+  options.tau = 0.5;
+  options.k = 100;
+  options.seed = 7;
+  StatusOr<PatternFusionResult> result =
+      RunPatternFusion(labeled.db, *std::move(pool), options);
+  ASSERT_TRUE(result.ok());
+  bool found_colossal = false;
+  for (const Pattern& pattern : result->patterns) {
+    if (pattern.items == labeled.planted[0]) found_colossal = true;
+  }
+  EXPECT_TRUE(found_colossal);
+  // The largest pattern in the result must be the size-39 colossal one —
+  // mid-size diag fusions stop at size 20.
+  EXPECT_EQ(result->patterns[0].size(), 39);
+}
+
+TEST(PatternFusionTest, DiagFusionsReachExactlySupportBoundary) {
+  // On pure Diag_n (no colossal block), fused patterns grow until their
+  // support hits the threshold: size n/2 patterns with support n/2.
+  TransactionDatabase db = MakeDiag(20);
+  StatusOr<std::vector<Pattern>> pool = BuildInitialPool(db, 10, 2);
+  ASSERT_TRUE(pool.ok());
+  PatternFusionOptions options;
+  options.min_support_count = 10;
+  options.tau = 0.5;
+  options.k = 20;
+  options.seed = 13;
+  StatusOr<PatternFusionResult> result =
+      RunPatternFusion(db, *std::move(pool), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->patterns.empty());
+  for (const Pattern& pattern : result->patterns) {
+    EXPECT_GE(pattern.support, 10);
+    EXPECT_LE(pattern.size(), 10);
+  }
+  // The fusion should push most survivors to the frontier size n/2.
+  EXPECT_EQ(result->patterns[0].size(), 10);
+}
+
+TEST(PatternFusionTest, Lemma5MinSizeNeverDecreases) {
+  LabeledDatabase labeled = MakeDiagPlus(20, 10);
+  StatusOr<std::vector<Pattern>> pool =
+      BuildInitialPool(labeled.db, labeled.min_support_count, 1);
+  ASSERT_TRUE(pool.ok());
+  PatternFusionOptions options;
+  options.min_support_count = labeled.min_support_count;
+  options.k = 5;  // small K forces several iterations
+  options.seed = 23;
+  StatusOr<PatternFusionResult> result =
+      RunPatternFusion(labeled.db, *std::move(pool), options);
+  ASSERT_TRUE(result.ok());
+  int previous = 1;
+  for (const FusionIterationStats& stats : result->iterations) {
+    EXPECT_GE(stats.min_pattern_size, previous);
+    previous = stats.min_pattern_size;
+  }
+}
+
+TEST(PatternFusionTest, DeterministicForFixedSeed) {
+  LabeledDatabase labeled = MakeDiagPlus(20, 10);
+  StatusOr<std::vector<Pattern>> pool_a =
+      BuildInitialPool(labeled.db, labeled.min_support_count, 2);
+  StatusOr<std::vector<Pattern>> pool_b =
+      BuildInitialPool(labeled.db, labeled.min_support_count, 2);
+  ASSERT_TRUE(pool_a.ok());
+  PatternFusionOptions options;
+  options.min_support_count = labeled.min_support_count;
+  options.k = 30;
+  options.seed = 99;
+  StatusOr<PatternFusionResult> a =
+      RunPatternFusion(labeled.db, *std::move(pool_a), options);
+  StatusOr<PatternFusionResult> b =
+      RunPatternFusion(labeled.db, *std::move(pool_b), options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->patterns.size(), b->patterns.size());
+  for (size_t i = 0; i < a->patterns.size(); ++i) {
+    EXPECT_EQ(a->patterns[i].items, b->patterns[i].items);
+  }
+  // A different seed should explore differently (not guaranteed in
+  // theory, overwhelmingly likely here).
+  options.seed = 100;
+  StatusOr<std::vector<Pattern>> pool_c =
+      BuildInitialPool(labeled.db, labeled.min_support_count, 2);
+  StatusOr<PatternFusionResult> c =
+      RunPatternFusion(labeled.db, *std::move(pool_c), options);
+  ASSERT_TRUE(c.ok());
+  bool any_difference = a->patterns.size() != c->patterns.size();
+  if (!any_difference) {
+    for (size_t i = 0; i < a->patterns.size(); ++i) {
+      if (!(a->patterns[i].items == c->patterns[i].items)) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(PatternFusionTest, AllReturnedPatternsAreFrequentAndConsistent) {
+  LabeledDatabase labeled = MakeProgramTraceLike(1);
+  StatusOr<std::vector<Pattern>> pool =
+      BuildInitialPool(labeled.db, labeled.min_support_count, 2);
+  ASSERT_TRUE(pool.ok());
+  PatternFusionOptions options;
+  options.min_support_count = labeled.min_support_count;
+  options.tau = 0.25;
+  options.k = 40;
+  options.seed = 3;
+  StatusOr<PatternFusionResult> result =
+      RunPatternFusion(labeled.db, *std::move(pool), options);
+  ASSERT_TRUE(result.ok());
+  for (const Pattern& pattern : result->patterns) {
+    EXPECT_GE(pattern.support, labeled.min_support_count);
+    EXPECT_EQ(pattern.support, labeled.db.Support(pattern.items));
+    EXPECT_EQ(pattern.support_set.Count(), pattern.support);
+  }
+}
+
+TEST(BuildInitialPoolTest, AprioriAndEclatPoolsAreIdentical) {
+  LabeledDatabase labeled = MakeDiagPlus(16, 8);
+  StatusOr<std::vector<Pattern>> apriori = BuildInitialPool(
+      labeled.db, labeled.min_support_count, 3, PoolMiner::kApriori);
+  StatusOr<std::vector<Pattern>> eclat = BuildInitialPool(
+      labeled.db, labeled.min_support_count, 3, PoolMiner::kEclat);
+  ASSERT_TRUE(apriori.ok());
+  ASSERT_TRUE(eclat.ok());
+  auto key = [](const Pattern& pattern) { return pattern.items; };
+  std::vector<Itemset> a;
+  std::vector<Itemset> b;
+  for (const Pattern& pattern : *apriori) a.push_back(key(pattern));
+  for (const Pattern& pattern : *eclat) b.push_back(key(pattern));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(BuildInitialPoolTest, FailsWhenNothingIsFrequent) {
+  TransactionDatabase db = MakeDiag(6);
+  StatusOr<std::vector<Pattern>> pool = BuildInitialPool(db, 6, 2);
+  EXPECT_FALSE(pool.ok());
+  EXPECT_EQ(pool.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BuildInitialPoolTest, RejectsBadBound) {
+  TransactionDatabase db = MakeDiag(6);
+  EXPECT_FALSE(BuildInitialPool(db, 3, 0).ok());
+}
+
+}  // namespace
+}  // namespace colossal

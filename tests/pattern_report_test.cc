@@ -1,0 +1,66 @@
+#include "core/pattern_report.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace colossal {
+namespace {
+
+TEST(SizeHistogramTest, CountsBySizeAboveThreshold) {
+  const std::vector<Itemset> patterns = {
+      Itemset({1}), Itemset({1, 2}), Itemset({3, 4}), Itemset({1, 2, 3})};
+  auto histogram = SizeHistogram(patterns, 1);
+  EXPECT_EQ(histogram.size(), 2u);
+  EXPECT_EQ(histogram[2], 2);
+  EXPECT_EQ(histogram[3], 1);
+  EXPECT_EQ(histogram.count(1), 0u);
+  // Iteration order is largest-first.
+  EXPECT_EQ(histogram.begin()->first, 3);
+}
+
+TEST(SizeHistogramTest, PatternOverloadMatches) {
+  TransactionDatabase db = MakePaperFigure3();
+  std::vector<Pattern> patterns = {MakePattern(db, Itemset({0, 1})),
+                                   MakePattern(db, Itemset({0, 1, 3}))};
+  auto histogram = SizeHistogram(patterns, 0);
+  EXPECT_EQ(histogram[2], 1);
+  EXPECT_EQ(histogram[3], 1);
+}
+
+TEST(ScoreRecoveryTest, ExactAndCoveredCounts) {
+  const std::vector<Itemset> reference = {Itemset({1, 2}), Itemset({3, 4}),
+                                          Itemset({5, 6})};
+  const std::vector<Itemset> mined = {
+      Itemset({1, 2}),        // exact hit on reference[0]
+      Itemset({3, 4, 7}),     // covers reference[1] as a superset
+  };
+  RecoveryReport report = ScoreRecovery(mined, reference);
+  EXPECT_EQ(report.exact, 1);
+  EXPECT_EQ(report.covered, 2);
+  EXPECT_EQ(report.total, 3);
+  ASSERT_EQ(report.exact_indices.size(), 1u);
+  EXPECT_EQ(report.exact_indices[0], 0);
+  EXPECT_EQ(RecoveryToString(report), "1/3 exact, 2/3 covered");
+}
+
+TEST(ScoreRecoveryTest, EmptySetsBehave) {
+  RecoveryReport nothing_mined = ScoreRecovery({}, {Itemset({1})});
+  EXPECT_EQ(nothing_mined.exact, 0);
+  EXPECT_EQ(nothing_mined.covered, 0);
+  RecoveryReport nothing_to_find = ScoreRecovery({Itemset({1})}, {});
+  EXPECT_EQ(nothing_to_find.total, 0);
+}
+
+TEST(ItemsetsOfTest, ExtractsInOrder) {
+  TransactionDatabase db = MakePaperFigure3();
+  std::vector<Pattern> patterns = {MakePattern(db, Itemset({1})),
+                                   MakePattern(db, Itemset({0}))};
+  std::vector<Itemset> itemsets = ItemsetsOf(patterns);
+  ASSERT_EQ(itemsets.size(), 2u);
+  EXPECT_EQ(itemsets[0], Itemset({1}));
+  EXPECT_EQ(itemsets[1], Itemset({0}));
+}
+
+}  // namespace
+}  // namespace colossal

@@ -1,0 +1,78 @@
+#include "mining/result_io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace colossal {
+namespace {
+
+TEST(ResultIoTest, RendersFimiOutputConvention) {
+  const std::vector<FrequentItemset> patterns = {
+      {Itemset({3, 17, 42}), 128},
+      {Itemset({5}), 7},
+  };
+  EXPECT_EQ(PatternsToString(patterns), "3 17 42 (128)\n5 (7)\n");
+}
+
+TEST(ResultIoTest, ParsesRoundTrip) {
+  const std::vector<FrequentItemset> patterns = {
+      {Itemset({0, 2, 9}), 55},
+      {Itemset({1}), 400},
+  };
+  StatusOr<std::vector<FrequentItemset>> parsed =
+      ParsePatterns(PatternsToString(patterns));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, patterns);
+}
+
+TEST(ResultIoTest, ToleratesBlankLinesAndCarriageReturns) {
+  StatusOr<std::vector<FrequentItemset>> parsed =
+      ParsePatterns("\n1 2 (10)\r\n\n3 (4)\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].support, 10);
+}
+
+TEST(ResultIoTest, NormalizesUnsortedItems) {
+  StatusOr<std::vector<FrequentItemset>> parsed = ParsePatterns("9 2 5 (3)\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)[0].items, Itemset({2, 5, 9}));
+}
+
+TEST(ResultIoTest, ErrorsCarryLineNumbers) {
+  StatusOr<std::vector<FrequentItemset>> missing_support =
+      ParsePatterns("1 2 (10)\n3 4\n");
+  ASSERT_FALSE(missing_support.ok());
+  EXPECT_NE(missing_support.status().message().find("line 2"),
+            std::string::npos);
+
+  EXPECT_FALSE(ParsePatterns("a b (3)\n").ok());
+  EXPECT_FALSE(ParsePatterns("(3)\n").ok());
+  EXPECT_FALSE(ParsePatterns("1 2 (x)\n").ok());
+}
+
+TEST(ResultIoTest, EmptyDocumentIsEmptyResult) {
+  StatusOr<std::vector<FrequentItemset>> parsed = ParsePatterns("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(ResultIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/colossal_result_io.txt";
+  const std::vector<FrequentItemset> patterns = {{Itemset({1, 2}), 3}};
+  ASSERT_TRUE(WritePatternsFile(patterns, path).ok());
+  StatusOr<std::vector<FrequentItemset>> reloaded = ReadPatternsFile(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(*reloaded, patterns);
+  std::remove(path.c_str());
+}
+
+TEST(ResultIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadPatternsFile("/no/such/file.txt").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace colossal

@@ -1,0 +1,150 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace colossal {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+  Rng c(8);
+  bool any_difference = false;
+  Rng a2(7);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.NextUint64() != c.NextUint64()) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t value = rng.UniformInt(-5, 9);
+    EXPECT_GE(value, -5);
+    EXPECT_LE(value, 9);
+  }
+  EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnit) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.UniformDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-1.0));
+    EXPECT_TRUE(rng.Bernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(17);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(19);
+  std::vector<int> values(50);
+  for (int i = 0; i < 50; ++i) values[static_cast<size_t>(i)] = i;
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, values);
+}
+
+TEST(RngTest, WeightedIndexRespectsZeroWeights) {
+  Rng rng(23);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.WeightedIndex(weights), 1);
+  }
+}
+
+TEST(RngTest, WeightedIndexRoughlyProportional) {
+  Rng rng(29);
+  const std::vector<double> weights = {1.0, 3.0};
+  int heavy = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.WeightedIndex(weights) == 1) ++heavy;
+  }
+  EXPECT_NEAR(static_cast<double>(heavy) / trials, 0.75, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<int64_t> sample = rng.SampleWithoutReplacement(20, 8);
+    EXPECT_EQ(sample.size(), 8u);
+    std::set<int64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (int64_t value : sample) {
+      EXPECT_GE(value, 0);
+      EXPECT_LT(value, 20);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullPopulation) {
+  Rng rng(37);
+  const std::vector<int64_t> sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(5, 0).empty());
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUnbiasedish) {
+  // Every element of a population of 10 should be picked ≈ uniformly
+  // when sampling 3 of 10 many times.
+  Rng rng(41);
+  std::vector<int> counts(10, 0);
+  const int trials = 30000;
+  for (int t = 0; t < trials; ++t) {
+    for (int64_t index : rng.SampleWithoutReplacement(10, 3)) {
+      ++counts[static_cast<size_t>(index)];
+    }
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace colossal

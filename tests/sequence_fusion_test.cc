@@ -1,0 +1,124 @@
+#include "seqext/sequence_fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "seqext/sequence_generators.h"
+#include "seqext/sequence_miner.h"
+
+namespace colossal {
+namespace {
+
+std::vector<SequencePattern> PoolOrDie(const SequenceDatabase& db,
+                                       int64_t min_support, int max_length) {
+  SequenceMinerOptions options;
+  options.min_support_count = min_support;
+  options.max_pattern_length = max_length;
+  StatusOr<SequenceMiningResult> result = MineFrequentSequences(db, options);
+  EXPECT_TRUE(result.ok());
+  EXPECT_FALSE(result->budget_exceeded);
+  return result->patterns;
+}
+
+TEST(SequenceFusionTest, ValidatesOptions) {
+  StatusOr<SequenceDatabase> db =
+      SequenceDatabase::FromSequences({Sequence({1, 2})});
+  ASSERT_TRUE(db.ok());
+  std::vector<SequencePattern> pool = PoolOrDie(*db, 1, 1);
+  SequenceFusionOptions options;
+  options.min_support_count = 0;
+  EXPECT_FALSE(RunSequenceFusion(*db, pool, options).ok());
+  options.min_support_count = 1;
+  options.tau = 2.0;
+  EXPECT_FALSE(RunSequenceFusion(*db, pool, options).ok());
+  options.tau = 0.5;
+  options.k = 0;
+  EXPECT_FALSE(RunSequenceFusion(*db, pool, options).ok());
+  options.k = 5;
+  EXPECT_FALSE(RunSequenceFusion(*db, {}, options).ok());
+}
+
+TEST(SequenceFusionTest, RecoversPlantedColossalSubsequences) {
+  SequenceScenarioOptions scenario;
+  scenario.num_sequences = 150;
+  scenario.planted_lengths = {28, 20};
+  scenario.noise_insertions = 12;
+  scenario.seed = 7;
+  LabeledSequenceDatabase labeled = MakePlantedSequenceDatabase(scenario);
+
+  std::vector<SequencePattern> pool =
+      PoolOrDie(labeled.db, labeled.min_support_count, 2);
+  ASSERT_GT(pool.size(), 10u);
+
+  SequenceFusionOptions options;
+  options.min_support_count = labeled.min_support_count;
+  options.tau = 0.5;
+  options.k = 30;
+  options.seed = 3;
+  StatusOr<SequenceFusionResult> result =
+      RunSequenceFusion(labeled.db, std::move(pool), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->patterns.empty());
+
+  // Every planted colossal subsequence must be recovered: either exactly
+  // or as a subsequence of a returned (noisier) super-pattern.
+  for (const Sequence& planted : labeled.planted) {
+    bool covered = false;
+    for (const SequencePattern& pattern : result->patterns) {
+      if (planted.IsSubsequenceOf(pattern.sequence)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << planted.ToString();
+  }
+  // The longest returned pattern should be colossal-scale (≥ the longest
+  // planted pattern; noise can extend it slightly).
+  EXPECT_GE(result->patterns[0].size(), 28);
+  // Everything returned must be genuinely frequent.
+  for (const SequencePattern& pattern : result->patterns) {
+    EXPECT_GE(pattern.support, labeled.min_support_count);
+    EXPECT_EQ(pattern.support, labeled.db.Support(pattern.sequence));
+  }
+}
+
+TEST(SequenceFusionTest, DeterministicForFixedSeed) {
+  SequenceScenarioOptions scenario;
+  scenario.num_sequences = 90;
+  scenario.planted_lengths = {15, 12};
+  scenario.seed = 21;
+  LabeledSequenceDatabase labeled = MakePlantedSequenceDatabase(scenario);
+
+  SequenceFusionOptions options;
+  options.min_support_count = labeled.min_support_count;
+  options.k = 10;
+  options.seed = 77;
+  StatusOr<SequenceFusionResult> a = RunSequenceFusion(
+      labeled.db, PoolOrDie(labeled.db, labeled.min_support_count, 2),
+      options);
+  StatusOr<SequenceFusionResult> b = RunSequenceFusion(
+      labeled.db, PoolOrDie(labeled.db, labeled.min_support_count, 2),
+      options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->patterns.size(), b->patterns.size());
+  for (size_t i = 0; i < a->patterns.size(); ++i) {
+    EXPECT_EQ(a->patterns[i].sequence, b->patterns[i].sequence);
+  }
+}
+
+TEST(SequenceFusionTest, SmallPoolConvergesImmediately) {
+  StatusOr<SequenceDatabase> db = SequenceDatabase::FromSequences(
+      {Sequence({1, 2, 3}), Sequence({1, 2, 3})});
+  ASSERT_TRUE(db.ok());
+  SequenceFusionOptions options;
+  options.min_support_count = 2;
+  options.k = 50;
+  StatusOr<SequenceFusionResult> result =
+      RunSequenceFusion(*db, PoolOrDie(*db, 2, 2), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_EQ(result->iterations, 0);
+}
+
+}  // namespace
+}  // namespace colossal

@@ -1,0 +1,59 @@
+#include "common/table_printer.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace colossal {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"n", "seconds"});
+  table.AddRow({"5", "0.001"});
+  table.AddRow({"4000", "12.5"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  // Header present, separator rule present, widths accommodate the
+  // longest cell.
+  EXPECT_NE(text.find("   n  seconds"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_NE(text.find("4000     12.5"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  std::ostringstream out;
+  table.PrintCsv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TablePrinterTest, FormatDouble) {
+  EXPECT_EQ(TablePrinter::FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::FormatDouble(1.0, 4), "1.0000");
+  EXPECT_EQ(TablePrinter::FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinterTest, FormatSecondsUsesMorePrecisionForTinyTimes) {
+  EXPECT_EQ(TablePrinter::FormatSeconds(0.0000213), "0.00002");
+  EXPECT_EQ(TablePrinter::FormatSeconds(1.5), "1.500");
+}
+
+TEST(TablePrinterTest, EmptyTableStillPrintsHeader) {
+  TablePrinter table({"only"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, MismatchedRowAborts) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"1"}), "row has 1 cells");
+}
+
+}  // namespace
+}  // namespace colossal

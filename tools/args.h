@@ -1,0 +1,95 @@
+#ifndef COLOSSAL_TOOLS_ARGS_H_
+#define COLOSSAL_TOOLS_ARGS_H_
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace colossal {
+
+// Minimal --key value argument parser for the CLI. Every flag takes
+// exactly one value; unknown flags are rejected by the subcommand via
+// CheckKnown so typos fail loudly instead of silently using defaults.
+class Args {
+ public:
+  // Parses argv[first..argc). Expects alternating "--flag value" pairs.
+  static StatusOr<Args> Parse(int argc, const char* const* argv, int first) {
+    Args args;
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || key.size() <= 2) {
+        return Status::InvalidArgument("expected --flag, got '" + key + "'");
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag " + key + " needs a value");
+      }
+      args.values_[key.substr(2)] = argv[++i];
+    }
+    return args;
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  // Integer flag. Returns an error Status on a non-numeric value rather
+  // than throwing (the CLI is exception-free like the library).
+  StatusOr<int64_t> GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0' || errno != 0) {
+      return Status::InvalidArgument("flag --" + key +
+                                     " expects an integer, got '" +
+                                     it->second + "'");
+    }
+    return static_cast<int64_t>(value);
+  }
+
+  StatusOr<double> GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0' || errno != 0) {
+      return Status::InvalidArgument("flag --" + key +
+                                     " expects a number, got '" +
+                                     it->second + "'");
+    }
+    return value;
+  }
+
+  // Rejects any flag not in `known` (typo protection).
+  Status CheckKnown(const std::vector<std::string>& known) const {
+    for (const auto& [key, value] : values_) {
+      bool ok = false;
+      for (const std::string& candidate : known) {
+        if (key == candidate) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) return Status::InvalidArgument("unknown flag --" + key);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_TOOLS_ARGS_H_

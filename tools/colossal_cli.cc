@@ -1,0 +1,260 @@
+// colossal_cli — command-line front end to the library.
+//
+// Subcommands:
+//   generate  --dataset diag|diagplus|fig3|trace|microarray --out FILE
+//             [--n N] [--extra R] [--seed S]
+//       Writes a synthetic dataset in FIMI format.
+//   stats     --in FILE [--format fimi|matrix]
+//       Prints summary statistics of a dataset.
+//   mine      --in FILE --algo pf|apriori|eclat|fpgrowth|closed|maximal|topk
+//             (--sigma F | --min-support N) [--format fimi|matrix]
+//             [--out FILE] [--tau F] [--k N] [--pool-size N] [--seed S]
+//             [--max-size N] [--budget N] [--min-length N]
+//       Mines FILE and prints (or writes) the result in FIMI output
+//       format: "item item ... (support)".
+//   evaluate  --mined FILE --reference FILE [--min-size N]
+//       Computes the paper's approximation error Δ(A_P^Q) of the mined
+//       set against a reference set (both in FIMI output format).
+//
+// Examples:
+//   colossal_cli generate --dataset diagplus --n 40 --extra 20 --out d.fimi
+//   colossal_cli mine --in d.fimi --algo pf --min-support 20 --k 100
+//   colossal_cli mine --in d.fimi --algo closed --min-support 20 --out q.txt
+//   colossal_cli evaluate --mined p.txt --reference q.txt --min-size 20
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/colossal_miner.h"
+#include "core/evaluation.h"
+#include "data/dataset_io.h"
+#include "data/dataset_stats.h"
+#include "data/generators.h"
+#include "data/matrix_io.h"
+#include "mining/apriori.h"
+#include "mining/closed_miner.h"
+#include "mining/eclat.h"
+#include "mining/fpgrowth.h"
+#include "mining/maximal_miner.h"
+#include "mining/result_io.h"
+#include "mining/topk_miner.h"
+#include "tools/args.h"
+
+namespace colossal {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Unwraps a StatusOr flag value or returns from the caller with exit
+// code 1. Usage: ASSIGN_OR_FAIL(const int64_t n, args.GetInt("n", 40));
+#define COLOSSAL_CONCAT_INNER(a, b) a##b
+#define COLOSSAL_CONCAT(a, b) COLOSSAL_CONCAT_INNER(a, b)
+#define ASSIGN_OR_FAIL(declaration, expression)                     \
+  auto COLOSSAL_CONCAT(maybe_, __LINE__) = (expression);            \
+  if (!COLOSSAL_CONCAT(maybe_, __LINE__).ok()) {                    \
+    return Fail(COLOSSAL_CONCAT(maybe_, __LINE__).status());        \
+  }                                                                 \
+  declaration = std::move(COLOSSAL_CONCAT(maybe_, __LINE__)).value()
+
+int RunGenerate(const Args& args) {
+  Status known = args.CheckKnown({"dataset", "out", "n", "extra", "seed"});
+  if (!known.ok()) return Fail(known);
+  const std::string dataset = args.GetString("dataset");
+  const std::string out = args.GetString("out");
+  if (out.empty()) {
+    return Fail(Status::InvalidArgument("generate requires --out"));
+  }
+  ASSIGN_OR_FAIL(const int64_t seed, args.GetInt("seed", 42));
+  ASSIGN_OR_FAIL(const int64_t n, args.GetInt("n", 40));
+  ASSIGN_OR_FAIL(const int64_t extra, args.GetInt("extra", 20));
+
+  TransactionDatabase db;
+  if (dataset == "diag") {
+    db = MakeDiag(static_cast<int>(n));
+  } else if (dataset == "diagplus") {
+    db = MakeDiagPlus(static_cast<int>(n), static_cast<int>(extra)).db;
+  } else if (dataset == "fig3") {
+    db = MakePaperFigure3();
+  } else if (dataset == "trace") {
+    db = MakeProgramTraceLike(static_cast<uint64_t>(seed)).db;
+  } else if (dataset == "microarray") {
+    db = MakeMicroarrayLike(static_cast<uint64_t>(seed)).db;
+  } else {
+    return Fail(Status::InvalidArgument(
+        "unknown --dataset '" + dataset +
+        "' (want diag|diagplus|fig3|trace|microarray)"));
+  }
+  Status written = WriteFimiFile(db, out);
+  if (!written.ok()) return Fail(written);
+  std::printf("wrote %lld transactions to %s\n",
+              static_cast<long long>(db.num_transactions()), out.c_str());
+  return 0;
+}
+
+// Loads --in honouring --format (fimi, the default, or matrix for
+// binary 0/1 matrices à la discretized microarrays).
+StatusOr<TransactionDatabase> LoadDatabase(const Args& args) {
+  const std::string format = args.GetString("format", "fimi");
+  const std::string path = args.GetString("in");
+  if (format == "fimi") return ReadFimiFile(path);
+  if (format == "matrix") return ReadBinaryMatrixFile(path);
+  return Status::InvalidArgument("unknown --format '" + format +
+                                 "' (want fimi|matrix)");
+}
+
+int RunStats(const Args& args) {
+  Status known = args.CheckKnown({"in", "format"});
+  if (!known.ok()) return Fail(known);
+  StatusOr<TransactionDatabase> db = LoadDatabase(args);
+  if (!db.ok()) return Fail(db.status());
+  std::printf("%s\n", StatsToString(ComputeStats(*db)).c_str());
+  return 0;
+}
+
+int EmitResult(const Args& args, const std::vector<FrequentItemset>& patterns,
+               bool budget_exceeded) {
+  if (budget_exceeded) {
+    std::fprintf(stderr,
+                 "warning: work budget exceeded; result is incomplete\n");
+  }
+  const std::string out = args.GetString("out");
+  if (out.empty()) {
+    std::fputs(PatternsToString(patterns).c_str(), stdout);
+  } else {
+    Status written = WritePatternsFile(patterns, out);
+    if (!written.ok()) return Fail(written);
+    std::printf("wrote %zu patterns to %s\n", patterns.size(), out.c_str());
+  }
+  return 0;
+}
+
+int RunMine(const Args& args) {
+  Status known = args.CheckKnown({"in", "algo", "sigma", "min-support", "out",
+                                  "tau", "k", "pool-size", "seed", "max-size",
+                                  "budget", "min-length", "format"});
+  if (!known.ok()) return Fail(known);
+  StatusOr<TransactionDatabase> db = LoadDatabase(args);
+  if (!db.ok()) return Fail(db.status());
+
+  ASSIGN_OR_FAIL(int64_t min_support, args.GetInt("min-support", 0));
+  if (args.Has("sigma")) {
+    ASSIGN_OR_FAIL(const double sigma, args.GetDouble("sigma", 0.0));
+    if (sigma < 0.0 || sigma > 1.0) {
+      return Fail(Status::InvalidArgument("--sigma must be in [0, 1]"));
+    }
+    min_support = db->MinSupportCount(sigma);
+  }
+  if (min_support < 1) {
+    return Fail(Status::InvalidArgument(
+        "need --min-support N or --sigma F yielding a count >= 1"));
+  }
+
+  ASSIGN_OR_FAIL(const int64_t k, args.GetInt("k", 100));
+  ASSIGN_OR_FAIL(const int64_t budget, args.GetInt("budget", 0));
+  ASSIGN_OR_FAIL(const int64_t max_size, args.GetInt("max-size", 0));
+
+  const std::string algo = args.GetString("algo");
+  if (algo == "pf") {
+    ASSIGN_OR_FAIL(const double tau, args.GetDouble("tau", 0.5));
+    ASSIGN_OR_FAIL(const int64_t pool_size, args.GetInt("pool-size", 3));
+    ASSIGN_OR_FAIL(const int64_t seed, args.GetInt("seed", 1));
+    ColossalMinerOptions options;
+    options.min_support_count = min_support;
+    options.tau = tau;
+    options.k = static_cast<int>(k);
+    options.initial_pool_max_size = static_cast<int>(pool_size);
+    options.seed = static_cast<uint64_t>(seed);
+    StatusOr<ColossalMiningResult> result = MineColossal(*db, options);
+    if (!result.ok()) return Fail(result.status());
+    std::fprintf(stderr,
+                 "pattern-fusion: pool %lld, %d iteration(s), %zu patterns\n",
+                 static_cast<long long>(result->initial_pool_size),
+                 result->iterations, result->patterns.size());
+    return EmitResult(args, ToFrequentItemsets(result->patterns), false);
+  }
+  if (algo == "topk") {
+    ASSIGN_OR_FAIL(const int64_t min_length, args.GetInt("min-length", 1));
+    TopKOptions options;
+    options.k = static_cast<int>(k);
+    options.min_pattern_size = static_cast<int>(min_length);
+    options.min_support_count = min_support;
+    options.max_nodes = budget;
+    StatusOr<MiningResult> result = MineTopKClosed(*db, options);
+    if (!result.ok()) return Fail(result.status());
+    return EmitResult(args, result->patterns, result->stats.budget_exceeded);
+  }
+
+  MinerOptions options;
+  options.min_support_count = min_support;
+  options.max_pattern_size = static_cast<int>(max_size);
+  options.max_nodes = budget;
+  StatusOr<MiningResult> result = [&]() -> StatusOr<MiningResult> {
+    if (algo == "apriori") return MineApriori(*db, options);
+    if (algo == "eclat") return MineEclat(*db, options);
+    if (algo == "fpgrowth") return MineFpGrowth(*db, options);
+    if (algo == "closed") return MineClosed(*db, options);
+    if (algo == "maximal") return MineMaximal(*db, options);
+    return Status::InvalidArgument(
+        "unknown --algo '" + algo +
+        "' (want pf|apriori|eclat|fpgrowth|closed|maximal|topk)");
+  }();
+  if (!result.ok()) return Fail(result.status());
+  SortPatterns(&result->patterns);
+  return EmitResult(args, result->patterns, result->stats.budget_exceeded);
+}
+
+int RunEvaluate(const Args& args) {
+  Status known = args.CheckKnown({"mined", "reference", "min-size"});
+  if (!known.ok()) return Fail(known);
+  StatusOr<std::vector<FrequentItemset>> mined =
+      ReadPatternsFile(args.GetString("mined"));
+  if (!mined.ok()) return Fail(mined.status());
+  StatusOr<std::vector<FrequentItemset>> reference =
+      ReadPatternsFile(args.GetString("reference"));
+  if (!reference.ok()) return Fail(reference.status());
+  ASSIGN_OR_FAIL(const int64_t min_size, args.GetInt("min-size", 0));
+
+  std::vector<Itemset> p;
+  for (const FrequentItemset& pattern : *mined) {
+    if (pattern.items.size() >= min_size) p.push_back(pattern.items);
+  }
+  std::vector<Itemset> q;
+  for (const FrequentItemset& pattern : *reference) {
+    if (pattern.items.size() >= min_size) q.push_back(pattern.items);
+  }
+  if (p.empty()) {
+    return Fail(Status::InvalidArgument(
+        "mined set is empty after the --min-size filter"));
+  }
+  const ApproximationReport report = EvaluateApproximation(p, q);
+  std::printf("mined=%zu reference=%zu approximation_error=%.6f\n", p.size(),
+              q.size(), report.error);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s generate|stats|mine|evaluate [--flag value]...\n"
+                 "see the header of tools/colossal_cli.cc for details\n",
+                 argv[0]);
+    return 1;
+  }
+  const std::string command = argv[1];
+  StatusOr<Args> args = Args::Parse(argc, argv, 2);
+  if (!args.ok()) return Fail(args.status());
+  if (command == "generate") return RunGenerate(*args);
+  if (command == "stats") return RunStats(*args);
+  if (command == "mine") return RunMine(*args);
+  if (command == "evaluate") return RunEvaluate(*args);
+  return Fail(Status::InvalidArgument("unknown command '" + command + "'"));
+}
+
+}  // namespace
+}  // namespace colossal
+
+int main(int argc, char** argv) { return colossal::Main(argc, argv); }
