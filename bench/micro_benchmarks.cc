@@ -9,6 +9,7 @@
 
 #include "common/bitvector.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/pattern.h"
 #include "core/pattern_distance.h"
 #include "core/pattern_fusion.h"
@@ -140,6 +141,82 @@ void BM_ClosedMicroarray(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClosedMicroarray);
+
+// --- Thread scaling ---------------------------------------------------------
+// The fig10-style workload (microarray stand-in, pool bound 2, τ = 0.5,
+// K = 100) at 1/2/4/N threads. Results are recorded in BENCH_threads.json;
+// run with --benchmark_filter=ThreadScaling to refresh them. Output is
+// bit-identical across thread counts, so these measure pure speedup.
+
+void ThreadArgs(benchmark::internal::Benchmark* bench) {
+  const int hardware = ResolveNumThreads(0);
+  for (int threads : {1, 2, 4}) bench->Arg(threads);
+  if (hardware != 1 && hardware != 2 && hardware != 4) bench->Arg(hardware);
+}
+
+// K ball queries sharded across the pool of workers — the per-iteration
+// scan the fusion engine parallelizes.
+void BM_ThreadScalingBallQueries(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  LabeledDatabase labeled = MakeMicroarrayLike(1);
+  StatusOr<std::vector<Pattern>> pool =
+      BuildInitialPool(labeled.db, 30, 2, PoolMiner::kApriori, 1);
+  if (!pool.ok() || pool->empty()) {
+    state.SkipWithError("initial pool unavailable");
+    return;
+  }
+  const double radius = BallRadius(0.5);
+  constexpr int64_t kCenters = 100;  // K in the fig10 configuration
+  const int64_t pool_size = static_cast<int64_t>(pool->size());
+  ThreadPool workers(threads);
+  for (auto _ : state) {
+    auto balls = ParallelMap(&workers, kCenters, [&](int64_t i) {
+      return BallQuery(*pool, (*pool)[static_cast<size_t>(i % pool_size)],
+                       radius);
+    });
+    benchmark::DoNotOptimize(balls);
+  }
+  state.SetItemsProcessed(state.iterations() * kCenters *
+                          static_cast<int64_t>(pool->size()));
+}
+BENCHMARK(BM_ThreadScalingBallQueries)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+// One full fusion iteration (seed draws + ball queries + fusions +
+// retention) through the engine itself.
+void BM_ThreadScalingFusionIteration(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  LabeledDatabase labeled = MakeMicroarrayLike(1);
+  StatusOr<std::vector<Pattern>> pool =
+      BuildInitialPool(labeled.db, 30, 2, PoolMiner::kApriori, 1);
+  if (!pool.ok() || pool->empty()) {
+    state.SkipWithError("initial pool unavailable");
+    return;
+  }
+  PatternFusionOptions options;
+  options.min_support_count = 30;
+  options.tau = 0.5;
+  options.k = 100;
+  options.max_iterations = 1;
+  options.num_threads = threads;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunPatternFusion(labeled.db, *pool, options));
+  }
+}
+BENCHMARK(BM_ThreadScalingFusionIteration)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
+
+// Initial-pool mining (Apriori level counting sharded by join row).
+void BM_ThreadScalingPoolBuild(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  LabeledDatabase labeled = MakeMicroarrayLike(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildInitialPool(labeled.db, 30, 2, PoolMiner::kApriori, threads));
+  }
+}
+BENCHMARK(BM_ThreadScalingPoolBuild)->Apply(ThreadArgs)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace colossal

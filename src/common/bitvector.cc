@@ -54,6 +54,17 @@ int64_t Bitvector::Count() const {
   return total;
 }
 
+bool Bitvector::None() const {
+  for (uint64_t word : words_) {
+    if (word != 0) return false;
+  }
+  return true;
+}
+
+bool Bitvector::AndNone(const Bitvector& a, const Bitvector& b) {
+  return !Intersects(a, b);
+}
+
 void Bitvector::AndWith(const Bitvector& other) {
   COLOSSAL_CHECK(num_bits_ == other.num_bits_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];

@@ -36,7 +36,11 @@ class Bitvector {
 
   // Number of set bits.
   int64_t Count() const;
-  bool None() const { return Count() == 0; }
+
+  // True iff no bit is set. Early-exits on the first nonzero word, so
+  // it is O(1) on typical nonempty support sets (vs. Count()'s full
+  // popcount scan).
+  bool None() const;
 
   // In-place algebra; both operands must have equal size_bits().
   void AndWith(const Bitvector& other);
@@ -50,6 +54,11 @@ class Bitvector {
   // |a ∩ b| / |a ∪ b| popcounts without materializing the result.
   static int64_t AndCount(const Bitvector& a, const Bitvector& b);
   static int64_t OrCount(const Bitvector& a, const Bitvector& b);
+
+  // True iff a ∩ b is empty (the negation of Intersects, named for
+  // pruning call sites): rejects disjoint support sets without
+  // materializing — or even fully popcounting — the intersection.
+  static bool AndNone(const Bitvector& a, const Bitvector& b);
 
   // True iff every set bit of *this is set in `other`.
   bool IsSubsetOf(const Bitvector& other) const;

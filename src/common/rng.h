@@ -87,6 +87,19 @@ class Rng {
     return chosen;
   }
 
+  // Derives an independent stream seed from a base seed and a stream
+  // index (SplitMix64 finalizer over a golden-ratio offset). The fusion
+  // engine seeds one Rng per (iteration, seed-slot) with nested MixSeed
+  // calls, so per-seed randomness depends only on the slot index — never
+  // on which thread runs the slot — keeping multi-threaded runs
+  // bit-identical to serial ones.
+  static uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+    uint64_t z = seed ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

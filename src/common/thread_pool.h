@@ -1,0 +1,98 @@
+#ifndef COLOSSAL_COMMON_THREAD_POOL_H_
+#define COLOSSAL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace colossal {
+
+// Parallel-execution subsystem. Everything concurrent in the library —
+// the fusion engine's per-seed work, Apriori level counting, Eclat
+// branch exploration — runs through the ThreadPool below, and every
+// caller is written so that results are bit-identical for any thread
+// count (work is indexed by a deterministic slot; per-slot RNG streams
+// are derived from the slot index, never from scheduling order).
+
+// Resolves the user-facing thread-count knob used by every options
+// struct: n >= 1 means exactly n threads, 0 (the default) means
+// hardware_concurrency (at least 1).
+int ResolveNumThreads(int num_threads);
+
+// Thread-count policy: how every engine turns its options' raw
+// `num_threads` knob into a worker count. The default asks for one
+// worker per hardware thread.
+struct ParallelPolicy {
+  // 0 = auto-detect (hardware_concurrency); n >= 1 = exactly n.
+  int num_threads = 0;
+
+  int ResolvedThreads() const { return ResolveNumThreads(num_threads); }
+};
+
+// A fixed-size pool of worker threads consuming a FIFO task queue.
+// Construction spawns the workers; destruction stops accepting work,
+// drains tasks already queued, and joins. Not reentrant: calling
+// ParallelFor from inside a pool task deadlocks.
+class ThreadPool {
+ public:
+  // Spawns ResolveNumThreads(num_threads) workers.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues one task. Tasks must not throw out of the pool — use
+  // ParallelFor for work that can fail.
+  void Submit(std::function<void()> task);
+
+  // Runs body(i) for every i in [0, n), distributed dynamically across
+  // the workers, and blocks until all n calls returned. If any call
+  // throws, remaining indices are abandoned and the first captured
+  // exception is rethrown on the calling thread. With one worker (or
+  // n <= 1) the loop runs inline on the caller.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+// Helper that tolerates a null pool (runs inline): the serial fallback
+// every call site uses when threading is disabled or unprofitable.
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t)>& body);
+
+// results[i] = fn(i) for i in [0, n), computed in parallel. The output
+// order is the index order regardless of scheduling, which is what keeps
+// the fusion engine deterministic under any thread count.
+template <typename Fn>
+auto ParallelMap(ThreadPool* pool, int64_t n, Fn&& fn)
+    -> std::vector<decltype(fn(int64_t{0}))> {
+  // vector<bool> packs bits, so concurrent writes to adjacent slots
+  // would race on shared bytes; return char/int instead.
+  static_assert(!std::is_same_v<decltype(fn(int64_t{0})), bool>,
+                "ParallelMap cannot return bool (vector<bool> slots are "
+                "not independently writable across threads)");
+  std::vector<decltype(fn(int64_t{0}))> results(static_cast<size_t>(n));
+  ParallelFor(pool, n,
+              [&](int64_t i) { results[static_cast<size_t>(i)] = fn(i); });
+  return results;
+}
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_COMMON_THREAD_POOL_H_

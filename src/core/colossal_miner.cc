@@ -17,7 +17,7 @@ StatusOr<ColossalMiningResult> MineColossal(
 
   StatusOr<std::vector<Pattern>> pool =
       BuildInitialPool(db, min_support_count, options.initial_pool_max_size,
-                       options.pool_miner);
+                       options.pool_miner, options.num_threads);
   if (!pool.ok()) return pool.status();
 
   PatternFusionOptions fusion_options;
@@ -29,6 +29,7 @@ StatusOr<ColossalMiningResult> MineColossal(
   fusion_options.max_superpatterns_per_seed =
       options.max_superpatterns_per_seed;
   fusion_options.seed = options.seed;
+  fusion_options.num_threads = options.num_threads;
 
   ColossalMiningResult result;
   result.initial_pool_size = static_cast<int64_t>(pool->size());

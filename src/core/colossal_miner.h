@@ -42,6 +42,11 @@ struct ColossalMinerOptions {
   int fusion_attempts_per_seed = 2;
   int max_superpatterns_per_seed = 2;
   uint64_t seed = 1;
+
+  // Worker threads for both phases — initial-pool mining and the fusion
+  // engine's per-seed work. 0 = auto (hardware_concurrency). Mining
+  // output is bit-identical for any value (see PatternFusionOptions).
+  int num_threads = 0;
 };
 
 struct ColossalMiningResult {

@@ -23,7 +23,20 @@ double BallRadius(double tau) {
 std::vector<int64_t> BallQuery(const std::vector<Pattern>& pool,
                                const Pattern& center, double radius) {
   std::vector<int64_t> members;
+  const bool keep_disjoint = 1.0 <= radius + kBallEpsilon;
   for (size_t i = 0; i < pool.size(); ++i) {
+    const Bitvector& other = pool[i].support_set;
+    // Disjoint support sets sit at distance 1 (or 0 when both are empty,
+    // by convention); AndNone's early exit makes this the common-case
+    // fast path on sparse pools like Diag, where most pairs share no
+    // transactions.
+    if (Bitvector::AndNone(other, center.support_set)) {
+      if (keep_disjoint ||
+          (other.None() && center.support_set.None())) {
+        members.push_back(static_cast<int64_t>(i));
+      }
+      continue;
+    }
     if (PatternDistance(pool[i], center) <= radius + kBallEpsilon) {
       members.push_back(static_cast<int64_t>(i));
     }

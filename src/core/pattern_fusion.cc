@@ -1,13 +1,14 @@
 #include "core/pattern_fusion.h"
 
 #include <algorithm>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
 #include "common/hash.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/pattern_distance.h"
 #include "mining/apriori.h"
 #include "mining/eclat.h"
@@ -39,28 +40,24 @@ Status ValidateOptions(const TransactionDatabase& db,
   if (options.max_superpatterns_per_seed < 1) {
     return Status::InvalidArgument("max_superpatterns_per_seed must be >= 1");
   }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0 (0 = auto)");
+  }
   return Status::Ok();
 }
-
-// A candidate super-pattern produced by fusing one seed's ball, with the
-// weight used by the retention sampling.
-struct Candidate {
-  Pattern pattern;
-  int merged_count = 0;
-};
 
 // Keeps at most `cap` candidates, sampling without replacement with
 // probability proportional to merged_count — the paper's heuristic that
 // "βi with a larger core pattern set would retain with higher
 // probability".
-std::vector<Candidate> SampleByWeight(std::vector<Candidate> candidates,
-                                      int cap, Rng& rng) {
+std::vector<FusionCandidate> SampleByWeight(
+    std::vector<FusionCandidate> candidates, int cap, Rng& rng) {
   if (static_cast<int>(candidates.size()) <= cap) return candidates;
-  std::vector<Candidate> kept;
+  std::vector<FusionCandidate> kept;
   kept.reserve(static_cast<size_t>(cap));
   std::vector<double> weights;
   weights.reserve(candidates.size());
-  for (const Candidate& candidate : candidates) {
+  for (const FusionCandidate& candidate : candidates) {
     weights.push_back(static_cast<double>(candidate.merged_count));
   }
   for (int round = 0; round < cap; ++round) {
@@ -95,9 +92,10 @@ FusionOutcome FuseOnce(const std::vector<Pattern>& pool,
       // Already absorbed; merging would change nothing.
       continue;
     }
-    Bitvector merged_set =
-        Bitvector::And(outcome.fused.support_set, member.support_set);
-    const int64_t merged_support = merged_set.Count();
+    // Popcount the would-be intersection first; the merged support set
+    // is only materialized (in place) once the merge is accepted.
+    const int64_t merged_support =
+        Bitvector::AndCount(outcome.fused.support_set, member.support_set);
     if (merged_support < min_support_count) continue;
     const double needed =
         tau * static_cast<double>(
@@ -106,7 +104,7 @@ FusionOutcome FuseOnce(const std::vector<Pattern>& pool,
     if (static_cast<double>(merged_support) < needed) continue;
 
     outcome.fused.items = Union(outcome.fused.items, member.items);
-    outcome.fused.support_set = std::move(merged_set);
+    outcome.fused.support_set.AndWith(member.support_set);
     outcome.fused.support = merged_support;
     max_merged_support = std::max(max_merged_support, member.support);
     ++outcome.merged_count;
@@ -114,24 +112,75 @@ FusionOutcome FuseOnce(const std::vector<Pattern>& pool,
   return outcome;
 }
 
-StatusOr<PatternFusionResult> RunPatternFusion(
-    const TransactionDatabase& db, std::vector<Pattern> initial_pool,
-    const PatternFusionOptions& options) {
-  Status valid = ValidateOptions(db, options);
+FusionEngine::FusionEngine(const TransactionDatabase& db,
+                           const PatternFusionOptions& options)
+    : db_(db), options_(options) {}
+
+std::vector<FusionCandidate> FusionEngine::ProcessSeed(
+    const PatternPool& pool, int64_t seed_index, double radius,
+    Rng& rng) const {
+  const Pattern& seed = pool.pattern(seed_index);
+  std::vector<int64_t> ball = BallQuery(pool.patterns(), seed, radius);
+
+  // Fusion(α.CoreList): several shuffled greedy passes, each able to
+  // reach a different super-pattern the ball's members are cores of.
+  // The first pass saturates; later passes may stop at a random depth,
+  // emitting the intermediate super-patterns the paper's subset-based
+  // Fusion also generates.
+  std::vector<FusionCandidate> candidates;
+  for (int attempt = 0; attempt < options_.fusion_attempts_per_seed;
+       ++attempt) {
+    rng.Shuffle(ball);
+    int max_merges = 0;
+    if (options_.variable_merge_depth && attempt > 0) {
+      max_merges = static_cast<int>(int64_t{2}
+                                    << rng.UniformInt(0, 3));  // 2..16
+    }
+    FusionOutcome outcome =
+        FuseOnce(pool.patterns(), ball, seed_index,
+                 options_.min_support_count, options_.tau, max_merges);
+    bool duplicate = false;
+    for (FusionCandidate& existing : candidates) {
+      if (existing.pattern.items == outcome.fused.items) {
+        existing.merged_count =
+            std::max(existing.merged_count, outcome.merged_count);
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      candidates.push_back({std::move(outcome.fused), outcome.merged_count});
+    }
+  }
+  return SampleByWeight(std::move(candidates),
+                        options_.max_superpatterns_per_seed, rng);
+}
+
+StatusOr<PatternFusionResult> FusionEngine::Run(
+    std::vector<Pattern> initial_pool) {
+  Status valid = ValidateOptions(db_, options_);
   if (!valid.ok()) return valid;
   if (initial_pool.empty()) {
     return Status::InvalidArgument("initial pool is empty");
   }
   for (const Pattern& pattern : initial_pool) {
-    if (pattern.support < options.min_support_count) {
+    if (pattern.support < options_.min_support_count) {
       return Status::InvalidArgument(
           "initial pool pattern " + pattern.items.ToString() +
           " is infrequent (support " + std::to_string(pattern.support) + ")");
     }
   }
 
-  Rng rng(options.seed);
-  const double radius = BallRadius(options.tau);
+  const double radius = BallRadius(options_.tau);
+  const int num_threads = ParallelPolicy{options_.num_threads}.ResolvedThreads();
+  // Spawned lazily, on the first iteration that has seeds to shard — an
+  // already-converged run never pays the thread spawn.
+  std::unique_ptr<ThreadPool> workers;
+
+  // The master rng drives only the coordinator-side seed draws; all
+  // per-seed randomness comes from streams derived below, so the draw
+  // sequence is independent of how seeds are scheduled onto workers.
+  Rng master(options_.seed);
 
   PatternPool pool;
   pool.AddAll(std::move(initial_pool));
@@ -139,56 +188,34 @@ StatusOr<PatternFusionResult> RunPatternFusion(
   PatternFusionResult result;
   int previous_min_size = pool.MinPatternSize();
 
-  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+  for (int iteration = 0; iteration < options_.max_iterations; ++iteration) {
     // Algorithm 1, line 4: stop once the pool fits the answer budget.
-    if (pool.size() <= options.k) {
+    if (pool.size() <= options_.k) {
       result.converged = true;
       break;
     }
 
-    // Algorithm 2, lines 2–7: draw K seeds, record each seed's CoreList.
-    const std::vector<int64_t> seeds = pool.DrawSeeds(options.k, rng);
+    // Algorithm 2, lines 2–7: draw K seeds, then shard the per-seed work
+    // (ball query + fusions + retention) across the pool of workers.
+    const std::vector<int64_t> seeds = pool.DrawSeeds(options_.k, master);
+    if (num_threads > 1 && workers == nullptr) {
+      workers = std::make_unique<ThreadPool>(num_threads);
+    }
+    const uint64_t iteration_stream =
+        Rng::MixSeed(options_.seed, static_cast<uint64_t>(iteration));
+    std::vector<std::vector<FusionCandidate>> per_seed = ParallelMap(
+        workers.get(), static_cast<int64_t>(seeds.size()), [&](int64_t slot) {
+          Rng slot_rng(
+              Rng::MixSeed(iteration_stream, static_cast<uint64_t>(slot)));
+          return ProcessSeed(pool, seeds[static_cast<size_t>(slot)], radius,
+                             slot_rng);
+        });
 
+    // Merge in slot order: pool dedup (first writer wins) then stays
+    // deterministic for any thread count.
     PatternPool next_pool;
-    for (int64_t seed_index : seeds) {
-      const Pattern& seed = pool.pattern(seed_index);
-      std::vector<int64_t> ball =
-          BallQuery(pool.patterns(), seed, radius);
-
-      // Fusion(α.CoreList): several shuffled greedy passes, each able to
-      // reach a different super-pattern the ball's members are cores of.
-      // The first pass saturates; later passes may stop at a random
-      // depth, emitting the intermediate super-patterns the paper's
-      // subset-based Fusion also generates.
-      std::vector<Candidate> candidates;
-      for (int attempt = 0; attempt < options.fusion_attempts_per_seed;
-           ++attempt) {
-        rng.Shuffle(ball);
-        int max_merges = 0;
-        if (options.variable_merge_depth && attempt > 0) {
-          max_merges = static_cast<int>(int64_t{2}
-                                        << rng.UniformInt(0, 3));  // 2..16
-        }
-        FusionOutcome outcome =
-            FuseOnce(pool.patterns(), ball, seed_index,
-                     options.min_support_count, options.tau, max_merges);
-        bool duplicate = false;
-        for (Candidate& existing : candidates) {
-          if (existing.pattern.items == outcome.fused.items) {
-            existing.merged_count =
-                std::max(existing.merged_count, outcome.merged_count);
-            duplicate = true;
-            break;
-          }
-        }
-        if (!duplicate) {
-          candidates.push_back(
-              {std::move(outcome.fused), outcome.merged_count});
-        }
-      }
-      candidates = SampleByWeight(std::move(candidates),
-                                  options.max_superpatterns_per_seed, rng);
-      for (Candidate& candidate : candidates) {
+    for (std::vector<FusionCandidate>& candidates : per_seed) {
+      for (FusionCandidate& candidate : candidates) {
         next_pool.Add(std::move(candidate.pattern));
       }
     }
@@ -203,7 +230,7 @@ StatusOr<PatternFusionResult> RunPatternFusion(
     result.iterations.push_back({pool.size(), pool.MinPatternSize(),
                                  pool.MaxPatternSize()});
   }
-  if (pool.size() <= options.k) result.converged = true;
+  if (pool.size() <= options_.k) result.converged = true;
 
   result.patterns = pool.patterns();
   std::sort(result.patterns.begin(), result.patterns.end(),
@@ -214,16 +241,25 @@ StatusOr<PatternFusionResult> RunPatternFusion(
   return result;
 }
 
+StatusOr<PatternFusionResult> RunPatternFusion(
+    const TransactionDatabase& db, std::vector<Pattern> initial_pool,
+    const PatternFusionOptions& options) {
+  FusionEngine engine(db, options);
+  return engine.Run(std::move(initial_pool));
+}
+
 StatusOr<std::vector<Pattern>> BuildInitialPool(const TransactionDatabase& db,
                                                 int64_t min_support_count,
                                                 int max_pattern_size,
-                                                PoolMiner miner) {
+                                                PoolMiner miner,
+                                                int num_threads) {
   if (max_pattern_size < 1) {
     return Status::InvalidArgument("max_pattern_size must be >= 1");
   }
   MinerOptions miner_options;
   miner_options.min_support_count = min_support_count;
   miner_options.max_pattern_size = max_pattern_size;
+  miner_options.num_threads = num_threads;
   StatusOr<MiningResult> mined = miner == PoolMiner::kApriori
                                      ? MineApriori(db, miner_options)
                                      : MineEclat(db, miner_options);

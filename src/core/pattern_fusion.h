@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "core/pattern.h"
 #include "core/pattern_pool.h"
@@ -67,6 +68,12 @@ struct PatternFusionOptions {
 
   // RNG seed for the draws and shuffles; fixed seed ⇒ identical runs.
   uint64_t seed = 1;
+
+  // Worker threads for the per-seed fusion work (ball query, shuffled
+  // merges, retention sampling). 0 = auto (hardware_concurrency). The
+  // result is bit-identical for every value, including 1: randomness is
+  // derived per seed slot, and candidates merge in slot order.
+  int num_threads = 0;
 };
 
 // Pool trajectory of one fusion iteration, for benches/tests (e.g.,
@@ -88,10 +95,47 @@ struct PatternFusionResult {
   bool converged = false;
 };
 
-// Runs iterative pattern fusion from the given initial pool. The pool
-// patterns must carry support sets consistent with `db` and be frequent
-// at options.min_support_count. Fails on invalid options or an empty
-// pool.
+// A candidate super-pattern produced by fusing one seed's ball, with the
+// weight used by the retention sampling.
+struct FusionCandidate {
+  Pattern pattern;
+  int merged_count = 0;
+};
+
+// The fusion pipeline, restructured around per-seed work units so one
+// iteration's K seeds shard across a ThreadPool. Each seed slot gets its
+// own Rng stream derived from (options.seed, iteration, slot), and slot
+// results are merged into the next pool in slot order, so the mining
+// output is identical for any num_threads.
+class FusionEngine {
+ public:
+  FusionEngine(const TransactionDatabase& db,
+               const PatternFusionOptions& options);
+
+  FusionEngine(const FusionEngine&) = delete;
+  FusionEngine& operator=(const FusionEngine&) = delete;
+
+  // Runs iterative pattern fusion from the given initial pool. The pool
+  // patterns must carry support sets consistent with the database and be
+  // frequent at options.min_support_count. Fails on invalid options or
+  // an empty pool.
+  StatusOr<PatternFusionResult> Run(std::vector<Pattern> initial_pool);
+
+ private:
+  // One seed's work unit (Algorithm 2, lines 4–9): ball query, several
+  // shuffled greedy fusions, per-seed dedup, weighted retention. Pure
+  // with respect to shared state — reads the pool, draws only from the
+  // slot's own rng — which is what makes seed slots safe to shard.
+  std::vector<FusionCandidate> ProcessSeed(const PatternPool& pool,
+                                           int64_t seed_index, double radius,
+                                           Rng& rng) const;
+
+  const TransactionDatabase& db_;
+  const PatternFusionOptions options_;
+};
+
+// Convenience wrapper preserving the original free-function API:
+// constructs a FusionEngine and runs it.
 StatusOr<PatternFusionResult> RunPatternFusion(
     const TransactionDatabase& db, std::vector<Pattern> initial_pool,
     const PatternFusionOptions& options);
@@ -108,10 +152,12 @@ enum class PoolMiner {
 
 // Builds the initial pool (paper §2.3 phase 1): the complete set of
 // frequent patterns of size ≤ max_pattern_size, with support sets
-// materialized.
+// materialized. `num_threads` (0 = auto) parallelizes the underlying
+// miner; the pool is identical for any value.
 StatusOr<std::vector<Pattern>> BuildInitialPool(
     const TransactionDatabase& db, int64_t min_support_count,
-    int max_pattern_size, PoolMiner miner = PoolMiner::kApriori);
+    int max_pattern_size, PoolMiner miner = PoolMiner::kApriori,
+    int num_threads = 0);
 
 // One fusion of a seed with its CoreList (the Fusion(α.CoreList) routine
 // of Algorithm 2, one sampling pass): greedily merges ball members in the

@@ -1,8 +1,11 @@
 #include "mining/apriori.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "common/bitvector.h"
+#include "common/thread_pool.h"
 
 namespace colossal {
 
@@ -16,6 +19,68 @@ struct LevelEntry {
   int64_t support = 0;
 };
 
+// The join+prune+count work for one left parent `a` of the current
+// level: appends the row's frequent candidates (in join order) to `out`
+// and counts expanded nodes on `stats`. Reads `level` only, so rows
+// shard across workers (each row with its own `out`/`stats`);
+// concatenating row outputs in row order reproduces the serial
+// enumeration exactly. Returns false iff the node budget tripped
+// mid-row, with budget_exceeded set on `stats` — checked per candidate,
+// like every miner's budget.
+bool JoinRow(const std::vector<LevelEntry>& level, size_t a,
+             const MinerOptions& options, std::vector<LevelEntry>& out,
+             MinerStats& stats) {
+  const Itemset& left = level[a].items;
+  for (size_t b = a + 1; b < level.size(); ++b) {
+    const Itemset& right = level[b].items;
+    bool same_prefix = true;
+    for (int i = 0; i < left.size() - 1; ++i) {
+      if (left[i] != right[i]) {
+        same_prefix = false;
+        break;
+      }
+    }
+    if (!same_prefix) break;  // sorted order: no later b can match
+
+    Itemset candidate = left.WithItem(right[right.size() - 1]);
+
+    // Prune step: every (size−1)-subset must be frequent. The two join
+    // parents are; check the others by binary search over the sorted
+    // level.
+    bool all_subsets_frequent = true;
+    for (int drop = 0; drop < candidate.size() - 2; ++drop) {
+      const Itemset subset = candidate.WithoutItem(candidate[drop]);
+      const auto it = std::lower_bound(
+          level.begin(), level.end(), subset,
+          [](const LevelEntry& entry, const Itemset& target) {
+            return entry.items < target;
+          });
+      if (it == level.end() || !(it->items == subset)) {
+        all_subsets_frequent = false;
+        break;
+      }
+    }
+    if (!all_subsets_frequent) continue;
+
+    ++stats.nodes_expanded;
+    if (options.max_nodes != 0 &&
+        stats.nodes_expanded > options.max_nodes) {
+      stats.budget_exceeded = true;
+      return false;
+    }
+    // Popcount first; materialize the support set only for survivors.
+    const int64_t support =
+        Bitvector::AndCount(level[a].support_set, level[b].support_set);
+    if (support >= options.min_support_count) {
+      out.push_back({std::move(candidate),
+                     Bitvector::And(level[a].support_set,
+                                    level[b].support_set),
+                     support});
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 StatusOr<MiningResult> MineApriori(const TransactionDatabase& db,
@@ -27,6 +92,16 @@ StatusOr<MiningResult> MineApriori(const TransactionDatabase& db,
   const int max_size = options.max_pattern_size == 0
                            ? static_cast<int>(db.num_items())
                            : options.max_pattern_size;
+
+  // Budgeted runs stay serial: the truncation point depends on the exact
+  // candidate visit order, which parallel row sharding does not preserve
+  // mid-row.
+  const int num_threads =
+      options.max_nodes != 0
+          ? 1
+          : ParallelPolicy{options.num_threads}.ResolvedThreads();
+  // Spawned lazily, on the first level that actually has join work.
+  std::unique_ptr<ThreadPool> workers;
 
   // Level 1: frequent single items.
   std::vector<LevelEntry> level;
@@ -49,56 +124,42 @@ StatusOr<MiningResult> MineApriori(const TransactionDatabase& db,
     }
   }
 
+  // Join step: pairs sharing the first size−2 items. `level` is sorted
+  // lexicographically (construction order preserves this), so joinable
+  // partners are contiguous.
   for (int size = 2; size <= max_size && level.size() >= 2; ++size) {
-    // Join step: pairs sharing the first size−2 items. `level` is sorted
-    // lexicographically (construction order preserves this), so joinable
-    // partners are contiguous.
+    if (num_threads > 1 && workers == nullptr) {
+      workers = std::make_unique<ThreadPool>(num_threads);
+    }
     std::vector<LevelEntry> next_level;
-    for (size_t a = 0; a < level.size(); ++a) {
-      const Itemset& left = level[a].items;
-      for (size_t b = a + 1; b < level.size(); ++b) {
-        const Itemset& right = level[b].items;
-        bool same_prefix = true;
-        for (int i = 0; i < left.size() - 1; ++i) {
-          if (left[i] != right[i]) {
-            same_prefix = false;
-            break;
-          }
-        }
-        if (!same_prefix) break;  // sorted order: no later b can match
-
-        Itemset candidate = left.WithItem(right[right.size() - 1]);
-
-        // Prune step: every (size−1)-subset must be frequent. The two
-        // join parents are; check the others by binary search over the
-        // sorted level.
-        bool all_subsets_frequent = true;
-        for (int drop = 0; drop < candidate.size() - 2; ++drop) {
-          const Itemset subset = candidate.WithoutItem(candidate[drop]);
-          const auto it = std::lower_bound(
-              level.begin(), level.end(), subset,
-              [](const LevelEntry& entry, const Itemset& target) {
-                return entry.items < target;
-              });
-          if (it == level.end() || !(it->items == subset)) {
-            all_subsets_frequent = false;
-            break;
-          }
-        }
-        if (!all_subsets_frequent) continue;
-
-        ++result.stats.nodes_expanded;
-        if (options.max_nodes != 0 &&
-            result.stats.nodes_expanded > options.max_nodes) {
+    if (workers != nullptr) {
+      // Sharded by row: each worker fills its rows' output slots; rows
+      // concatenate in order afterwards. No budget in this mode (see
+      // above), so JoinRow cannot trip.
+      std::vector<std::vector<LevelEntry>> rows(level.size());
+      std::vector<MinerStats> row_stats(level.size());
+      workers->ParallelFor(
+          static_cast<int64_t>(level.size()), [&](int64_t a) {
+            JoinRow(level, static_cast<size_t>(a), options,
+                    rows[static_cast<size_t>(a)],
+                    row_stats[static_cast<size_t>(a)]);
+          });
+      for (size_t a = 0; a < level.size(); ++a) {
+        result.stats.nodes_expanded += row_stats[a].nodes_expanded;
+        // Unreachable while budgeted runs force serial, but keeps the
+        // flag from being silently dropped if that coupling ever changes.
+        if (row_stats[a].budget_exceeded) {
           result.stats.budget_exceeded = true;
-          return result;
         }
-        Bitvector support_set =
-            Bitvector::And(level[a].support_set, level[b].support_set);
-        const int64_t support = support_set.Count();
-        if (support >= options.min_support_count) {
-          next_level.push_back(
-              {std::move(candidate), std::move(support_set), support});
+        for (LevelEntry& entry : rows[a]) {
+          next_level.push_back(std::move(entry));
+        }
+      }
+    } else {
+      for (size_t a = 0; a < level.size(); ++a) {
+        // JoinRow sets budget_exceeded on result.stats when it trips.
+        if (!JoinRow(level, a, options, next_level, result.stats)) {
+          return result;
         }
       }
     }

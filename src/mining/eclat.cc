@@ -1,12 +1,44 @@
 #include "mining/eclat.h"
 
+#include <algorithm>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/bitvector.h"
+#include "common/thread_pool.h"
 
 namespace colossal {
 
 namespace {
+
+// Builds the frequent extension list of the child rooted at
+// extensions[i]: every extensions[j] with j > i whose tidset intersects
+// extensions[i]'s frequently. Counts one expanded node per probe on
+// `stats` and stops early (flagging budget_exceeded) when the budget
+// trips. Shared by the serial DFS and the parallel per-root fragments,
+// so the two walks cannot drift apart.
+std::vector<std::pair<ItemId, Bitvector>> ExpandChild(
+    const std::vector<std::pair<ItemId, Bitvector>>& extensions, size_t i,
+    const MinerOptions& options, MinerStats& stats) {
+  std::vector<std::pair<ItemId, Bitvector>> child_extensions;
+  for (size_t j = i + 1; j < extensions.size(); ++j) {
+    ++stats.nodes_expanded;
+    if (options.max_nodes != 0 &&
+        stats.nodes_expanded > options.max_nodes) {
+      stats.budget_exceeded = true;
+      break;
+    }
+    // Popcount first; materialize only frequent tidsets.
+    if (Bitvector::AndCount(extensions[i].second, extensions[j].second) >=
+        options.min_support_count) {
+      child_extensions.emplace_back(
+          extensions[j].first,
+          Bitvector::And(extensions[i].second, extensions[j].second));
+    }
+  }
+  return child_extensions;
+}
 
 struct EclatState {
   const TransactionDatabase* db;
@@ -14,11 +46,6 @@ struct EclatState {
   MiningResult* result;
   int max_size;
   std::vector<ItemId> prefix;
-
-  bool BudgetExceeded() {
-    return options->max_nodes != 0 &&
-           result->stats.nodes_expanded > options->max_nodes;
-  }
 
   // Expands the node whose itemset is `prefix`. `extensions` holds the
   // (item, tidset) pairs that extend `prefix` frequently, every item
@@ -33,22 +60,8 @@ struct EclatState {
           {Itemset::FromSorted(prefix),
            extensions[i].second.Count()});
 
-      // Build this child's frequent extension list.
-      std::vector<std::pair<ItemId, Bitvector>> child_extensions;
-      for (size_t j = i + 1; j < extensions.size(); ++j) {
-        ++result->stats.nodes_expanded;
-        if (BudgetExceeded()) {
-          result->stats.budget_exceeded = true;
-          break;
-        }
-        Bitvector tidset =
-            Bitvector::And(extensions[i].second, extensions[j].second);
-        if (tidset.Count() >=
-            static_cast<int64_t>(options->min_support_count)) {
-          child_extensions.emplace_back(extensions[j].first,
-                                        std::move(tidset));
-        }
-      }
+      std::vector<std::pair<ItemId, Bitvector>> child_extensions =
+          ExpandChild(extensions, i, *options, result->stats);
       if (!result->stats.budget_exceeded) Recurse(child_extensions);
       prefix.pop_back();
       if (result->stats.budget_exceeded) return;
@@ -64,16 +77,15 @@ StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
   if (!valid.ok()) return valid;
 
   MiningResult result;
-  EclatState state{&db, &options, &result,
-                   options.max_pattern_size == 0
-                       ? static_cast<int>(db.num_items())
-                       : options.max_pattern_size,
-                   {}};
+  const int max_size = options.max_pattern_size == 0
+                           ? static_cast<int>(db.num_items())
+                           : options.max_pattern_size;
 
   std::vector<std::pair<ItemId, Bitvector>> roots;
   for (ItemId item = 0; item < db.num_items(); ++item) {
     ++result.stats.nodes_expanded;
-    if (state.BudgetExceeded()) {
+    if (options.max_nodes != 0 &&
+        result.stats.nodes_expanded > options.max_nodes) {
       result.stats.budget_exceeded = true;
       return result;
     }
@@ -82,6 +94,49 @@ StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
       roots.emplace_back(item, tidset);
     }
   }
+
+  // Budgeted runs stay serial so the truncation point is the exact DFS
+  // prefix a single-threaded walk would produce.
+  const int num_threads =
+      options.max_nodes != 0
+          ? 1
+          : ParallelPolicy{options.num_threads}.ResolvedThreads();
+  if (num_threads > 1 && roots.size() > 1) {
+    // Each root's subtree is an independent DFS over the extension
+    // lists to its right: shard subtrees across workers into per-root
+    // result fragments, then concatenate in root order — byte-for-byte
+    // the serial DFS enumeration.
+    ThreadPool workers(static_cast<int>(std::min<int64_t>(
+        num_threads, static_cast<int64_t>(roots.size()))));
+    std::vector<MiningResult> fragments = ParallelMap(
+        &workers, static_cast<int64_t>(roots.size()), [&](int64_t i) {
+          MiningResult fragment;
+          fragment.patterns.push_back(
+              {Itemset::Single(roots[static_cast<size_t>(i)].first),
+               roots[static_cast<size_t>(i)].second.Count()});
+          std::vector<std::pair<ItemId, Bitvector>> child_extensions =
+              ExpandChild(roots, static_cast<size_t>(i), options,
+                          fragment.stats);
+          EclatState state{&db, &options, &fragment, max_size,
+                           {roots[static_cast<size_t>(i)].first}};
+          state.Recurse(child_extensions);
+          return fragment;
+        });
+    for (MiningResult& fragment : fragments) {
+      result.stats.nodes_expanded += fragment.stats.nodes_expanded;
+      // Unreachable while budgeted runs force serial, but keeps the
+      // flag from being silently dropped if that coupling ever changes.
+      if (fragment.stats.budget_exceeded) {
+        result.stats.budget_exceeded = true;
+      }
+      for (FrequentItemset& pattern : fragment.patterns) {
+        result.patterns.push_back(std::move(pattern));
+      }
+    }
+    return result;
+  }
+
+  EclatState state{&db, &options, &result, max_size, {}};
   state.Recurse(roots);
   return result;
 }

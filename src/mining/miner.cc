@@ -23,6 +23,9 @@ Status ValidateMinerOptions(const TransactionDatabase& db,
   if (options.max_nodes < 0) {
     return Status::InvalidArgument("max_nodes must be >= 0");
   }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0 (0 = auto)");
+  }
   return Status::Ok();
 }
 

@@ -43,6 +43,14 @@ struct MinerOptions {
   // `budget_exceeded` — this is how benches reproduce the paper's
   // "did not finish within 10 hours" rows without hanging.
   int64_t max_nodes = 0;
+
+  // Worker threads, honoured by MineApriori (level-wise candidate
+  // counting sharded by join row) and MineEclat (root branches sharded
+  // across workers); the other miners run serially. 0 = auto
+  // (hardware_concurrency). Output patterns and nodes_expanded are
+  // identical for any value. Budgeted runs (max_nodes != 0) fall back to
+  // serial so the truncation point stays deterministic.
+  int num_threads = 0;
 };
 
 // Execution metadata reported with every mining run.

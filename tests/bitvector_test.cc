@@ -78,6 +78,33 @@ TEST(BitvectorTest, SubsetChecks) {
   EXPECT_TRUE(Bitvector(100).IsSubsetOf(small));
 }
 
+TEST(BitvectorTest, NoneEarlyExitAgreesWithCount) {
+  Bitvector empty(500);
+  EXPECT_TRUE(empty.None());
+  // A bit in the first word must short-circuit; one in the last word
+  // must still be found.
+  Bitvector first(500);
+  first.Set(0);
+  EXPECT_FALSE(first.None());
+  Bitvector last(500);
+  last.Set(499);
+  EXPECT_FALSE(last.None());
+  last.Reset(499);
+  EXPECT_TRUE(last.None());
+  EXPECT_TRUE(Bitvector().None());
+}
+
+TEST(BitvectorTest, AndNoneMatchesAndCountZero) {
+  Bitvector a = Bitvector::FromIndices(200, {1, 70, 199});
+  Bitvector b = Bitvector::FromIndices(200, {0, 71, 198});
+  EXPECT_TRUE(Bitvector::AndNone(a, b));
+  EXPECT_EQ(Bitvector::AndCount(a, b), 0);
+  b.Set(199);  // overlap in the last word only
+  EXPECT_FALSE(Bitvector::AndNone(a, b));
+  EXPECT_TRUE(Bitvector::AndNone(Bitvector(200), a));
+  EXPECT_TRUE(Bitvector::AndNone(Bitvector(0), Bitvector(0)));
+}
+
 TEST(BitvectorTest, IntersectsDetectsSharedBits) {
   Bitvector a = Bitvector::FromIndices(80, {10});
   Bitvector b = Bitvector::FromIndices(80, {11});
@@ -140,6 +167,8 @@ TEST_P(BitvectorKernelSweep, KernelsMatchNaiveReference) {
   EXPECT_EQ(Bitvector::OrCount(a, b), expected_or);
   EXPECT_EQ(Bitvector::And(a, b).Count(), expected_and);
   EXPECT_EQ(Bitvector::Or(a, b).Count(), expected_or);
+  EXPECT_EQ(Bitvector::AndNone(a, b), expected_and == 0);
+  EXPECT_EQ(a.None(), a.Count() == 0);
   if (expected_or > 0) {
     EXPECT_DOUBLE_EQ(Bitvector::JaccardDistance(a, b),
                      1.0 - static_cast<double>(expected_and) /

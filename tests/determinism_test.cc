@@ -1,0 +1,159 @@
+// Determinism regression tests for the parallel fusion engine: with a
+// fixed seed, the entire pipeline — initial-pool mining and pattern
+// fusion — must produce bit-identical output for every thread count.
+// This is the contract that lets `--threads` be a pure performance knob.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/colossal_miner.h"
+#include "core/pattern_fusion.h"
+#include "data/generators.h"
+#include "mining/apriori.h"
+#include "mining/eclat.h"
+
+namespace colossal {
+namespace {
+
+// Compares full patterns (itemset, support, support set), not just
+// itemsets: a scheduling-dependent support-set would be a real bug even
+// if the itemsets happened to agree.
+void ExpectSamePatterns(const std::vector<Pattern>& a,
+                        const std::vector<Pattern>& b, int threads) {
+  ASSERT_EQ(a.size(), b.size()) << "num_threads=" << threads;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "pattern " << i << " differs at num_threads="
+                          << threads;
+  }
+}
+
+TEST(DeterminismTest, MineColossalIdenticalAcrossThreadCounts) {
+  LabeledDatabase labeled = MakeDiagPlus(30, 15);
+  ColossalMinerOptions options;
+  options.min_support_count = labeled.min_support_count;
+  options.initial_pool_max_size = 2;
+  options.tau = 0.5;
+  options.k = 50;
+  options.seed = 7;
+
+  options.num_threads = 1;
+  StatusOr<ColossalMiningResult> reference = MineColossal(labeled.db, options);
+  ASSERT_TRUE(reference.ok());
+
+  for (int threads : {2, 8}) {
+    options.num_threads = threads;
+    StatusOr<ColossalMiningResult> result = MineColossal(labeled.db, options);
+    ASSERT_TRUE(result.ok()) << "num_threads=" << threads;
+    EXPECT_EQ(result->initial_pool_size, reference->initial_pool_size);
+    EXPECT_EQ(result->iterations, reference->iterations);
+    EXPECT_EQ(result->converged, reference->converged);
+    ExpectSamePatterns(result->patterns, reference->patterns, threads);
+  }
+}
+
+TEST(DeterminismTest, FusionEngineIdenticalAcrossThreadCounts) {
+  LabeledDatabase labeled = MakeMicroarrayLike(5);
+  StatusOr<std::vector<Pattern>> pool =
+      BuildInitialPool(labeled.db, 30, 2, PoolMiner::kApriori, 1);
+  ASSERT_TRUE(pool.ok());
+
+  PatternFusionOptions options;
+  options.min_support_count = 30;
+  options.tau = 0.5;
+  options.k = 40;
+  options.seed = 19;
+
+  options.num_threads = 1;
+  StatusOr<PatternFusionResult> reference =
+      RunPatternFusion(labeled.db, *pool, options);
+  ASSERT_TRUE(reference.ok());
+
+  for (int threads : {2, 8}) {
+    options.num_threads = threads;
+    StatusOr<PatternFusionResult> result =
+        RunPatternFusion(labeled.db, *pool, options);
+    ASSERT_TRUE(result.ok()) << "num_threads=" << threads;
+    EXPECT_EQ(result->converged, reference->converged);
+    ASSERT_EQ(result->iterations.size(), reference->iterations.size());
+    for (size_t i = 0; i < result->iterations.size(); ++i) {
+      EXPECT_EQ(result->iterations[i].pool_size,
+                reference->iterations[i].pool_size);
+      EXPECT_EQ(result->iterations[i].min_pattern_size,
+                reference->iterations[i].min_pattern_size);
+      EXPECT_EQ(result->iterations[i].max_pattern_size,
+                reference->iterations[i].max_pattern_size);
+    }
+    ExpectSamePatterns(result->patterns, reference->patterns, threads);
+  }
+}
+
+TEST(DeterminismTest, AprioriIdenticalAcrossThreadCounts) {
+  LabeledDatabase labeled = MakeDiagPlus(24, 12);
+  MinerOptions options;
+  options.min_support_count = labeled.min_support_count;
+  options.max_pattern_size = 3;
+
+  options.num_threads = 1;
+  StatusOr<MiningResult> reference = MineApriori(labeled.db, options);
+  ASSERT_TRUE(reference.ok());
+
+  for (int threads : {2, 8}) {
+    options.num_threads = threads;
+    StatusOr<MiningResult> result = MineApriori(labeled.db, options);
+    ASSERT_TRUE(result.ok()) << "num_threads=" << threads;
+    EXPECT_EQ(result->patterns, reference->patterns)
+        << "num_threads=" << threads;
+    EXPECT_EQ(result->stats.nodes_expanded, reference->stats.nodes_expanded);
+  }
+}
+
+TEST(DeterminismTest, EclatIdenticalAcrossThreadCounts) {
+  LabeledDatabase labeled = MakeDiagPlus(24, 12);
+  MinerOptions options;
+  options.min_support_count = labeled.min_support_count;
+  options.max_pattern_size = 3;
+
+  options.num_threads = 1;
+  StatusOr<MiningResult> reference = MineEclat(labeled.db, options);
+  ASSERT_TRUE(reference.ok());
+
+  for (int threads : {2, 8}) {
+    options.num_threads = threads;
+    StatusOr<MiningResult> result = MineEclat(labeled.db, options);
+    ASSERT_TRUE(result.ok()) << "num_threads=" << threads;
+    EXPECT_EQ(result->patterns, reference->patterns)
+        << "num_threads=" << threads;
+    EXPECT_EQ(result->stats.nodes_expanded, reference->stats.nodes_expanded);
+  }
+}
+
+TEST(DeterminismTest, NegativeNumThreadsIsRejectedNotFatal) {
+  TransactionDatabase db = MakeDiag(6);
+  MinerOptions miner_options;
+  miner_options.min_support_count = 1;
+  miner_options.num_threads = -1;
+  EXPECT_FALSE(MineApriori(db, miner_options).ok());
+  EXPECT_FALSE(MineEclat(db, miner_options).ok());
+
+  std::vector<Pattern> pool = {MakePattern(db, Itemset({0}))};
+  PatternFusionOptions fusion_options;
+  fusion_options.num_threads = -1;
+  EXPECT_FALSE(RunPatternFusion(db, pool, fusion_options).ok());
+}
+
+TEST(DeterminismTest, BuildInitialPoolIdenticalAcrossThreadCounts) {
+  LabeledDatabase labeled = MakeDiagPlus(20, 10);
+  StatusOr<std::vector<Pattern>> reference = BuildInitialPool(
+      labeled.db, labeled.min_support_count, 2, PoolMiner::kEclat, 1);
+  ASSERT_TRUE(reference.ok());
+  for (int threads : {2, 8}) {
+    StatusOr<std::vector<Pattern>> pool = BuildInitialPool(
+        labeled.db, labeled.min_support_count, 2, PoolMiner::kEclat, threads);
+    ASSERT_TRUE(pool.ok());
+    ExpectSamePatterns(*pool, *reference, threads);
+  }
+}
+
+}  // namespace
+}  // namespace colossal

@@ -9,7 +9,11 @@
 //   mine      --in FILE --algo pf|apriori|eclat|fpgrowth|closed|maximal|topk
 //             (--sigma F | --min-support N) [--format fimi|matrix]
 //             [--out FILE] [--tau F] [--k N] [--pool-size N] [--seed S]
-//             [--max-size N] [--budget N] [--min-length N]
+//             [--max-size N] [--budget N] [--min-length N] [--threads N]
+//       --threads 0 (the default) uses one worker per hardware thread;
+//       mining output is identical for every thread count. The flag is
+//       honoured by pf, apriori, and eclat; the other miners run
+//       serially regardless.
 //       Mines FILE and prints (or writes) the result in FIMI output
 //       format: "item item ... (support)".
 //   evaluate  --mined FILE --reference FILE [--min-size N]
@@ -23,6 +27,7 @@
 //   colossal_cli evaluate --mined p.txt --reference q.txt --min-size 20
 
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -135,7 +140,7 @@ int EmitResult(const Args& args, const std::vector<FrequentItemset>& patterns,
 int RunMine(const Args& args) {
   Status known = args.CheckKnown({"in", "algo", "sigma", "min-support", "out",
                                   "tau", "k", "pool-size", "seed", "max-size",
-                                  "budget", "min-length", "format"});
+                                  "budget", "min-length", "format", "threads"});
   if (!known.ok()) return Fail(known);
   StatusOr<TransactionDatabase> db = LoadDatabase(args);
   if (!db.ok()) return Fail(db.status());
@@ -156,6 +161,11 @@ int RunMine(const Args& args) {
   ASSIGN_OR_FAIL(const int64_t k, args.GetInt("k", 100));
   ASSIGN_OR_FAIL(const int64_t budget, args.GetInt("budget", 0));
   ASSIGN_OR_FAIL(const int64_t max_size, args.GetInt("max-size", 0));
+  ASSIGN_OR_FAIL(const int64_t threads, args.GetInt("threads", 0));
+  if (threads < 0 || threads > std::numeric_limits<int>::max()) {
+    return Fail(Status::InvalidArgument(
+        "--threads must be in [0, INT_MAX] (0 = auto)"));
+  }
 
   const std::string algo = args.GetString("algo");
   if (algo == "pf") {
@@ -168,6 +178,7 @@ int RunMine(const Args& args) {
     options.k = static_cast<int>(k);
     options.initial_pool_max_size = static_cast<int>(pool_size);
     options.seed = static_cast<uint64_t>(seed);
+    options.num_threads = static_cast<int>(threads);
     StatusOr<ColossalMiningResult> result = MineColossal(*db, options);
     if (!result.ok()) return Fail(result.status());
     std::fprintf(stderr,
@@ -192,6 +203,7 @@ int RunMine(const Args& args) {
   options.min_support_count = min_support;
   options.max_pattern_size = static_cast<int>(max_size);
   options.max_nodes = budget;
+  options.num_threads = static_cast<int>(threads);
   StatusOr<MiningResult> result = [&]() -> StatusOr<MiningResult> {
     if (algo == "apriori") return MineApriori(*db, options);
     if (algo == "eclat") return MineEclat(*db, options);
