@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "common/bitvector.h"
@@ -13,11 +15,15 @@
 #include "core/pattern.h"
 #include "core/pattern_distance.h"
 #include "core/pattern_fusion.h"
+#include "data/dataset_io.h"
 #include "data/generators.h"
+#include "data/snapshot_io.h"
 #include "mining/apriori.h"
 #include "mining/closed_miner.h"
 #include "mining/eclat.h"
 #include "mining/fpgrowth.h"
+#include "service/dataset_registry.h"
+#include "service/mining_service.h"
 
 namespace colossal {
 namespace {
@@ -217,6 +223,115 @@ void BM_ThreadScalingPoolBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_ThreadScalingPoolBuild)->Apply(ThreadArgs)
     ->Unit(benchmark::kMillisecond);
+
+// --- Service layer ----------------------------------------------------------
+// The request path of src/service/: what a request costs when it misses
+// everything (disk load + index build + mine), when the dataset registry
+// already holds the database, and when the result cache already holds the
+// answer. Results are recorded in BENCH_service.json; refresh with
+// --benchmark_filter=Service. The ISSUE-2 acceptance ratio is
+// BM_ServiceMineCold / BM_ServiceResultCacheHit.
+
+// One on-disk dataset pair shared by the service benches, written once.
+struct ServiceBenchFixture {
+  std::string fimi_path;
+  std::string snapshot_path;
+  MiningRequest request;
+
+  ServiceBenchFixture() {
+    fimi_path = "/tmp/colossal_bench_service.fimi";
+    snapshot_path = "/tmp/colossal_bench_service.snap";
+    const TransactionDatabase db = MakeDiagPlus(24, 12).db;
+    if (!WriteFimiFile(db, fimi_path).ok() ||
+        !WriteSnapshotFile(db, snapshot_path).ok()) {
+      std::abort();
+    }
+    request.dataset_path = fimi_path;
+    request.options.sigma = -1.0;
+    request.options.min_support_count = 12;
+    request.options.initial_pool_max_size = 2;
+    request.options.k = 40;
+  }
+};
+
+const ServiceBenchFixture& ServiceFixture() {
+  static const ServiceBenchFixture* fixture = new ServiceBenchFixture();
+  return *fixture;
+}
+
+// Text ingestion vs. snapshot ingestion of the same trace-shaped
+// dataset (4,395 × 57): the snapshot skips parsing and the vertical
+// index build.
+void BM_ServiceFimiParse(benchmark::State& state) {
+  const std::string text = ToFimiString(MakeProgramTraceLike(1).db);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseFimi(text));
+  }
+}
+BENCHMARK(BM_ServiceFimiParse)->Unit(benchmark::kMillisecond);
+
+void BM_ServiceSnapshotParse(benchmark::State& state) {
+  const std::string data = ToSnapshotString(MakeProgramTraceLike(1).db);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseSnapshot(data));
+  }
+}
+BENCHMARK(BM_ServiceSnapshotParse)->Unit(benchmark::kMillisecond);
+
+// Dataset acquisition: a cold registry (disk load every time) vs. a
+// warm registry handing out the shared immutable database.
+void BM_ServiceRegistryColdLoad(benchmark::State& state) {
+  const ServiceBenchFixture& fixture = ServiceFixture();
+  for (auto _ : state) {
+    DatasetRegistry registry;
+    benchmark::DoNotOptimize(registry.Get(fixture.fimi_path));
+  }
+}
+BENCHMARK(BM_ServiceRegistryColdLoad);
+
+void BM_ServiceRegistryHit(benchmark::State& state) {
+  const ServiceBenchFixture& fixture = ServiceFixture();
+  DatasetRegistry registry;
+  if (!registry.Get(fixture.fimi_path).ok()) {
+    state.SkipWithError("dataset unavailable");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.Get(fixture.fimi_path));
+  }
+}
+BENCHMARK(BM_ServiceRegistryHit);
+
+// End-to-end request cost: everything cold (fresh service per
+// iteration: disk load + index build + Pattern-Fusion) vs. a result
+// cache hit on a warm service.
+void BM_ServiceMineCold(benchmark::State& state) {
+  const ServiceBenchFixture& fixture = ServiceFixture();
+  for (auto _ : state) {
+    MiningService service;
+    MiningResponse response = service.Mine(fixture.request);
+    if (!response.status.ok()) {
+      state.SkipWithError("request failed");
+      return;
+    }
+    benchmark::DoNotOptimize(response);
+  }
+}
+BENCHMARK(BM_ServiceMineCold)->Unit(benchmark::kMillisecond);
+
+void BM_ServiceResultCacheHit(benchmark::State& state) {
+  const ServiceBenchFixture& fixture = ServiceFixture();
+  MiningService service;
+  if (!service.Mine(fixture.request).status.ok()) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+  for (auto _ : state) {
+    MiningResponse response = service.Mine(fixture.request);
+    benchmark::DoNotOptimize(response);
+  }
+}
+BENCHMARK(BM_ServiceResultCacheHit);
 
 }  // namespace
 }  // namespace colossal

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "common/byte_io.h"
 #include "common/check.h"
 
 namespace colossal {
@@ -163,6 +164,47 @@ uint64_t Bitvector::HashValue() const {
     hash *= 1099511628211ULL;
   }
   return hash;
+}
+
+void Bitvector::AppendTo(std::string* out) const {
+  AppendLittleEndian64(static_cast<uint64_t>(num_bits_), out);
+  for (uint64_t word : words_) AppendLittleEndian64(word, out);
+}
+
+int64_t Bitvector::SerializedBytes(int64_t num_bits) {
+  return 8 + 8 * WordCount(num_bits);
+}
+
+StatusOr<Bitvector> Bitvector::ParseFrom(const std::string& data,
+                                         size_t* pos) {
+  uint64_t raw_bits = 0;
+  if (!ReadLittleEndian64(data, pos, &raw_bits)) {
+    return Status::InvalidArgument("bitvector: truncated length header");
+  }
+  const int64_t num_bits = static_cast<int64_t>(raw_bits);
+  if (num_bits < 0) {
+    return Status::InvalidArgument("bitvector: negative length");
+  }
+  // Bound the allocation by the bytes actually present: a corrupt length
+  // header must yield a Status, not a bad_alloc. (Computed in uint64 so a
+  // hostile length near INT64_MAX cannot overflow WordCount's addition.)
+  const uint64_t words_needed = raw_bits / 64 + (raw_bits % 64 != 0 ? 1 : 0);
+  if (*pos > data.size() || (data.size() - *pos) / 8 < words_needed) {
+    return Status::InvalidArgument("bitvector: truncated words");
+  }
+  Bitvector result(num_bits);
+  for (size_t w = 0; w < result.words_.size(); ++w) {
+    if (!ReadLittleEndian64(data, pos, &result.words_[w])) {
+      return Status::InvalidArgument("bitvector: truncated words");
+    }
+  }
+  const int64_t tail = num_bits % kWordBits;
+  if (tail != 0 &&
+      (result.words_.back() & ~((uint64_t{1} << tail) - 1)) != 0) {
+    return Status::InvalidArgument(
+        "bitvector: set bits beyond declared length");
+  }
+  return result;
 }
 
 void Bitvector::ClearTrailingBits() {

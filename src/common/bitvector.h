@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace colossal {
 
 // A fixed-length packed bit vector used to represent transaction-id sets
@@ -79,6 +81,21 @@ class Bitvector {
 
   // 64-bit content hash (position-sensitive), for dedup tables.
   uint64_t HashValue() const;
+
+  // Appends a compact binary encoding to `out`: the bit length as a
+  // little-endian int64, then the packed words little-endian. The
+  // encoding is platform-independent and self-delimiting (the length
+  // determines the word count), which is what the dataset snapshot
+  // format needs to concatenate one tidset per item.
+  void AppendTo(std::string* out) const;
+
+  // Number of bytes AppendTo writes for a vector of `num_bits` bits.
+  static int64_t SerializedBytes(int64_t num_bits);
+
+  // Parses one encoded vector from `data` starting at *pos and advances
+  // *pos past it. Fails on truncated input, a negative length, or set
+  // bits beyond the declared length (corrupt padding).
+  static StatusOr<Bitvector> ParseFrom(const std::string& data, size_t* pos);
 
   friend bool operator==(const Bitvector& a, const Bitvector& b) {
     return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;

@@ -1,0 +1,57 @@
+#ifndef COLOSSAL_COMMON_BYTE_IO_H_
+#define COLOSSAL_COMMON_BYTE_IO_H_
+
+#include <cstdint>
+#include <string>
+
+namespace colossal {
+
+// Little-endian integer codec shared by the binary formats (Bitvector
+// serialization, dataset snapshots). Readers take the cursor by pointer,
+// advance it on success, and return false on truncation — callers must
+// bounds-check *before* trusting any length field they read (never
+// allocate from an unvalidated count; see ParseSnapshot).
+
+inline void AppendLittleEndian64(uint64_t value, std::string* out) {
+  for (int byte = 0; byte < 8; ++byte) {
+    out->push_back(static_cast<char>((value >> (8 * byte)) & 0xff));
+  }
+}
+
+inline void AppendLittleEndian32(uint32_t value, std::string* out) {
+  for (int byte = 0; byte < 4; ++byte) {
+    out->push_back(static_cast<char>((value >> (8 * byte)) & 0xff));
+  }
+}
+
+inline bool ReadLittleEndian64(const std::string& data, size_t* pos,
+                               uint64_t* value) {
+  if (*pos > data.size() || data.size() - *pos < 8) return false;
+  uint64_t result = 0;
+  for (int byte = 0; byte < 8; ++byte) {
+    result |= static_cast<uint64_t>(
+                  static_cast<unsigned char>((data)[*pos + byte]))
+              << (8 * byte);
+  }
+  *pos += 8;
+  *value = result;
+  return true;
+}
+
+inline bool ReadLittleEndian32(const std::string& data, size_t* pos,
+                               uint32_t* value) {
+  if (*pos > data.size() || data.size() - *pos < 4) return false;
+  uint32_t result = 0;
+  for (int byte = 0; byte < 4; ++byte) {
+    result |= static_cast<uint32_t>(
+                  static_cast<unsigned char>((data)[*pos + byte]))
+              << (8 * byte);
+  }
+  *pos += 4;
+  *value = result;
+  return true;
+}
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_COMMON_BYTE_IO_H_

@@ -14,6 +14,25 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
   return seed;
 }
 
+// FNV-1a offset basis / prime, shared by the byte and structured hashes
+// below so fingerprints are stable across builds and platforms.
+inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+inline constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+// FNV-1a over raw bytes, chainable via `seed` (pass the previous digest
+// to hash a concatenation). Used for dataset fingerprints and canonical
+// request keys.
+inline uint64_t HashBytes(const void* data, size_t size,
+                          uint64_t seed = kFnvOffsetBasis) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
 // Content hash of an itemset, for use in unordered containers.
 inline uint64_t HashItemset(const Itemset& itemset) {
   uint64_t hash = 1469598103934665603ULL;

@@ -25,6 +25,12 @@ namespace colossal {
 // hardware_concurrency (at least 1).
 int ResolveNumThreads(int num_threads);
 
+// Ceiling that request-facing front ends (colossal_serve request lines,
+// service flags) enforce on explicit thread counts, so one hostile or
+// fat-fingered request cannot abort the process by exhausting
+// thread-spawn resources. Generous versus any real machine.
+inline constexpr int kMaxExplicitThreads = 1024;
+
 // Thread-count policy: how every engine turns its options' raw
 // `num_threads` knob into a worker count. The default asks for one
 // worker per hardware thread.

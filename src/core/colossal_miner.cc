@@ -4,16 +4,27 @@
 
 namespace colossal {
 
-StatusOr<ColossalMiningResult> MineColossal(
+StatusOr<ColossalMinerOptions> CanonicalizeMinerOptions(
     const TransactionDatabase& db, const ColossalMinerOptions& options) {
-  int64_t min_support_count = options.min_support_count;
-  if (options.sigma >= 0.0) {
-    if (options.sigma > 1.0) {
+  ColossalMinerOptions canonical = options;
+  if (canonical.sigma >= 0.0) {
+    if (canonical.sigma > 1.0) {
       return Status::InvalidArgument("sigma must be in [0, 1]");
     }
-    min_support_count = db.MinSupportCount(options.sigma);
-    if (min_support_count < 1) min_support_count = 1;
+    canonical.min_support_count = db.MinSupportCount(canonical.sigma);
+    if (canonical.min_support_count < 1) canonical.min_support_count = 1;
+    canonical.sigma = -1.0;
   }
+  canonical.num_threads = 0;
+  return canonical;
+}
+
+StatusOr<ColossalMiningResult> MineColossal(
+    const TransactionDatabase& db, const ColossalMinerOptions& options) {
+  StatusOr<ColossalMinerOptions> canonical =
+      CanonicalizeMinerOptions(db, options);
+  if (!canonical.ok()) return canonical.status();
+  const int64_t min_support_count = canonical->min_support_count;
 
   StatusOr<std::vector<Pattern>> pool =
       BuildInitialPool(db, min_support_count, options.initial_pool_max_size,

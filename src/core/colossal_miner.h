@@ -47,7 +47,32 @@ struct ColossalMinerOptions {
   // engine's per-seed work. 0 = auto (hardware_concurrency). Mining
   // output is bit-identical for any value (see PatternFusionOptions).
   int num_threads = 0;
+
+  // Field-wise equality (every knob, including num_threads).
+  friend bool operator==(const ColossalMinerOptions& a,
+                         const ColossalMinerOptions& b) {
+    return a.sigma == b.sigma && a.min_support_count == b.min_support_count &&
+           a.initial_pool_max_size == b.initial_pool_max_size &&
+           a.pool_miner == b.pool_miner && a.tau == b.tau && a.k == b.k &&
+           a.max_iterations == b.max_iterations &&
+           a.fusion_attempts_per_seed == b.fusion_attempts_per_seed &&
+           a.max_superpatterns_per_seed == b.max_superpatterns_per_seed &&
+           a.seed == b.seed && a.num_threads == b.num_threads;
+  }
 };
+
+// Rewrites `options` into the canonical form the service layer caches
+// under: equivalent requests — same mining output by construction —
+// collapse to equal structs. Two rewrites:
+//   * a fractional sigma is resolved against `db` into the absolute
+//     min_support_count it denotes (then cleared), so sigma 0.5 and the
+//     matching --min-support collapse;
+//   * num_threads is zeroed, because thread count is a pure performance
+//     knob (output is bit-identical for any value).
+// Fails on sigma > 1 (mirroring MineColossal's validation).
+// MineColossal(db, Canonicalize...(db, o)) == MineColossal(db, o).
+StatusOr<ColossalMinerOptions> CanonicalizeMinerOptions(
+    const TransactionDatabase& db, const ColossalMinerOptions& options);
 
 struct ColossalMiningResult {
   // The approximation to the colossal patterns, largest first.

@@ -1,0 +1,60 @@
+#ifndef COLOSSAL_DATA_SNAPSHOT_IO_H_
+#define COLOSSAL_DATA_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+
+namespace colossal {
+
+// Binary dataset snapshots: a load-once/reuse-many on-disk form of
+// TransactionDatabase in the spirit of secondary-memory mining. A
+// snapshot stores both the horizontal row store and the vertical index
+// (one Bitvector tidset per item), so loading skips the index build that
+// dominates text ingestion, plus a content fingerprint that doubles as
+// integrity check and as the dataset half of the service layer's result
+// cache key.
+//
+// Layout (all integers little-endian):
+//   8 bytes  magic "CPFSNAP1"
+//   u64      fingerprint (FingerprintDatabase of the logical content)
+//   u64      num_transactions
+//   u64      num_items
+//   per transaction: u32 item count, then that many u32 item ids
+//   per item in [0, num_items): one serialized Bitvector (its tidset)
+//
+// The fingerprint covers the horizontal rows only; the tidsets are
+// validated structurally on load (count, bit lengths, total popcount)
+// by TransactionDatabase::FromItemsetsAndIndex.
+
+// 64-bit content fingerprint of the logical database (transactions and
+// their items, in order). Identical databases fingerprint identically
+// regardless of how they were loaded (text, matrix, or snapshot).
+uint64_t FingerprintDatabase(const TransactionDatabase& db);
+
+// Serializes `db` into the snapshot byte format.
+std::string ToSnapshotString(const TransactionDatabase& db);
+
+// Parses a snapshot document. Fails on a bad magic, truncation, or a
+// fingerprint/content mismatch.
+StatusOr<TransactionDatabase> ParseSnapshot(const std::string& data);
+
+// True iff `data` starts with the snapshot magic (format sniffing).
+bool LooksLikeSnapshot(const std::string& data);
+
+// File variants.
+Status WriteSnapshotFile(const TransactionDatabase& db,
+                         const std::string& path);
+StatusOr<TransactionDatabase> ReadSnapshotFile(const std::string& path);
+
+// One-stop loader used by the CLI and the DatasetRegistry. `format` is
+// "fimi", "matrix", "snapshot", or "auto" (sniff the snapshot magic,
+// fall back to FIMI text).
+StatusOr<TransactionDatabase> LoadDatabaseFile(const std::string& path,
+                                               const std::string& format);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_DATA_SNAPSHOT_IO_H_

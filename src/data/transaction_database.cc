@@ -53,6 +53,74 @@ StatusOr<TransactionDatabase> TransactionDatabase::FromItemsets(
   return db;
 }
 
+StatusOr<TransactionDatabase> TransactionDatabase::FromItemsetsAndIndex(
+    std::vector<Itemset> transactions, std::vector<Bitvector> tidsets) {
+  if (transactions.empty()) {
+    return Status::InvalidArgument("database must contain at least one transaction");
+  }
+  ItemId max_item = 0;
+  int64_t total_occurrences = 0;
+  for (size_t t = 0; t < transactions.size(); ++t) {
+    const Itemset& itemset = transactions[t];
+    if (itemset.empty()) {
+      return Status::InvalidArgument("transaction " + std::to_string(t) +
+                                     " is empty");
+    }
+    const ItemId largest = itemset[itemset.size() - 1];
+    if (largest >= kMaxItems) {
+      return Status::InvalidArgument(
+          "item id " + std::to_string(largest) + " exceeds limit " +
+          std::to_string(kMaxItems));
+    }
+    max_item = std::max(max_item, largest);
+    total_occurrences += itemset.size();
+  }
+
+  if (tidsets.size() != static_cast<size_t>(max_item) + 1) {
+    return Status::InvalidArgument(
+        "vertical index has " + std::to_string(tidsets.size()) +
+        " tidsets, transactions imply " + std::to_string(max_item + 1));
+  }
+  int64_t total_bits = 0;
+  for (size_t item = 0; item < tidsets.size(); ++item) {
+    if (tidsets[item].size_bits() !=
+        static_cast<int64_t>(transactions.size())) {
+      return Status::InvalidArgument(
+          "tidset " + std::to_string(item) + " has " +
+          std::to_string(tidsets[item].size_bits()) + " bits, want " +
+          std::to_string(transactions.size()));
+    }
+    total_bits += tidsets[item].Count();
+  }
+  if (total_bits != total_occurrences) {
+    return Status::InvalidArgument(
+        "vertical index holds " + std::to_string(total_bits) +
+        " set bits, transactions hold " + std::to_string(total_occurrences) +
+        " item occurrences");
+  }
+
+  TransactionDatabase db;
+  db.transactions_ = std::move(transactions);
+  db.num_items_ = max_item + 1;
+  db.tidsets_ = std::move(tidsets);
+  db.total_occurrences_ = total_occurrences;
+  return db;
+}
+
+int64_t TransactionDatabase::ApproxMemoryBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(TransactionDatabase));
+  for (const Itemset& transaction : transactions_) {
+    bytes += static_cast<int64_t>(sizeof(Itemset)) +
+             static_cast<int64_t>(transaction.size()) *
+                 static_cast<int64_t>(sizeof(ItemId));
+  }
+  for (const Bitvector& tidset : tidsets_) {
+    bytes += static_cast<int64_t>(sizeof(Bitvector)) +
+             (tidset.size_bits() + 63) / 64 * 8;
+  }
+  return bytes;
+}
+
 const Bitvector& TransactionDatabase::item_tidset(ItemId item) const {
   COLOSSAL_CHECK(item < num_items_) << "item=" << item;
   return tidsets_[item];

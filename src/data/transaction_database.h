@@ -41,6 +41,17 @@ class TransactionDatabase {
   static StatusOr<TransactionDatabase> FromItemsets(
       std::vector<Itemset> transactions);
 
+  // Builds a database from normalized itemsets plus a prebuilt vertical
+  // index (one tidset per item id in [0, tidsets.size())), skipping the
+  // index construction — the snapshot loader's fast path. Validates the
+  // index cheaply: tidset count and bit lengths must match the
+  // transactions, and the total set-bit count must equal the total item
+  // occurrences. (A full per-bit cross-check would cost as much as
+  // rebuilding; snapshot integrity is additionally covered by the
+  // content fingerprint.)
+  static StatusOr<TransactionDatabase> FromItemsetsAndIndex(
+      std::vector<Itemset> transactions, std::vector<Bitvector> tidsets);
+
   int64_t num_transactions() const {
     return static_cast<int64_t>(transactions_.size());
   }
@@ -74,6 +85,12 @@ class TransactionDatabase {
 
   // Sum of transaction lengths.
   int64_t TotalItemOccurrences() const { return total_occurrences_; }
+
+  // Approximate resident heap size of this database (row store plus
+  // vertical index), used by the service layer's DatasetRegistry to
+  // enforce its memory budget. An estimate, not an accounting of every
+  // allocator header.
+  int64_t ApproxMemoryBytes() const;
 
  private:
   std::vector<Itemset> transactions_;

@@ -1,0 +1,109 @@
+#include "service/dataset_registry.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "data/snapshot_io.h"
+
+namespace colossal {
+
+namespace {
+
+std::string EntryKey(const std::string& path, const std::string& format) {
+  // '\n' cannot appear in either component, so the key is unambiguous.
+  return path + "\n" + format;
+}
+
+}  // namespace
+
+DatasetRegistry::DatasetRegistry(const DatasetRegistryOptions& options)
+    : options_(options) {}
+
+StatusOr<DatasetHandle> DatasetRegistry::Get(const std::string& path,
+                                             const std::string& format) {
+  const std::string key = EntryKey(path, format);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+      ++stats_.hits;
+      DatasetHandle handle;
+      handle.db = it->second.db;
+      handle.fingerprint = it->second.fingerprint;
+      handle.registry_hit = true;
+      return handle;
+    }
+  }
+
+  // Load outside the lock so other paths stay servable. If two threads
+  // race on the same new path both load; the second insert is dropped in
+  // favour of the first (identical content either way).
+  Stopwatch stopwatch;
+  StatusOr<TransactionDatabase> loaded = LoadDatabaseFile(path, format);
+  if (!loaded.ok()) return loaded.status();
+  auto db = std::make_shared<const TransactionDatabase>(*std::move(loaded));
+  const uint64_t fingerprint = FingerprintDatabase(*db);
+  const double load_seconds = stopwatch.ElapsedSeconds();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.loads;
+    Entry entry;
+    entry.db = db;
+    entry.fingerprint = fingerprint;
+    entry.bytes = db->ApproxMemoryBytes();
+    lru_.push_front(key);
+    entry.lru_position = lru_.begin();
+    resident_bytes_ += entry.bytes;
+    entries_.emplace(key, std::move(entry));
+    EvictLocked();
+  } else {
+    // Lost the race; serve the registered copy.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    ++stats_.hits;
+  }
+  DatasetHandle handle;
+  handle.db = entries_.at(key).db;
+  handle.fingerprint = entries_.at(key).fingerprint;
+  handle.registry_hit = false;
+  handle.load_seconds = load_seconds;
+  return handle;
+}
+
+void DatasetRegistry::Invalidate(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const std::string& key = it->first;
+    if (key.compare(0, path.size(), path) == 0 &&
+        key.size() > path.size() && key[path.size()] == '\n') {
+      resident_bytes_ -= it->second.bytes;
+      lru_.erase(it->second.lru_position);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+DatasetRegistryStats DatasetRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DatasetRegistryStats stats = stats_;
+  stats.resident_bytes = resident_bytes_;
+  stats.resident_datasets = static_cast<int64_t>(entries_.size());
+  return stats;
+}
+
+void DatasetRegistry::EvictLocked() {
+  while (resident_bytes_ > options_.memory_budget_bytes && lru_.size() > 1) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    resident_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace colossal

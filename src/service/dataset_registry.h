@@ -1,0 +1,93 @@
+#ifndef COLOSSAL_SERVICE_DATASET_REGISTRY_H_
+#define COLOSSAL_SERVICE_DATASET_REGISTRY_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "data/transaction_database.h"
+
+namespace colossal {
+
+// A loaded dataset as handed to requests: the immutable database (shared
+// ownership, so eviction never invalidates in-flight mining), its content
+// fingerprint, and how this lookup was served.
+struct DatasetHandle {
+  std::shared_ptr<const TransactionDatabase> db;
+  uint64_t fingerprint = 0;
+  // True when the registry served the dataset without touching disk.
+  bool registry_hit = false;
+  // Wall-clock seconds of the disk load + fingerprint (0 on a hit).
+  double load_seconds = 0.0;
+};
+
+struct DatasetRegistryOptions {
+  // Evict least-recently-used datasets once the resident estimate
+  // (TransactionDatabase::ApproxMemoryBytes) exceeds this. The most
+  // recently used dataset is never evicted, so a single dataset larger
+  // than the budget still loads (and simply owns the whole budget).
+  int64_t memory_budget_bytes = int64_t{1} << 30;
+};
+
+struct DatasetRegistryStats {
+  int64_t loads = 0;       // disk loads (misses)
+  int64_t hits = 0;        // served from memory
+  int64_t evictions = 0;
+  int64_t resident_bytes = 0;
+  int64_t resident_datasets = 0;
+};
+
+// Loads each dataset once and shares it immutably across requests — the
+// "load once from secondary memory, mine many times" half of the service
+// layer. Keyed by (path, format); thread-safe; LRU-evicts by the memory
+// budget. A changed file under an already-registered path is not
+// detected — call Invalidate(path) to force a reload.
+class DatasetRegistry {
+ public:
+  explicit DatasetRegistry(const DatasetRegistryOptions& options = {});
+
+  DatasetRegistry(const DatasetRegistry&) = delete;
+  DatasetRegistry& operator=(const DatasetRegistry&) = delete;
+
+  // Returns the dataset at `path`, loading it (format as in
+  // LoadDatabaseFile: "fimi" | "matrix" | "snapshot" | "auto") on first
+  // use. Loads run outside the registry lock; if two threads race on the
+  // same new path both read the file and one copy is kept. (Identical
+  // *requests* are deduplicated upstream by MiningService.)
+  StatusOr<DatasetHandle> Get(const std::string& path,
+                              const std::string& format = "auto");
+
+  // Drops the entry for `path` (all formats) if present. In-flight users
+  // keep their shared_ptr; the next Get reloads from disk.
+  void Invalidate(const std::string& path);
+
+  DatasetRegistryStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const TransactionDatabase> db;
+    uint64_t fingerprint = 0;
+    int64_t bytes = 0;
+    // Position in lru_ (most recent at the front).
+    std::list<std::string>::iterator lru_position;
+  };
+
+  // Evicts LRU entries (never the front) until the budget is met.
+  // Caller holds mutex_.
+  void EvictLocked();
+
+  const DatasetRegistryOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;  // key: path \n format
+  std::list<std::string> lru_;                      // keys, MRU first
+  int64_t resident_bytes_ = 0;
+  DatasetRegistryStats stats_;
+};
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_SERVICE_DATASET_REGISTRY_H_

@@ -1,0 +1,155 @@
+#include "service/mining_service.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace colossal {
+
+const char* ResponseSourceName(ResponseSource source) {
+  switch (source) {
+    case ResponseSource::kMined:
+      return "mined";
+    case ResponseSource::kCache:
+      return "cache";
+    case ResponseSource::kCoalesced:
+      return "coalesced";
+    case ResponseSource::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+MiningService::MiningService(const MiningServiceOptions& options)
+    : options_(options),
+      registry_(options.registry),
+      cache_(options.cache),
+      pool_(options.num_threads) {}
+
+MiningService::~MiningService() = default;
+
+MiningResponse MiningService::Mine(const MiningRequest& request) {
+  Stopwatch stopwatch;
+  MiningResponse response;
+
+  StatusOr<DatasetHandle> handle =
+      registry_.Get(request.dataset_path, request.format);
+  if (!handle.ok()) {
+    response.status = handle.status();
+    response.seconds = stopwatch.ElapsedSeconds();
+    return response;
+  }
+  response.dataset_registry_hit = handle->registry_hit;
+  response.dataset_fingerprint = handle->fingerprint;
+
+  StatusOr<CanonicalRequest> canonical =
+      CanonicalizeRequest(*handle->db, request.options);
+  if (!canonical.ok()) {
+    response.status = canonical.status();
+    response.seconds = stopwatch.ElapsedSeconds();
+    return response;
+  }
+  response.options_hash = canonical->options_hash;
+  const ResultCacheKey key{handle->fingerprint, canonical->options_hash};
+
+  if (std::shared_ptr<const ColossalMiningResult> cached =
+          cache_.Get(key, canonical->options)) {
+    response.result = std::move(cached);
+    response.source = ResponseSource::kCache;
+    response.seconds = stopwatch.ElapsedSeconds();
+    return response;
+  }
+
+  // Execution options: canonical, except the thread count — a pure
+  // performance knob with bit-identical output — which is taken from the
+  // request (falling back to the service's per-job default).
+  ColossalMinerOptions exec = canonical->options;
+  exec.num_threads = request.options.num_threads != 0
+                         ? request.options.num_threads
+                         : options_.mining_threads;
+
+  // Join an identical in-flight request, or become the runner for one.
+  // A key collision with different canonical options (verified below)
+  // mines standalone: correct result, just no dedup for that request.
+  std::shared_ptr<Inflight> job;
+  bool runner = false;
+  bool standalone = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) {
+      job = std::make_shared<Inflight>();
+      job->canonical = canonical->options;
+      inflight_.emplace(key, job);
+      runner = true;
+    } else if (it->second->canonical == canonical->options) {
+      job = it->second;
+    } else {
+      standalone = true;
+    }
+  }
+  if (standalone) {
+    StatusOr<ColossalMiningResult> mined = MineColossal(*handle->db, exec);
+    response.status = mined.status();
+    if (mined.ok()) {
+      response.result =
+          std::make_shared<const ColossalMiningResult>(*std::move(mined));
+      response.source = ResponseSource::kMined;
+      cache_.Put(key, canonical->options, response.result);
+    }
+    response.seconds = stopwatch.ElapsedSeconds();
+    return response;
+  }
+
+  if (!runner) {
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->done_cv.wait(lock, [&] { return job->done; });
+    response.status = job->status;
+    response.result = job->result;
+    response.source =
+        job->status.ok() ? ResponseSource::kCoalesced : ResponseSource::kFailed;
+    response.seconds = stopwatch.ElapsedSeconds();
+    return response;
+  }
+
+  StatusOr<ColossalMiningResult> mined = MineColossal(*handle->db, exec);
+
+  std::shared_ptr<const ColossalMiningResult> result;
+  if (mined.ok()) {
+    result =
+        std::make_shared<const ColossalMiningResult>(*std::move(mined));
+  }
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    job->status = mined.status();
+    job->result = result;
+    job->done = true;
+  }
+  job->done_cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_.erase(key);
+  }
+  if (mined.ok()) {
+    cache_.Put(key, canonical->options, result);
+  }
+
+  response.status = mined.status();
+  response.result = std::move(result);
+  response.source =
+      mined.ok() ? ResponseSource::kMined : ResponseSource::kFailed;
+  response.seconds = stopwatch.ElapsedSeconds();
+  return response;
+}
+
+std::vector<MiningResponse> MiningService::MineBatch(
+    const std::vector<MiningRequest>& requests) {
+  std::vector<MiningResponse> responses(requests.size());
+  pool_.ParallelFor(static_cast<int64_t>(requests.size()), [&](int64_t i) {
+    responses[static_cast<size_t>(i)] =
+        Mine(requests[static_cast<size_t>(i)]);
+  });
+  return responses;
+}
+
+}  // namespace colossal

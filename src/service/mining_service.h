@@ -1,0 +1,111 @@
+#ifndef COLOSSAL_SERVICE_MINING_SERVICE_H_
+#define COLOSSAL_SERVICE_MINING_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "service/dataset_registry.h"
+#include "service/request.h"
+#include "service/result_cache.h"
+
+namespace colossal {
+
+struct MiningServiceOptions {
+  // Worker threads the batch API fans requests across. 0 = auto.
+  int num_threads = 0;
+
+  // Default intra-request mining threads when a request leaves
+  // options.num_threads at 0. The service default is 1 so that batch
+  // throughput comes from request-level parallelism instead of
+  // oversubscribing every job; single synchronous callers can set a
+  // request-level --threads. Output is identical either way.
+  int mining_threads = 1;
+
+  DatasetRegistryOptions registry;
+  ResultCacheOptions cache;
+};
+
+// How a response was produced, for logging/stats.
+enum class ResponseSource {
+  kMined,      // ran Pattern-Fusion
+  kCache,      // served from the result cache
+  kCoalesced,  // waited on an identical in-flight request
+  kFailed,
+};
+
+const char* ResponseSourceName(ResponseSource source);
+
+struct MiningResponse {
+  // Per-request status: a batch never aborts because one line failed.
+  Status status;
+  // The (shared, immutable) mining result; null when !status.ok().
+  std::shared_ptr<const ColossalMiningResult> result;
+
+  ResponseSource source = ResponseSource::kFailed;
+  // True when the dataset came from the registry without a disk load.
+  bool dataset_registry_hit = false;
+  uint64_t dataset_fingerprint = 0;
+  uint64_t options_hash = 0;
+  // End-to-end wall-clock for this request (registry + cache + mining).
+  double seconds = 0.0;
+};
+
+// The mining front door: resolves datasets through a DatasetRegistry,
+// collapses equivalent requests onto one ResultCache entry, deduplicates
+// identical in-flight requests (the second caller waits for the first
+// instead of mining twice), and fans batches across a ThreadPool.
+// Thread-safe; Mine may be called concurrently from any thread.
+class MiningService {
+ public:
+  explicit MiningService(const MiningServiceOptions& options = {});
+  ~MiningService();
+
+  MiningService(const MiningService&) = delete;
+  MiningService& operator=(const MiningService&) = delete;
+
+  // Serves one request synchronously.
+  MiningResponse Mine(const MiningRequest& request);
+
+  // Serves a batch, scheduling requests across the service pool.
+  // Responses are positionally aligned with `requests`. Duplicate
+  // requests within a batch are served once (cache or in-flight dedup).
+  std::vector<MiningResponse> MineBatch(
+      const std::vector<MiningRequest>& requests);
+
+  DatasetRegistryStats registry_stats() const { return registry_.stats(); }
+  ResultCacheStats cache_stats() const { return cache_.stats(); }
+
+ private:
+  // One in-flight mining job; identical concurrent requests wait on it.
+  // `canonical` (immutable after insertion) is verified by joiners so a
+  // 64-bit key collision mines independently instead of returning the
+  // wrong result — the same guarantee ResultCache gives.
+  struct Inflight {
+    ColossalMinerOptions canonical;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    Status status;
+    std::shared_ptr<const ColossalMiningResult> result;
+  };
+
+  const MiningServiceOptions options_;
+  DatasetRegistry registry_;
+  ResultCache cache_;
+  ThreadPool pool_;
+
+  std::mutex inflight_mutex_;
+  std::unordered_map<ResultCacheKey, std::shared_ptr<Inflight>,
+                     ResultCacheKeyHash>
+      inflight_;
+};
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_SERVICE_MINING_SERVICE_H_

@@ -1,0 +1,146 @@
+#include "service/request.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/args.h"
+#include "common/hash.h"
+#include "common/thread_pool.h"
+
+namespace colossal {
+
+namespace {
+
+// Hashes a double by bit pattern. Canonical options never hold a NaN
+// (sigma is resolved away; tau is a plain parameter), so bit-pattern
+// equality matches operator== on the struct.
+uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+uint64_t HashMinerOptions(const ColossalMinerOptions& options) {
+  uint64_t hash = kFnvOffsetBasis;
+  hash = HashCombine(hash, DoubleBits(options.sigma));
+  hash = HashCombine(hash, static_cast<uint64_t>(options.min_support_count));
+  hash = HashCombine(hash,
+                     static_cast<uint64_t>(options.initial_pool_max_size));
+  hash = HashCombine(hash, static_cast<uint64_t>(options.pool_miner));
+  hash = HashCombine(hash, DoubleBits(options.tau));
+  hash = HashCombine(hash, static_cast<uint64_t>(options.k));
+  hash = HashCombine(hash, static_cast<uint64_t>(options.max_iterations));
+  hash = HashCombine(hash,
+                     static_cast<uint64_t>(options.fusion_attempts_per_seed));
+  hash = HashCombine(
+      hash, static_cast<uint64_t>(options.max_superpatterns_per_seed));
+  hash = HashCombine(hash, options.seed);
+  hash = HashCombine(hash, static_cast<uint64_t>(options.num_threads));
+  return hash;
+}
+
+StatusOr<CanonicalRequest> CanonicalizeRequest(
+    const TransactionDatabase& db, const ColossalMinerOptions& options) {
+  StatusOr<ColossalMinerOptions> canonical =
+      CanonicalizeMinerOptions(db, options);
+  if (!canonical.ok()) return canonical.status();
+  CanonicalRequest request;
+  request.options = *canonical;
+  request.options_hash = HashMinerOptions(request.options);
+  return request;
+}
+
+size_t ResultCacheKeyHash::operator()(const ResultCacheKey& key) const {
+  return static_cast<size_t>(
+      HashCombine(key.dataset_fingerprint, key.options_hash));
+}
+
+StatusOr<MiningRequest> ParseRequestLine(const std::string& line) {
+  StatusOr<Args> parsed = Args::ParseLine(line);
+  if (!parsed.ok()) return parsed.status();
+  const Args& args = *parsed;
+  Status known = args.CheckKnown(
+      {"in", "format", "sigma", "min-support", "tau", "k", "pool-size",
+       "pool-miner", "max-iterations", "attempts", "retain", "seed",
+       "threads"});
+  if (!known.ok()) return known;
+
+  MiningRequest request;
+  request.dataset_path = args.GetString("in");
+  if (request.dataset_path.empty()) {
+    return Status::InvalidArgument("request needs --in FILE");
+  }
+  request.format = args.GetString("format", "auto");
+
+  ColossalMinerOptions& options = request.options;
+  if (args.Has("sigma")) {
+    StatusOr<double> sigma = args.GetDouble("sigma", 0.0);
+    if (!sigma.ok()) return sigma.status();
+    if (*sigma < 0.0 || *sigma > 1.0) {
+      return Status::InvalidArgument("--sigma must be in [0, 1]");
+    }
+    options.sigma = *sigma;
+  } else {
+    StatusOr<int64_t> min_support = args.GetInt("min-support", 0);
+    if (!min_support.ok()) return min_support.status();
+    if (*min_support < 1) {
+      return Status::InvalidArgument(
+          "request needs --sigma F or --min-support N (>= 1)");
+    }
+    options.sigma = -1.0;
+    options.min_support_count = *min_support;
+  }
+
+  StatusOr<double> tau = args.GetDouble("tau", options.tau);
+  if (!tau.ok()) return tau.status();
+  options.tau = *tau;
+
+  const struct {
+    const char* flag;
+    int64_t fallback;
+    int64_t min;
+    int64_t max;
+    int* target;
+  } int_flags[] = {
+      {"k", options.k, 1, std::numeric_limits<int>::max(), &options.k},
+      {"pool-size", options.initial_pool_max_size, 1,
+       std::numeric_limits<int>::max(), &options.initial_pool_max_size},
+      {"max-iterations", options.max_iterations, 1,
+       std::numeric_limits<int>::max(), &options.max_iterations},
+      {"attempts", options.fusion_attempts_per_seed, 1,
+       std::numeric_limits<int>::max(), &options.fusion_attempts_per_seed},
+      {"retain", options.max_superpatterns_per_seed, 1,
+       std::numeric_limits<int>::max(), &options.max_superpatterns_per_seed},
+      {"threads", options.num_threads, 0, kMaxExplicitThreads,
+       &options.num_threads},
+  };
+  for (const auto& flag : int_flags) {
+    StatusOr<int64_t> value = args.GetInt(flag.flag, flag.fallback);
+    if (!value.ok()) return value.status();
+    if (*value < flag.min || *value > flag.max) {
+      return Status::InvalidArgument(std::string("--") + flag.flag +
+                                     " out of range");
+    }
+    *flag.target = static_cast<int>(*value);
+  }
+
+  StatusOr<int64_t> seed = args.GetInt("seed", static_cast<int64_t>(options.seed));
+  if (!seed.ok()) return seed.status();
+  options.seed = static_cast<uint64_t>(*seed);
+
+  const std::string pool_miner = args.GetString("pool-miner", "apriori");
+  if (pool_miner == "apriori") {
+    options.pool_miner = PoolMiner::kApriori;
+  } else if (pool_miner == "eclat") {
+    options.pool_miner = PoolMiner::kEclat;
+  } else {
+    return Status::InvalidArgument("unknown --pool-miner '" + pool_miner +
+                                   "' (want apriori|eclat)");
+  }
+  return request;
+}
+
+}  // namespace colossal

@@ -1,0 +1,72 @@
+#ifndef COLOSSAL_SERVICE_REQUEST_H_
+#define COLOSSAL_SERVICE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/colossal_miner.h"
+#include "data/transaction_database.h"
+
+namespace colossal {
+
+// A mining request as the service layer sees it: which dataset, and the
+// full set of Pattern-Fusion knobs. Requests are value types; the
+// service resolves the dataset path through its DatasetRegistry.
+struct MiningRequest {
+  std::string dataset_path;
+  // "fimi" | "matrix" | "snapshot" | "auto" (see LoadDatabaseFile).
+  std::string format = "auto";
+  ColossalMinerOptions options;
+};
+
+// The canonical form of a request against a concrete dataset, produced
+// by CanonicalizeRequest: options rewritten so that every request with
+// the same mining output has the same canonical struct, plus the stable
+// 64-bit hash the result cache keys on.
+struct CanonicalRequest {
+  ColossalMinerOptions options;
+  uint64_t options_hash = 0;
+};
+
+// Stable content hash over the result-affecting option fields. Operates
+// on already-canonical options (call through CanonicalizeRequest);
+// num_threads and sigma are hashed too, which is harmless because
+// canonicalization has zeroed/resolved them.
+uint64_t HashMinerOptions(const ColossalMinerOptions& options);
+
+// Canonicalizes `options` against `db` (see CanonicalizeMinerOptions)
+// and hashes the result. Equivalent requests — sigma vs. the absolute
+// support it denotes, any num_threads — collapse to one CanonicalRequest.
+StatusOr<CanonicalRequest> CanonicalizeRequest(
+    const TransactionDatabase& db, const ColossalMinerOptions& options);
+
+// Result-cache key: one dataset (by content fingerprint, so the same
+// bytes under two paths share entries) × one canonical option set.
+struct ResultCacheKey {
+  uint64_t dataset_fingerprint = 0;
+  uint64_t options_hash = 0;
+
+  friend bool operator==(const ResultCacheKey& a, const ResultCacheKey& b) {
+    return a.dataset_fingerprint == b.dataset_fingerprint &&
+           a.options_hash == b.options_hash;
+  }
+};
+
+struct ResultCacheKeyHash {
+  size_t operator()(const ResultCacheKey& key) const;
+};
+
+// Parses one request line of the batch/daemon protocol:
+//
+//   --in FILE [--format fimi|matrix|snapshot|auto]
+//   (--sigma F | --min-support N) [--tau F] [--k N] [--pool-size N]
+//   [--pool-miner apriori|eclat] [--max-iterations N] [--attempts N]
+//   [--retain N] [--seed S] [--threads N]
+//
+// Unknown flags are rejected with the list of known ones.
+StatusOr<MiningRequest> ParseRequestLine(const std::string& line);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_SERVICE_REQUEST_H_

@@ -1,0 +1,55 @@
+#include "service/result_cache.h"
+
+#include <utility>
+
+namespace colossal {
+
+ResultCache::ResultCache(const ResultCacheOptions& options)
+    : options_(options) {}
+
+std::shared_ptr<const ColossalMiningResult> ResultCache::Get(
+    const ResultCacheKey& key, const ColossalMinerOptions& canonical) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || !(it->second.canonical == canonical)) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+  ++stats_.hits;
+  return it->second.result;
+}
+
+void ResultCache::Put(const ResultCacheKey& key,
+                      const ColossalMinerOptions& canonical,
+                      std::shared_ptr<const ColossalMiningResult> result) {
+  if (options_.max_entries <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.canonical = canonical;
+    it->second.result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    return;
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.canonical = canonical;
+  entry.result = std::move(result);
+  entry.lru_position = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+  while (static_cast<int64_t>(entries_.size()) > options_.max_entries) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ResultCacheStats stats = stats_;
+  stats.entries = static_cast<int64_t>(entries_.size());
+  return stats;
+}
+
+}  // namespace colossal

@@ -1,4 +1,4 @@
-#include "tools/args.h"
+#include "common/args.h"
 
 #include <vector>
 
@@ -68,6 +68,63 @@ TEST(ArgsTest, CheckKnownCatchesTypos) {
   ASSERT_FALSE(status.ok());
   EXPECT_NE(status.message().find("--dataseet"), std::string::npos);
   EXPECT_TRUE(args->CheckKnown({"dataseet"}).ok());
+}
+
+TEST(ArgsTest, HelpIsABareFlag) {
+  StatusOr<Args> args = ParseVector({"--help"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args->HelpRequested());
+
+  // --help consumes no value, so flags after it still parse.
+  args = ParseVector({"--help", "--k", "5"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args->HelpRequested());
+  EXPECT_EQ(*args->GetInt("k", 0), 5);
+
+  args = ParseVector({"-h"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args->HelpRequested());
+
+  EXPECT_FALSE(ParseVector({"--n", "3"})->HelpRequested());
+}
+
+TEST(ArgsTest, DeclaredBooleanFlagsTakeNoValue) {
+  const std::vector<const char*> argv = {"--csv", "--out", "x"};
+  StatusOr<Args> args =
+      Args::Parse(static_cast<int>(argv.size()), argv.data(), 0, {"csv"});
+  ASSERT_TRUE(args.ok()) << args.status().ToString();
+  EXPECT_TRUE(args->Has("csv"));
+  EXPECT_EQ(args->GetString("out"), "x");
+  // Without the declaration, --csv still wants a value.
+  EXPECT_TRUE(ParseVector({"--csv"}).status().message().find(
+                  "needs a value") != std::string::npos);
+}
+
+TEST(ArgsTest, HelpIsAlwaysKnown) {
+  StatusOr<Args> args = ParseVector({"--help", "--n", "3"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args->CheckKnown({"n"}).ok());
+}
+
+TEST(ArgsTest, UnknownFlagErrorListsKnownFlags) {
+  StatusOr<Args> args = ParseVector({"--treads", "4"});
+  ASSERT_TRUE(args.ok());
+  Status status = args->CheckKnown({"threads", "tau", "k"});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("--treads"), std::string::npos);
+  EXPECT_NE(status.message().find("--threads"), std::string::npos);
+  EXPECT_NE(status.message().find("--tau"), std::string::npos);
+  EXPECT_NE(status.message().find("--k"), std::string::npos);
+}
+
+TEST(ArgsTest, ParseLineTokenizesWhitespace) {
+  StatusOr<Args> args =
+      Args::ParseLine("  --in  data.fimi\t--min-support 20 ");
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->GetString("in"), "data.fimi");
+  EXPECT_EQ(*args->GetInt("min-support", 0), 20);
+  EXPECT_TRUE(Args::ParseLine("")->CheckKnown({}).ok());
+  EXPECT_FALSE(Args::ParseLine("--dangling").ok());
 }
 
 TEST(ArgsTest, LaterValueWins) {

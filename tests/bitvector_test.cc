@@ -1,5 +1,7 @@
 #include "common/bitvector.h"
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -143,6 +145,109 @@ TEST(BitvectorTest, HashValueMatchesForEqualContent) {
 TEST(BitvectorTest, ToStringShowsBitZeroFirst) {
   Bitvector bits = Bitvector::FromIndices(4, {1, 3});
   EXPECT_EQ(bits.ToString(), "0101");
+}
+
+TEST(BitvectorSerializationTest, RoundTripsEmptyAndZeroLength) {
+  for (int64_t num_bits : {int64_t{0}, int64_t{1}, int64_t{100}}) {
+    const Bitvector original(num_bits);  // all clear
+    std::string data;
+    original.AppendTo(&data);
+    EXPECT_EQ(static_cast<int64_t>(data.size()),
+              Bitvector::SerializedBytes(num_bits));
+    size_t pos = 0;
+    StatusOr<Bitvector> parsed = Bitvector::ParseFrom(data, &pos);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(*parsed, original);
+    EXPECT_EQ(pos, data.size());
+  }
+}
+
+TEST(BitvectorSerializationTest, RoundTripsWordBoundaries) {
+  for (int num_bits : {1, 63, 64, 65, 127, 128, 129}) {
+    Bitvector original(num_bits);
+    for (int i = 0; i < num_bits; i += 3) original.Set(i);
+    original.Set(num_bits - 1);  // exercise the tail bit
+    std::string data;
+    original.AppendTo(&data);
+    size_t pos = 0;
+    StatusOr<Bitvector> parsed = Bitvector::ParseFrom(data, &pos);
+    ASSERT_TRUE(parsed.ok()) << "num_bits=" << num_bits;
+    EXPECT_EQ(*parsed, original) << "num_bits=" << num_bits;
+  }
+}
+
+TEST(BitvectorSerializationTest, RoundTripsLargeVector) {
+  Bitvector original(1 << 16);
+  for (int64_t i = 0; i < original.size_bits(); ++i) {
+    if ((i * 2654435761u) % 7 < 3) original.Set(i);
+  }
+  std::string data;
+  original.AppendTo(&data);
+  size_t pos = 0;
+  StatusOr<Bitvector> parsed = Bitvector::ParseFrom(data, &pos);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, original);
+  EXPECT_EQ(parsed->Count(), original.Count());
+}
+
+TEST(BitvectorSerializationTest, ConcatenatedVectorsParseInSequence) {
+  const Bitvector first = Bitvector::FromIndices(70, {0, 64, 69});
+  const Bitvector second = Bitvector::FromIndices(3, {1});
+  std::string data;
+  first.AppendTo(&data);
+  second.AppendTo(&data);
+  size_t pos = 0;
+  StatusOr<Bitvector> a = Bitvector::ParseFrom(data, &pos);
+  StatusOr<Bitvector> b = Bitvector::ParseFrom(data, &pos);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, first);
+  EXPECT_EQ(*b, second);
+  EXPECT_EQ(pos, data.size());
+}
+
+TEST(BitvectorSerializationTest, RejectsTruncatedInput) {
+  Bitvector original = Bitvector::FromIndices(130, {0, 64, 129});
+  std::string data;
+  original.AppendTo(&data);
+  for (size_t cut : {size_t{0}, size_t{4}, size_t{8}, data.size() - 1}) {
+    const std::string truncated = data.substr(0, cut);
+    size_t pos = 0;
+    EXPECT_FALSE(Bitvector::ParseFrom(truncated, &pos).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(BitvectorSerializationTest, RejectsHostileLengthWithoutAllocating) {
+  // An 8-byte input declaring a near-INT64_MAX bit length must fail with
+  // a Status, not die in a multi-exabyte allocation.
+  for (uint64_t declared :
+       {uint64_t{1} << 62, static_cast<uint64_t>(INT64_MAX) - 1,
+        uint64_t{1000000}}) {
+    std::string data;
+    for (int byte = 0; byte < 8; ++byte) {
+      data.push_back(static_cast<char>((declared >> (8 * byte)) & 0xff));
+    }
+    size_t pos = 0;
+    StatusOr<Bitvector> parsed = Bitvector::ParseFrom(data, &pos);
+    ASSERT_FALSE(parsed.ok()) << "declared=" << declared;
+    EXPECT_NE(parsed.status().message().find("truncated"),
+              std::string::npos);
+  }
+}
+
+TEST(BitvectorSerializationTest, RejectsCorruptPadding) {
+  Bitvector original(65);
+  original.Set(64);
+  std::string data;
+  original.AppendTo(&data);
+  // Set a bit beyond the declared 65 bits inside the second word.
+  data[8 + 8 + 1] = static_cast<char>(data[8 + 8 + 1] | 0x02);
+  size_t pos = 0;
+  StatusOr<Bitvector> parsed = Bitvector::ParseFrom(data, &pos);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("beyond declared length"),
+            std::string::npos);
 }
 
 // Parameterized sweep: kernels agree with a naive per-bit reference

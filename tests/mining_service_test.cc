@@ -1,0 +1,267 @@
+#include "service/mining_service.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/pattern.h"
+#include "data/dataset_io.h"
+#include "data/generators.h"
+#include "data/snapshot_io.h"
+#include "mining/result_io.h"
+#include "service/dataset_registry.h"
+#include "service/result_cache.h"
+
+namespace colossal {
+namespace {
+
+// Shared on-disk datasets for the suite (written once).
+class MiningServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const std::string dir = ::testing::TempDir();
+    fimi_path_ = new std::string(dir + "/service_test_a.fimi");
+    other_path_ = new std::string(dir + "/service_test_b.fimi");
+    snap_path_ = new std::string(dir + "/service_test_a.snap");
+    db_ = new TransactionDatabase(MakeDiagPlus(16, 8).db);
+    ASSERT_TRUE(WriteFimiFile(*db_, *fimi_path_).ok());
+    ASSERT_TRUE(WriteSnapshotFile(*db_, *snap_path_).ok());
+    ASSERT_TRUE(WriteFimiFile(MakeDiag(12), *other_path_).ok());
+  }
+
+  static MiningRequest BasicRequest() {
+    MiningRequest request;
+    request.dataset_path = *fimi_path_;
+    request.options.min_support_count = 8;
+    request.options.sigma = -1.0;
+    request.options.initial_pool_max_size = 2;
+    request.options.k = 20;
+    return request;
+  }
+
+  static std::string* fimi_path_;
+  static std::string* other_path_;
+  static std::string* snap_path_;
+  static TransactionDatabase* db_;
+};
+
+std::string* MiningServiceTest::fimi_path_ = nullptr;
+std::string* MiningServiceTest::other_path_ = nullptr;
+std::string* MiningServiceTest::snap_path_ = nullptr;
+TransactionDatabase* MiningServiceTest::db_ = nullptr;
+
+TEST_F(MiningServiceTest, SecondIdenticalRequestIsCachedAndBitIdentical) {
+  MiningService service;
+  const MiningRequest request = BasicRequest();
+
+  MiningResponse first = service.Mine(request);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_EQ(first.source, ResponseSource::kMined);
+  ASSERT_NE(first.result, nullptr);
+
+  MiningResponse second = service.Mine(request);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(second.source, ResponseSource::kCache);
+  ASSERT_NE(second.result, nullptr);
+
+  // The cached result is the same immutable object, and its rendered
+  // pattern output is byte-identical to a fresh out-of-band mine.
+  EXPECT_EQ(first.result.get(), second.result.get());
+  StatusOr<ColossalMiningResult> fresh =
+      MineColossal(*db_, request.options);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_EQ(fresh->patterns.size(), second.result->patterns.size());
+  for (size_t i = 0; i < fresh->patterns.size(); ++i) {
+    EXPECT_TRUE(fresh->patterns[i] == second.result->patterns[i]) << i;
+  }
+  EXPECT_EQ(PatternsToString(ToFrequentItemsets(fresh->patterns)),
+            PatternsToString(ToFrequentItemsets(second.result->patterns)));
+
+  EXPECT_EQ(service.cache_stats().hits, 1);
+  EXPECT_EQ(service.cache_stats().misses, 1);
+}
+
+TEST_F(MiningServiceTest, ThreadCountDoesNotSplitTheCacheKey) {
+  MiningService service;
+  MiningRequest one_thread = BasicRequest();
+  one_thread.options.num_threads = 1;
+  MiningRequest many_threads = BasicRequest();
+  many_threads.options.num_threads = 4;
+
+  MiningResponse first = service.Mine(one_thread);
+  MiningResponse second = service.Mine(many_threads);
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(first.options_hash, second.options_hash);
+  EXPECT_EQ(second.source, ResponseSource::kCache);
+  EXPECT_EQ(first.result.get(), second.result.get());
+}
+
+TEST_F(MiningServiceTest, SigmaAndAbsoluteSupportShareACacheEntry) {
+  MiningService service;
+  MiningRequest absolute = BasicRequest();  // min_support_count = 8
+  MiningRequest fractional = BasicRequest();
+  fractional.options.sigma =
+      8.0 / static_cast<double>(db_->num_transactions());
+
+  MiningResponse first = service.Mine(absolute);
+  MiningResponse second = service.Mine(fractional);
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(first.options_hash, second.options_hash);
+  EXPECT_EQ(second.source, ResponseSource::kCache);
+}
+
+TEST_F(MiningServiceTest, DifferentOptionsMissTheCache) {
+  MiningService service;
+  MiningRequest request = BasicRequest();
+  ASSERT_TRUE(service.Mine(request).status.ok());
+
+  MiningRequest different_tau = BasicRequest();
+  different_tau.options.tau = 0.25;
+  MiningResponse response = service.Mine(different_tau);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.source, ResponseSource::kMined);
+  EXPECT_EQ(service.cache_stats().entries, 2);
+}
+
+TEST_F(MiningServiceTest, SamePathIsLoadedOnceAndSnapshotSharesEntries) {
+  MiningService service;
+  MiningRequest request = BasicRequest();
+  MiningResponse first = service.Mine(request);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.dataset_registry_hit);
+
+  MiningRequest different_options = BasicRequest();
+  different_options.options.k = 10;
+  MiningResponse second = service.Mine(different_options);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.dataset_registry_hit);
+  EXPECT_EQ(service.registry_stats().loads, 1);
+
+  // The snapshot of the same logical dataset fingerprints identically,
+  // so its results land on the same cache entries.
+  MiningRequest via_snapshot = BasicRequest();
+  via_snapshot.dataset_path = *snap_path_;
+  MiningResponse third = service.Mine(via_snapshot);
+  ASSERT_TRUE(third.status.ok());
+  EXPECT_EQ(third.dataset_fingerprint, first.dataset_fingerprint);
+  EXPECT_EQ(third.source, ResponseSource::kCache);
+}
+
+TEST_F(MiningServiceTest, BatchAlignsResponsesAndDeduplicates) {
+  MiningServiceOptions options;
+  options.num_threads = 1;  // deterministic replay order
+  MiningService service(options);
+
+  MiningRequest request = BasicRequest();
+  MiningRequest different = BasicRequest();
+  different.options.k = 10;
+  std::vector<MiningRequest> batch = {request, different, request, request};
+  std::vector<MiningResponse> responses = service.MineBatch(batch);
+  ASSERT_EQ(responses.size(), 4u);
+  for (const MiningResponse& response : responses) {
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+  EXPECT_EQ(responses[0].source, ResponseSource::kMined);
+  EXPECT_EQ(responses[1].source, ResponseSource::kMined);
+  EXPECT_EQ(responses[2].source, ResponseSource::kCache);
+  EXPECT_EQ(responses[3].source, ResponseSource::kCache);
+  EXPECT_EQ(responses[0].result.get(), responses[2].result.get());
+  EXPECT_EQ(responses[0].result.get(), responses[3].result.get());
+  EXPECT_NE(responses[0].options_hash, responses[1].options_hash);
+}
+
+TEST_F(MiningServiceTest, FailuresArePerRequest) {
+  MiningService service;
+  MiningRequest good = BasicRequest();
+  MiningRequest bad = BasicRequest();
+  bad.dataset_path = ::testing::TempDir() + "/does_not_exist.fimi";
+
+  std::vector<MiningResponse> responses = service.MineBatch({bad, good});
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_FALSE(responses[0].status.ok());
+  EXPECT_EQ(responses[0].source, ResponseSource::kFailed);
+  EXPECT_EQ(responses[0].result, nullptr);
+  EXPECT_TRUE(responses[1].status.ok());
+}
+
+TEST_F(MiningServiceTest, DisabledCacheMinesEveryTime) {
+  MiningServiceOptions options;
+  options.cache.max_entries = 0;
+  MiningService service(options);
+  const MiningRequest request = BasicRequest();
+  EXPECT_EQ(service.Mine(request).source, ResponseSource::kMined);
+  EXPECT_EQ(service.Mine(request).source, ResponseSource::kMined);
+}
+
+TEST(DatasetRegistryTest, EvictsLeastRecentlyUsedByBudget) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path_a = dir + "/registry_evict_a.fimi";
+  const std::string path_b = dir + "/registry_evict_b.fimi";
+  ASSERT_TRUE(WriteFimiFile(MakeDiag(12), path_a).ok());
+  ASSERT_TRUE(WriteFimiFile(MakeDiag(14), path_b).ok());
+
+  DatasetRegistryOptions options;
+  options.memory_budget_bytes = 1;  // everything over budget
+  DatasetRegistry registry(options);
+
+  ASSERT_TRUE(registry.Get(path_a).ok());
+  EXPECT_EQ(registry.stats().resident_datasets, 1);  // newest kept
+  ASSERT_TRUE(registry.Get(path_b).ok());
+  EXPECT_EQ(registry.stats().resident_datasets, 1);
+  EXPECT_EQ(registry.stats().evictions, 1);
+
+  // path_a was evicted → next Get reloads from disk.
+  StatusOr<DatasetHandle> reloaded = registry.Get(path_a);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_FALSE(reloaded->registry_hit);
+  EXPECT_EQ(registry.stats().loads, 3);
+}
+
+TEST(DatasetRegistryTest, InvalidateForcesReload) {
+  const std::string path =
+      ::testing::TempDir() + "/registry_invalidate.fimi";
+  ASSERT_TRUE(WriteFimiFile(MakeDiag(8), path).ok());
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Get(path).ok());
+  ASSERT_TRUE(registry.Get(path)->registry_hit);
+
+  ASSERT_TRUE(WriteFimiFile(MakeDiag(10), path).ok());
+  registry.Invalidate(path);
+  StatusOr<DatasetHandle> reloaded = registry.Get(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_FALSE(reloaded->registry_hit);
+  EXPECT_EQ(reloaded->db->num_transactions(), 10);
+}
+
+TEST(ResultCacheTest, LruEvictionAndCollisionSafety) {
+  ResultCacheOptions options;
+  options.max_entries = 2;
+  ResultCache cache(options);
+
+  ColossalMinerOptions canonical_a;
+  canonical_a.min_support_count = 2;
+  ColossalMinerOptions canonical_b = canonical_a;
+  canonical_b.k = 7;
+  auto result = std::make_shared<const ColossalMiningResult>();
+
+  const ResultCacheKey key_a{1, 10};
+  const ResultCacheKey key_b{1, 11};
+  const ResultCacheKey key_c{1, 12};
+  cache.Put(key_a, canonical_a, result);
+  cache.Put(key_b, canonical_a, result);
+  EXPECT_NE(cache.Get(key_a, canonical_a), nullptr);  // refresh a
+  cache.Put(key_c, canonical_a, result);              // evicts b
+  EXPECT_NE(cache.Get(key_a, canonical_a), nullptr);
+  EXPECT_EQ(cache.Get(key_b, canonical_a), nullptr);
+  EXPECT_NE(cache.Get(key_c, canonical_a), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1);
+
+  // Same key, different canonical options (a simulated 64-bit hash
+  // collision) must miss, not serve the wrong result.
+  EXPECT_EQ(cache.Get(key_a, canonical_b), nullptr);
+}
+
+}  // namespace
+}  // namespace colossal

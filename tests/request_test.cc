@@ -1,0 +1,140 @@
+#include "service/request.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace colossal {
+namespace {
+
+TEST(CanonicalizeRequestTest, SigmaCollapsesToAbsoluteSupport) {
+  const TransactionDatabase db = MakeDiag(20);  // 20 transactions
+
+  ColossalMinerOptions by_sigma;
+  by_sigma.sigma = 0.5;
+  ColossalMinerOptions by_count;
+  by_count.sigma = -1.0;
+  by_count.min_support_count = 10;
+
+  StatusOr<CanonicalRequest> a = CanonicalizeRequest(db, by_sigma);
+  StatusOr<CanonicalRequest> b = CanonicalizeRequest(db, by_count);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->options == b->options);
+  EXPECT_EQ(a->options_hash, b->options_hash);
+  EXPECT_EQ(a->options.min_support_count, 10);
+  EXPECT_EQ(a->options.sigma, -1.0);
+}
+
+TEST(CanonicalizeRequestTest, ThreadCountIsErased) {
+  const TransactionDatabase db = MakeDiag(10);
+  ColossalMinerOptions one;
+  one.min_support_count = 3;
+  one.num_threads = 1;
+  ColossalMinerOptions eight = one;
+  eight.num_threads = 8;
+
+  StatusOr<CanonicalRequest> a = CanonicalizeRequest(db, one);
+  StatusOr<CanonicalRequest> b = CanonicalizeRequest(db, eight);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->options == b->options);
+  EXPECT_EQ(a->options_hash, b->options_hash);
+  EXPECT_EQ(a->options.num_threads, 0);
+}
+
+TEST(CanonicalizeRequestTest, ResultAffectingKnobsChangeTheHash) {
+  const TransactionDatabase db = MakeDiag(10);
+  ColossalMinerOptions base;
+  base.min_support_count = 3;
+  StatusOr<CanonicalRequest> reference = CanonicalizeRequest(db, base);
+  ASSERT_TRUE(reference.ok());
+
+  ColossalMinerOptions variants[] = {base, base, base, base, base};
+  variants[0].tau = 0.25;
+  variants[1].k = 7;
+  variants[2].seed = 99;
+  variants[3].min_support_count = 4;
+  variants[4].pool_miner = PoolMiner::kEclat;
+  for (const ColossalMinerOptions& variant : variants) {
+    StatusOr<CanonicalRequest> other = CanonicalizeRequest(db, variant);
+    ASSERT_TRUE(other.ok());
+    EXPECT_FALSE(other->options == reference->options);
+    EXPECT_NE(other->options_hash, reference->options_hash);
+  }
+}
+
+TEST(CanonicalizeRequestTest, RejectsSigmaAboveOne) {
+  const TransactionDatabase db = MakeDiag(10);
+  ColossalMinerOptions options;
+  options.sigma = 1.5;
+  EXPECT_FALSE(CanonicalizeRequest(db, options).ok());
+}
+
+TEST(ParseRequestLineTest, ParsesFullGrammar) {
+  StatusOr<MiningRequest> request = ParseRequestLine(
+      "--in data.fimi --format fimi --sigma 0.25 --tau 0.4 --k 50 "
+      "--pool-size 2 --pool-miner eclat --max-iterations 9 --attempts 3 "
+      "--retain 4 --seed 11 --threads 2");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->dataset_path, "data.fimi");
+  EXPECT_EQ(request->format, "fimi");
+  EXPECT_DOUBLE_EQ(request->options.sigma, 0.25);
+  EXPECT_DOUBLE_EQ(request->options.tau, 0.4);
+  EXPECT_EQ(request->options.k, 50);
+  EXPECT_EQ(request->options.initial_pool_max_size, 2);
+  EXPECT_EQ(request->options.pool_miner, PoolMiner::kEclat);
+  EXPECT_EQ(request->options.max_iterations, 9);
+  EXPECT_EQ(request->options.fusion_attempts_per_seed, 3);
+  EXPECT_EQ(request->options.max_superpatterns_per_seed, 4);
+  EXPECT_EQ(request->options.seed, 11u);
+  EXPECT_EQ(request->options.num_threads, 2);
+}
+
+TEST(ParseRequestLineTest, MinSupportVariantAndDefaults) {
+  StatusOr<MiningRequest> request =
+      ParseRequestLine("--in d.snap --min-support 20");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->format, "auto");
+  EXPECT_EQ(request->options.sigma, -1.0);
+  EXPECT_EQ(request->options.min_support_count, 20);
+  EXPECT_EQ(request->options.pool_miner, PoolMiner::kApriori);
+}
+
+TEST(ParseRequestLineTest, RejectsBadRequests) {
+  EXPECT_FALSE(ParseRequestLine("").ok());                      // no --in
+  EXPECT_FALSE(ParseRequestLine("--min-support 5").ok());       // no --in
+  EXPECT_FALSE(ParseRequestLine("--in d.fimi").ok());           // no support
+  EXPECT_FALSE(ParseRequestLine("--in d.fimi --sigma 2").ok());
+  EXPECT_FALSE(
+      ParseRequestLine("--in d.fimi --min-support 5 --bogus 1").ok());
+  EXPECT_FALSE(
+      ParseRequestLine("--in d.fimi --min-support 5 --k 0").ok());
+  EXPECT_FALSE(ParseRequestLine("--in d.fimi --min-support 5 "
+                                "--pool-miner fpgrowth")
+                   .ok());
+}
+
+TEST(ParseRequestLineTest, UnknownFlagErrorListsKnownFlags) {
+  StatusOr<MiningRequest> request =
+      ParseRequestLine("--in d.fimi --min-support 5 --tua 0.5");
+  ASSERT_FALSE(request.ok());
+  EXPECT_NE(request.status().message().find("--tua"), std::string::npos);
+  EXPECT_NE(request.status().message().find("--tau"), std::string::npos);
+}
+
+TEST(ResultCacheKeyTest, HashAndEquality) {
+  const ResultCacheKey a{1, 2};
+  const ResultCacheKey b{1, 2};
+  const ResultCacheKey c{1, 3};
+  const ResultCacheKey d{4, 2};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+  ResultCacheKeyHash hasher;
+  EXPECT_EQ(hasher(a), hasher(b));
+  EXPECT_NE(hasher(a), hasher(c));
+}
+
+}  // namespace
+}  // namespace colossal

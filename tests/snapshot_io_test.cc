@@ -1,0 +1,185 @@
+#include "data/snapshot_io.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset_io.h"
+#include "data/generators.h"
+
+namespace colossal {
+namespace {
+
+TransactionDatabase SampleDatabase() {
+  RandomDatabaseOptions options;
+  options.num_transactions = 120;
+  options.num_items = 40;
+  options.density = 0.25;
+  options.seed = 7;
+  return MakeRandomDatabase(options);
+}
+
+void ExpectSameDatabase(const TransactionDatabase& a,
+                        const TransactionDatabase& b) {
+  ASSERT_EQ(a.num_transactions(), b.num_transactions());
+  ASSERT_EQ(a.num_items(), b.num_items());
+  EXPECT_EQ(a.TotalItemOccurrences(), b.TotalItemOccurrences());
+  for (int64_t t = 0; t < a.num_transactions(); ++t) {
+    EXPECT_EQ(a.transaction(t), b.transaction(t)) << "t=" << t;
+  }
+  for (ItemId item = 0; item < a.num_items(); ++item) {
+    EXPECT_EQ(a.item_tidset(item), b.item_tidset(item)) << "item=" << item;
+  }
+}
+
+TEST(SnapshotIoTest, RoundTripsInMemory) {
+  const TransactionDatabase db = SampleDatabase();
+  const std::string data = ToSnapshotString(db);
+  EXPECT_TRUE(LooksLikeSnapshot(data));
+  StatusOr<TransactionDatabase> loaded = ParseSnapshot(data);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameDatabase(db, *loaded);
+}
+
+TEST(SnapshotIoTest, RoundTripsThroughFile) {
+  const TransactionDatabase db = MakeDiag(16);
+  const std::string path = ::testing::TempDir() + "/snapshot_io_test.snap";
+  ASSERT_TRUE(WriteSnapshotFile(db, path).ok());
+  StatusOr<TransactionDatabase> loaded = ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameDatabase(db, *loaded);
+}
+
+TEST(SnapshotIoTest, FingerprintIsContentSensitive) {
+  const TransactionDatabase db = SampleDatabase();
+  const uint64_t fingerprint = FingerprintDatabase(db);
+  EXPECT_EQ(fingerprint, FingerprintDatabase(db));
+
+  // Same logical content through a snapshot round trip → same print.
+  StatusOr<TransactionDatabase> loaded = ParseSnapshot(ToSnapshotString(db));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(FingerprintDatabase(*loaded), fingerprint);
+
+  // Different content → different print.
+  RandomDatabaseOptions options;
+  options.num_transactions = 120;
+  options.num_items = 40;
+  options.density = 0.25;
+  options.seed = 8;  // only the seed differs
+  EXPECT_NE(FingerprintDatabase(MakeRandomDatabase(options)), fingerprint);
+  EXPECT_NE(FingerprintDatabase(MakeDiag(4)), fingerprint);
+}
+
+TEST(SnapshotIoTest, RejectsBadMagicAndTruncation) {
+  const TransactionDatabase db = MakeDiag(8);
+  std::string data = ToSnapshotString(db);
+
+  std::string bad_magic = data;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(ParseSnapshot(bad_magic).ok());
+  EXPECT_FALSE(LooksLikeSnapshot(bad_magic));
+
+  for (size_t cut : {size_t{4}, size_t{20}, data.size() / 2,
+                     data.size() - 1}) {
+    EXPECT_FALSE(ParseSnapshot(data.substr(0, cut)).ok()) << "cut=" << cut;
+  }
+
+  std::string trailing = data + "x";
+  EXPECT_FALSE(ParseSnapshot(trailing).ok());
+}
+
+TEST(SnapshotIoTest, RejectsHostileHeaderCountsWithoutAllocating) {
+  const TransactionDatabase db = MakeDiag(8);
+  const std::string data = ToSnapshotString(db);
+
+  // Inflate the transaction count (bytes 16..23) far beyond the file.
+  std::string many_transactions = data;
+  for (int byte = 0; byte < 8; ++byte) {
+    many_transactions[16 + byte] = static_cast<char>(0x7f);
+  }
+  EXPECT_FALSE(ParseSnapshot(many_transactions).ok());
+
+  // Inflate a per-transaction item count (first row's u32 at byte 32).
+  std::string fat_row = data;
+  fat_row[32] = static_cast<char>(0xff);
+  fat_row[33] = static_cast<char>(0xff);
+  fat_row[34] = static_cast<char>(0xff);
+  fat_row[35] = static_cast<char>(0x0f);
+  EXPECT_FALSE(ParseSnapshot(fat_row).ok());
+}
+
+TEST(SnapshotIoTest, RejectsCorruptRows) {
+  const TransactionDatabase db = MakeDiag(8);
+  std::string data = ToSnapshotString(db);
+  // Flip an item id inside the first transaction (offset: magic 8 +
+  // fingerprint 8 + counts 16 + first row count 4 = byte 36 starts the
+  // first item id).
+  data[36] = static_cast<char>(data[36] ^ 0x01);
+  StatusOr<TransactionDatabase> loaded = ParseSnapshot(data);
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST(SnapshotIoTest, LoadDatabaseFileDispatchesAndSniffs) {
+  const TransactionDatabase db = MakeDiag(10);
+  const std::string dir = ::testing::TempDir();
+  const std::string fimi_path = dir + "/snapshot_io_test.fimi";
+  const std::string snap_path = dir + "/snapshot_io_test_auto.snap";
+  ASSERT_TRUE(WriteFimiFile(db, fimi_path).ok());
+  ASSERT_TRUE(WriteSnapshotFile(db, snap_path).ok());
+
+  for (const auto& [path, format] :
+       {std::pair<std::string, std::string>{fimi_path, "fimi"},
+        {fimi_path, "auto"},
+        {snap_path, "snapshot"},
+        {snap_path, "auto"}}) {
+    StatusOr<TransactionDatabase> loaded = LoadDatabaseFile(path, format);
+    ASSERT_TRUE(loaded.ok())
+        << path << " as " << format << ": " << loaded.status().ToString();
+    ExpectSameDatabase(db, *loaded);
+  }
+
+  EXPECT_FALSE(LoadDatabaseFile(fimi_path, "snapshot").ok());
+  EXPECT_FALSE(LoadDatabaseFile(fimi_path, "nope").ok());
+  EXPECT_FALSE(LoadDatabaseFile(dir + "/missing.fimi", "auto").ok());
+}
+
+TEST(SnapshotIoTest, FromItemsetsAndIndexValidatesStructure) {
+  const TransactionDatabase db = MakeDiag(6);
+  std::vector<Itemset> transactions(db.transactions());
+  std::vector<Bitvector> tidsets;
+  for (ItemId item = 0; item < db.num_items(); ++item) {
+    tidsets.push_back(db.item_tidset(item));
+  }
+
+  // Valid parts round trip.
+  StatusOr<TransactionDatabase> ok =
+      TransactionDatabase::FromItemsetsAndIndex(transactions, tidsets);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  ExpectSameDatabase(db, *ok);
+
+  // Wrong tidset count.
+  std::vector<Bitvector> short_index(tidsets.begin(), tidsets.end() - 1);
+  EXPECT_FALSE(TransactionDatabase::FromItemsetsAndIndex(transactions,
+                                                         short_index)
+                   .ok());
+
+  // Wrong bit length.
+  std::vector<Bitvector> bad_length = tidsets;
+  bad_length[0] = Bitvector(db.num_transactions() + 1);
+  EXPECT_FALSE(TransactionDatabase::FromItemsetsAndIndex(transactions,
+                                                         bad_length)
+                   .ok());
+
+  // Popcount mismatch (a flipped bit).
+  std::vector<Bitvector> bad_bits = tidsets;
+  if (bad_bits[0].Test(0)) {
+    bad_bits[0].Reset(0);
+  } else {
+    bad_bits[0].Set(0);
+  }
+  EXPECT_FALSE(
+      TransactionDatabase::FromItemsetsAndIndex(transactions, bad_bits).ok());
+}
+
+}  // namespace
+}  // namespace colossal

@@ -4,10 +4,11 @@
 //   generate  --dataset diag|diagplus|fig3|trace|microarray --out FILE
 //             [--n N] [--extra R] [--seed S]
 //       Writes a synthetic dataset in FIMI format.
-//   stats     --in FILE [--format fimi|matrix]
+//   stats     --in FILE [--format fimi|matrix|snapshot|auto]
 //       Prints summary statistics of a dataset.
 //   mine      --in FILE --algo pf|apriori|eclat|fpgrowth|closed|maximal|topk
-//             (--sigma F | --min-support N) [--format fimi|matrix]
+//             (--sigma F | --min-support N)
+//             [--format fimi|matrix|snapshot|auto]
 //             [--out FILE] [--tau F] [--k N] [--pool-size N] [--seed S]
 //             [--max-size N] [--budget N] [--min-length N] [--threads N]
 //       --threads 0 (the default) uses one worker per hardware thread;
@@ -16,14 +17,22 @@
 //       serially regardless.
 //       Mines FILE and prints (or writes) the result in FIMI output
 //       format: "item item ... (support)".
+//   snapshot  --in FILE --out FILE [--format fimi|matrix|snapshot|auto]
+//       Converts a dataset to the binary snapshot format (rows +
+//       vertical index + content fingerprint; see data/snapshot_io.h),
+//       the load-once form the mining service prefers.
 //   evaluate  --mined FILE --reference FILE [--min-size N]
 //       Computes the paper's approximation error Δ(A_P^Q) of the mined
 //       set against a reference set (both in FIMI output format).
+//
+// Every subcommand accepts --help and prints its flag list; unknown
+// flags are rejected with the list of known ones.
 //
 // Examples:
 //   colossal_cli generate --dataset diagplus --n 40 --extra 20 --out d.fimi
 //   colossal_cli mine --in d.fimi --algo pf --min-support 20 --k 100
 //   colossal_cli mine --in d.fimi --algo closed --min-support 20 --out q.txt
+//   colossal_cli snapshot --in d.fimi --out d.snap
 //   colossal_cli evaluate --mined p.txt --reference q.txt --min-size 20
 
 #include <cstdio>
@@ -31,12 +40,13 @@
 #include <string>
 #include <vector>
 
+#include "common/args.h"
 #include "core/colossal_miner.h"
 #include "core/evaluation.h"
 #include "data/dataset_io.h"
 #include "data/dataset_stats.h"
 #include "data/generators.h"
-#include "data/matrix_io.h"
+#include "data/snapshot_io.h"
 #include "mining/apriori.h"
 #include "mining/closed_miner.h"
 #include "mining/eclat.h"
@@ -44,7 +54,6 @@
 #include "mining/maximal_miner.h"
 #include "mining/result_io.h"
 #include "mining/topk_miner.h"
-#include "tools/args.h"
 
 namespace colossal {
 namespace {
@@ -52,6 +61,46 @@ namespace {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// Per-subcommand usage, printed on --help (exit 0) and bad flags.
+constexpr const char kGenerateUsage[] =
+    "usage: colossal_cli generate --dataset diag|diagplus|fig3|trace|"
+    "microarray\n"
+    "           --out FILE [--n N] [--extra R] [--seed S]\n";
+constexpr const char kStatsUsage[] =
+    "usage: colossal_cli stats --in FILE [--format fimi|matrix|snapshot|"
+    "auto]\n";
+constexpr const char kMineUsage[] =
+    "usage: colossal_cli mine --in FILE\n"
+    "           --algo pf|apriori|eclat|fpgrowth|closed|maximal|topk\n"
+    "           (--sigma F | --min-support N)\n"
+    "           [--format fimi|matrix|snapshot|auto] [--out FILE]\n"
+    "           [--tau F] [--k N] [--pool-size N] [--seed S] [--max-size N]\n"
+    "           [--budget N] [--min-length N] [--threads N]\n"
+    "  --threads N   worker threads (0 = one per hardware thread; output\n"
+    "                is identical for every value)\n";
+constexpr const char kSnapshotUsage[] =
+    "usage: colossal_cli snapshot --in FILE --out FILE\n"
+    "           [--format fimi|matrix|snapshot|auto]\n";
+constexpr const char kEvaluateUsage[] =
+    "usage: colossal_cli evaluate --mined FILE --reference FILE "
+    "[--min-size N]\n";
+
+// Handles --help / unknown flags uniformly: returns a non-null exit code
+// pointer semantics via optional-like int; -1 means "continue".
+int HandleCommonFlags(const Args& args, const char* usage,
+                      const std::vector<std::string>& known) {
+  if (args.HelpRequested()) {
+    std::fputs(usage, stdout);
+    return 0;
+  }
+  Status status = args.CheckKnown(known);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", status.ToString().c_str(), usage);
+    return 1;
+  }
+  return -1;
 }
 
 // Unwraps a StatusOr flag value or returns from the caller with exit
@@ -66,8 +115,9 @@ int Fail(const Status& status) {
   declaration = std::move(COLOSSAL_CONCAT(maybe_, __LINE__)).value()
 
 int RunGenerate(const Args& args) {
-  Status known = args.CheckKnown({"dataset", "out", "n", "extra", "seed"});
-  if (!known.ok()) return Fail(known);
+  const int common = HandleCommonFlags(
+      args, kGenerateUsage, {"dataset", "out", "n", "extra", "seed"});
+  if (common >= 0) return common;
   const std::string dataset = args.GetString("dataset");
   const std::string out = args.GetString("out");
   if (out.empty()) {
@@ -100,23 +150,40 @@ int RunGenerate(const Args& args) {
   return 0;
 }
 
-// Loads --in honouring --format (fimi, the default, or matrix for
-// binary 0/1 matrices à la discretized microarrays).
+// Loads --in honouring --format: fimi, matrix (binary 0/1 matrices à la
+// discretized microarrays), snapshot, or auto (the default: sniff the
+// snapshot magic, else FIMI).
 StatusOr<TransactionDatabase> LoadDatabase(const Args& args) {
-  const std::string format = args.GetString("format", "fimi");
-  const std::string path = args.GetString("in");
-  if (format == "fimi") return ReadFimiFile(path);
-  if (format == "matrix") return ReadBinaryMatrixFile(path);
-  return Status::InvalidArgument("unknown --format '" + format +
-                                 "' (want fimi|matrix)");
+  return LoadDatabaseFile(args.GetString("in"),
+                          args.GetString("format", "auto"));
 }
 
 int RunStats(const Args& args) {
-  Status known = args.CheckKnown({"in", "format"});
-  if (!known.ok()) return Fail(known);
+  const int common = HandleCommonFlags(args, kStatsUsage, {"in", "format"});
+  if (common >= 0) return common;
   StatusOr<TransactionDatabase> db = LoadDatabase(args);
   if (!db.ok()) return Fail(db.status());
   std::printf("%s\n", StatsToString(ComputeStats(*db)).c_str());
+  return 0;
+}
+
+int RunSnapshot(const Args& args) {
+  const int common =
+      HandleCommonFlags(args, kSnapshotUsage, {"in", "out", "format"});
+  if (common >= 0) return common;
+  const std::string out = args.GetString("out");
+  if (out.empty()) {
+    return Fail(Status::InvalidArgument("snapshot requires --out"));
+  }
+  StatusOr<TransactionDatabase> db = LoadDatabase(args);
+  if (!db.ok()) return Fail(db.status());
+  Status written = WriteSnapshotFile(*db, out);
+  if (!written.ok()) return Fail(written);
+  std::printf("wrote snapshot of %lld transactions (fingerprint %016llx) "
+              "to %s\n",
+              static_cast<long long>(db->num_transactions()),
+              static_cast<unsigned long long>(FingerprintDatabase(*db)),
+              out.c_str());
   return 0;
 }
 
@@ -138,10 +205,11 @@ int EmitResult(const Args& args, const std::vector<FrequentItemset>& patterns,
 }
 
 int RunMine(const Args& args) {
-  Status known = args.CheckKnown({"in", "algo", "sigma", "min-support", "out",
-                                  "tau", "k", "pool-size", "seed", "max-size",
-                                  "budget", "min-length", "format", "threads"});
-  if (!known.ok()) return Fail(known);
+  const int common = HandleCommonFlags(
+      args, kMineUsage,
+      {"in", "algo", "sigma", "min-support", "out", "tau", "k", "pool-size",
+       "seed", "max-size", "budget", "min-length", "format", "threads"});
+  if (common >= 0) return common;
   StatusOr<TransactionDatabase> db = LoadDatabase(args);
   if (!db.ok()) return Fail(db.status());
 
@@ -220,8 +288,9 @@ int RunMine(const Args& args) {
 }
 
 int RunEvaluate(const Args& args) {
-  Status known = args.CheckKnown({"mined", "reference", "min-size"});
-  if (!known.ok()) return Fail(known);
+  const int common = HandleCommonFlags(args, kEvaluateUsage,
+                                       {"mined", "reference", "min-size"});
+  if (common >= 0) return common;
   StatusOr<std::vector<FrequentItemset>> mined =
       ReadPatternsFile(args.GetString("mined"));
   if (!mined.ok()) return Fail(mined.status());
@@ -249,21 +318,31 @@ int RunEvaluate(const Args& args) {
 }
 
 int Main(int argc, char** argv) {
+  constexpr const char kTopUsage[] =
+      "usage: colossal_cli generate|stats|mine|snapshot|evaluate "
+      "[--flag value]...\n"
+      "run 'colossal_cli <subcommand> --help' for that subcommand's "
+      "flags,\n"
+      "or see the header of tools/colossal_cli.cc for details\n";
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s generate|stats|mine|evaluate [--flag value]...\n"
-                 "see the header of tools/colossal_cli.cc for details\n",
-                 argv[0]);
+    std::fputs(kTopUsage, stderr);
     return 1;
   }
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    std::fputs(kTopUsage, stdout);
+    return 0;
+  }
   StatusOr<Args> args = Args::Parse(argc, argv, 2);
   if (!args.ok()) return Fail(args.status());
   if (command == "generate") return RunGenerate(*args);
   if (command == "stats") return RunStats(*args);
   if (command == "mine") return RunMine(*args);
+  if (command == "snapshot") return RunSnapshot(*args);
   if (command == "evaluate") return RunEvaluate(*args);
-  return Fail(Status::InvalidArgument("unknown command '" + command + "'"));
+  return Fail(Status::InvalidArgument(
+      "unknown command '" + command +
+      "' (want generate|stats|mine|snapshot|evaluate)"));
 }
 
 }  // namespace

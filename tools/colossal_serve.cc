@@ -1,0 +1,312 @@
+// colossal_serve — batch/daemon front end to the mining service layer.
+//
+// Subcommands:
+//   batch   --requests FILE [--out-dir DIR] [--threads N]
+//           [--mining-threads N] [--cache-entries N] [--registry-mb N]
+//           [--csv]
+//       Replays a file of request lines (one request per line, '#'
+//       comments and blank lines ignored), fans them across the service
+//       pool, and prints a per-request table (timing, cache source) plus
+//       a summary. With --out-dir, request i's patterns are written to
+//       DIR/response_<i>.txt in FIMI output format. --threads 1 makes
+//       replay order deterministic (duplicates hit the result cache
+//       instead of coalescing). Exits nonzero if any request failed.
+//   daemon  [--mining-threads N] [--cache-entries N] [--registry-mb N]
+//           [--no-patterns]
+//       Line-delimited request/response loop on stdin/stdout. Each input
+//       line is a request (same grammar as batch), or one of:
+//         stats   print registry/cache statistics
+//         quit    exit
+//       Responses are a header line
+//         ok source=<mined|cache|coalesced> patterns=N iterations=I \
+//            fingerprint=<hex> ms=<float>
+//       followed (unless --no-patterns) by the patterns and a single '.'
+//       terminator line; errors print "error: <message>".
+//
+// Request line grammar (see service/request.h):
+//   --in FILE [--format fimi|matrix|snapshot|auto]
+//   (--sigma F | --min-support N) [--tau F] [--k N] [--pool-size N]
+//   [--pool-miner apriori|eclat] [--max-iterations N] [--attempts N]
+//   [--retain N] [--seed S] [--threads N]
+//
+// Cache semantics: results are keyed by (dataset content fingerprint,
+// canonical options). Equivalent requests — e.g. --sigma 0.5 vs. the
+// --min-support it denotes, or any --threads value — share one entry,
+// and a repeated request is served from memory, bit-identical to a
+// fresh mine.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/args.h"
+#include "common/table_printer.h"
+#include "core/pattern.h"
+#include "mining/result_io.h"
+#include "service/mining_service.h"
+
+namespace colossal {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+constexpr const char kUsage[] =
+    "usage: colossal_serve batch --requests FILE [--out-dir DIR]\n"
+    "           [--threads N] [--mining-threads N] [--cache-entries N]\n"
+    "           [--registry-mb N] [--csv]\n"
+    "       colossal_serve daemon [--mining-threads N] [--cache-entries N]\n"
+    "           [--registry-mb N] [--no-patterns]\n"
+    "request lines: --in FILE (--sigma F | --min-support N) [--tau F]\n"
+    "    [--k N] [--pool-size N] [--pool-miner apriori|eclat]\n"
+    "    [--max-iterations N] [--attempts N] [--retain N] [--seed S]\n"
+    "    [--threads N] [--format fimi|matrix|snapshot|auto]\n"
+    "see the header of tools/colossal_serve.cc for details\n";
+
+std::string HexFingerprint(uint64_t fingerprint) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buffer;
+}
+
+// Shared service knobs for both subcommands.
+StatusOr<MiningServiceOptions> ServiceOptionsFromArgs(const Args& args) {
+  MiningServiceOptions options;
+  StatusOr<int64_t> threads = args.GetInt("threads", 0);
+  if (!threads.ok()) return threads.status();
+  StatusOr<int64_t> mining_threads = args.GetInt("mining-threads", 1);
+  if (!mining_threads.ok()) return mining_threads.status();
+  StatusOr<int64_t> cache_entries = args.GetInt("cache-entries", 256);
+  if (!cache_entries.ok()) return cache_entries.status();
+  StatusOr<int64_t> registry_mb = args.GetInt("registry-mb", 1024);
+  if (!registry_mb.ok()) return registry_mb.status();
+  if (*threads < 0 || *threads > kMaxExplicitThreads || *mining_threads < 0 ||
+      *mining_threads > kMaxExplicitThreads || *cache_entries < 0 ||
+      *registry_mb < 1) {
+    return Status::InvalidArgument(
+        "--threads/--mining-threads must be in [0, " +
+        std::to_string(kMaxExplicitThreads) +
+        "], --cache-entries >= 0, --registry-mb >= 1");
+  }
+  options.num_threads = static_cast<int>(*threads);
+  options.mining_threads = static_cast<int>(*mining_threads);
+  options.cache.max_entries = *cache_entries;
+  options.registry.memory_budget_bytes = *registry_mb * (int64_t{1} << 20);
+  return options;
+}
+
+// Reads the batch file into request lines, keeping 1-based line numbers
+// for error messages.
+struct BatchLine {
+  int line_number = 0;
+  std::string text;
+};
+
+StatusOr<std::vector<BatchLine>> ReadBatchFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open request file: " + path);
+  }
+  std::vector<BatchLine> lines;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    lines.push_back({line_number, line});
+  }
+  if (lines.empty()) {
+    return Status::InvalidArgument("request file has no requests: " + path);
+  }
+  return lines;
+}
+
+int RunBatch(const Args& args) {
+  Status known = args.CheckKnown({"requests", "out-dir", "threads",
+                                  "mining-threads", "cache-entries",
+                                  "registry-mb", "csv"});
+  if (!known.ok()) return Fail(known);
+  const std::string requests_path = args.GetString("requests");
+  if (requests_path.empty()) {
+    return Fail(Status::InvalidArgument("batch requires --requests FILE"));
+  }
+  const std::string out_dir = args.GetString("out-dir");
+  const bool csv = args.Has("csv");
+
+  StatusOr<MiningServiceOptions> service_options =
+      ServiceOptionsFromArgs(args);
+  if (!service_options.ok()) return Fail(service_options.status());
+
+  StatusOr<std::vector<BatchLine>> lines = ReadBatchFile(requests_path);
+  if (!lines.ok()) return Fail(lines.status());
+
+  std::vector<MiningRequest> requests;
+  requests.reserve(lines->size());
+  for (const BatchLine& line : *lines) {
+    StatusOr<MiningRequest> request = ParseRequestLine(line.text);
+    if (!request.ok()) {
+      return Fail(Status::InvalidArgument(
+          requests_path + ":" + std::to_string(line.line_number) + ": " +
+          request.status().message()));
+    }
+    requests.push_back(*std::move(request));
+  }
+
+  MiningService service(*service_options);
+  std::vector<MiningResponse> responses = service.MineBatch(requests);
+
+  TablePrinter table({"request", "dataset", "source", "registry", "patterns",
+                      "iterations", "ms"});
+  int64_t failed = 0;
+  int64_t cache_hits = 0;
+  int64_t coalesced = 0;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    const MiningResponse& response = responses[i];
+    if (!response.status.ok()) ++failed;
+    if (response.source == ResponseSource::kCache) ++cache_hits;
+    if (response.source == ResponseSource::kCoalesced) ++coalesced;
+    table.AddRow(
+        {std::to_string(i + 1), requests[i].dataset_path,
+         ResponseSourceName(response.source),
+         response.status.ok() ? (response.dataset_registry_hit ? "hit"
+                                                               : "load")
+                              : "-",
+         response.result ? std::to_string(response.result->patterns.size())
+                         : "-",
+         response.result ? std::to_string(response.result->iterations) : "-",
+         TablePrinter::FormatDouble(response.seconds * 1e3, 3)});
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "request %zu failed: %s\n", i + 1,
+                   response.status.ToString().c_str());
+    }
+  }
+  if (csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+
+  if (!out_dir.empty()) {
+    for (size_t i = 0; i < responses.size(); ++i) {
+      if (!responses[i].result) continue;
+      char name[32];
+      std::snprintf(name, sizeof(name), "response_%04zu.txt", i + 1);
+      const std::string path = out_dir + "/" + name;
+      Status written = WritePatternsFile(
+          ToFrequentItemsets(responses[i].result->patterns), path);
+      if (!written.ok()) return Fail(written);
+    }
+    std::printf("wrote %zu response file(s) to %s\n", responses.size(),
+                out_dir.c_str());
+  }
+
+  const ResultCacheStats cache = service.cache_stats();
+  const DatasetRegistryStats registry = service.registry_stats();
+  std::printf(
+      "batch: %zu request(s), cache_hits=%lld coalesced=%lld failed=%lld "
+      "cache_entries=%lld dataset_loads=%lld dataset_hits=%lld\n",
+      responses.size(), static_cast<long long>(cache_hits),
+      static_cast<long long>(coalesced), static_cast<long long>(failed),
+      static_cast<long long>(cache.entries),
+      static_cast<long long>(registry.loads),
+      static_cast<long long>(registry.hits));
+  return failed == 0 ? 0 : 1;
+}
+
+int RunDaemon(const Args& args) {
+  Status known = args.CheckKnown({"mining-threads", "cache-entries",
+                                  "registry-mb", "no-patterns"});
+  if (!known.ok()) return Fail(known);
+  StatusOr<MiningServiceOptions> service_options =
+      ServiceOptionsFromArgs(args);
+  if (!service_options.ok()) return Fail(service_options.status());
+  const bool print_patterns = !args.Has("no-patterns");
+
+  MiningService service(*service_options);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const std::string command = line.substr(start);
+    if (command == "quit" || command == "exit") break;
+    if (command == "stats") {
+      const ResultCacheStats cache = service.cache_stats();
+      const DatasetRegistryStats registry = service.registry_stats();
+      std::printf(
+          "stats cache_hits=%lld cache_misses=%lld cache_entries=%lld "
+          "cache_evictions=%lld dataset_loads=%lld dataset_hits=%lld "
+          "resident_mb=%.1f\n",
+          static_cast<long long>(cache.hits),
+          static_cast<long long>(cache.misses),
+          static_cast<long long>(cache.entries),
+          static_cast<long long>(cache.evictions),
+          static_cast<long long>(registry.loads),
+          static_cast<long long>(registry.hits),
+          static_cast<double>(registry.resident_bytes) / (1 << 20));
+      std::fflush(stdout);
+      continue;
+    }
+
+    StatusOr<MiningRequest> request = ParseRequestLine(line);
+    if (!request.ok()) {
+      std::printf("error: %s\n", request.status().ToString().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    MiningResponse response = service.Mine(*request);
+    if (!response.status.ok()) {
+      std::printf("error: %s\n", response.status.ToString().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    std::printf("ok source=%s patterns=%zu iterations=%d fingerprint=%s "
+                "ms=%.3f\n",
+                ResponseSourceName(response.source),
+                response.result->patterns.size(), response.result->iterations,
+                HexFingerprint(response.dataset_fingerprint).c_str(),
+                response.seconds * 1e3);
+    if (print_patterns) {
+      std::fputs(
+          PatternsToString(ToFrequentItemsets(response.result->patterns))
+              .c_str(),
+          stdout);
+      std::printf(".\n");
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fputs(kUsage, stderr);
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  StatusOr<Args> args = Args::Parse(argc, argv, 2, {"csv", "no-patterns"});
+  if (!args.ok()) return Fail(args.status());
+  if (args->HelpRequested()) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  if (command == "batch") return RunBatch(*args);
+  if (command == "daemon") return RunDaemon(*args);
+  return Fail(Status::InvalidArgument("unknown command '" + command +
+                                      "' (want batch|daemon)"));
+}
+
+}  // namespace
+}  // namespace colossal
+
+int main(int argc, char** argv) { return colossal::Main(argc, argv); }
