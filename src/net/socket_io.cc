@@ -1,0 +1,137 @@
+#include "net/socket_io.h"
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace colossal {
+
+StatusOr<int> DialTcp(const std::string& host, int port) {
+  if (port < 1 || port > 65535) {
+    return Status::InvalidArgument("port out of range: " +
+                                   std::to_string(port));
+  }
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                               &hints, &results);
+  if (rc != 0) {
+    return Status::NotFound("cannot resolve " + host + ": " +
+                            ::gai_strerror(rc));
+  }
+  Status last = Status::NotFound("no usable address for " + host);
+  for (struct addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::Internal(std::string("socket: ") + std::strerror(errno));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(results);
+      return fd;
+    }
+    last = Status::Internal("connect " + host + ":" + std::to_string(port) +
+                            ": " + std::strerror(errno));
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  return last;
+}
+
+Status WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+StatusOr<bool> SocketReader::Fill() {
+  if (eof_) return false;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      eof_ = true;
+      return false;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+}
+
+StatusOr<std::string> SocketReader::ReadLine(size_t max_bytes) {
+  while (true) {
+    const size_t newline = buffer_.find('\n', pos_);
+    if (newline != std::string::npos) {
+      if (newline - pos_ > max_bytes) {
+        return Status::OutOfRange("response line exceeds " +
+                                  std::to_string(max_bytes) + " bytes");
+      }
+      std::string line = buffer_.substr(pos_, newline - pos_);
+      pos_ = newline + 1;
+      if (pos_ == buffer_.size()) {
+        buffer_.clear();
+        pos_ = 0;
+      }
+      return line;
+    }
+    if (buffer_.size() - pos_ > max_bytes) {
+      return Status::OutOfRange("response line exceeds " +
+                                std::to_string(max_bytes) + " bytes");
+    }
+    StatusOr<bool> more = Fill();
+    if (!more.ok()) return more.status();
+    if (!*more) {
+      return Status::Internal("connection closed mid-line");
+    }
+  }
+}
+
+StatusOr<std::string> SocketReader::ReadExact(size_t n) {
+  while (buffer_.size() - pos_ < n) {
+    StatusOr<bool> more = Fill();
+    if (!more.ok()) return more.status();
+    if (!*more) {
+      return Status::Internal(
+          "connection closed mid-payload (" +
+          std::to_string(buffer_.size() - pos_) + " of " + std::to_string(n) +
+          " bytes)");
+    }
+  }
+  std::string payload = buffer_.substr(pos_, n);
+  pos_ += n;
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  }
+  return payload;
+}
+
+bool SocketReader::AtEof() {
+  if (pos_ < buffer_.size()) return false;
+  if (!eof_) {
+    StatusOr<bool> more = Fill();
+    if (more.ok() && *more) return false;
+  }
+  return eof_;
+}
+
+}  // namespace colossal

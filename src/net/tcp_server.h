@@ -1,0 +1,185 @@
+#ifndef COLOSSAL_NET_TCP_SERVER_H_
+#define COLOSSAL_NET_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace colossal {
+
+// A small poll(2)-based TCP front end for line-delimited protocols.
+//
+// One event-loop thread owns every socket and does all reading, framing
+// and writing; complete input lines are handed to a LineHandler that
+// runs on a ThreadPool, so a slow handler (a cold mine, say) never
+// blocks I/O on other connections. Handler results come back to the
+// loop through a completion queue + self-pipe wakeup, which keeps all
+// connection state single-threaded — no per-connection locks.
+//
+// Flow control is per connection: at most one handler job is in flight
+// per connection, and the loop stops polling a connection for input
+// while its job runs, so a pipelining client is throttled by TCP
+// backpressure instead of unbounded buffering. Responses are flushed
+// with partial-write handling (POLLOUT) so arbitrarily large payloads
+// stream without blocking the loop.
+//
+// The server is protocol-agnostic: the handler maps an input line to
+// reply bytes, and an error formatter maps server-detected faults
+// (oversized line, connection limit) to reply bytes, so the wire format
+// lives entirely with the caller (see tools/colossal_serve.cc).
+
+struct TcpServerOptions {
+  std::string host = "127.0.0.1";
+  // 0 = kernel-assigned; read the resolved port with port() after
+  // Start(). This is what CI uses to avoid port collisions.
+  int port = 0;
+
+  // Handler pool size; 0 = hardware concurrency.
+  int num_threads = 0;
+
+  // Global limit: connections over this are sent the formatted
+  // RESOURCE_EXHAUSTED error and closed after the flush.
+  int max_connections = 64;
+
+  // Per-connection limit: an input line longer than this (no '\n' seen)
+  // gets the formatted OUT_OF_RANGE error and the connection is closed.
+  int64_t max_line_bytes = int64_t{1} << 20;
+
+  int listen_backlog = 64;
+};
+
+// What a handler (or the error formatter) sends back for one line.
+struct ServerReply {
+  // Bytes queued verbatim on the connection (framing included).
+  std::string data;
+  // Close the connection once `data` is flushed.
+  bool close = false;
+  // Gracefully stop the whole server after the flush (the protocol's
+  // "shutdown" command).
+  bool shutdown_server = false;
+};
+
+struct TcpServerStats {
+  int64_t accepted = 0;
+  int64_t rejected = 0;          // over max_connections
+  int64_t lines_dispatched = 0;  // handler jobs started
+  int64_t oversized_lines = 0;
+  int64_t active_connections = 0;
+};
+
+class TcpServer {
+ public:
+  using LineHandler = std::function<ServerReply(const std::string& line)>;
+  // Formats server-detected faults; `status` is OUT_OF_RANGE (oversized
+  // line) or RESOURCE_EXHAUSTED (connection limit). Defaults to
+  // "error: <status>\n" with close.
+  using ErrorFormatter = std::function<ServerReply(const Status& status)>;
+
+  TcpServer(const TcpServerOptions& options, LineHandler handler,
+            ErrorFormatter error_formatter = nullptr);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Binds, listens, and starts the event loop. Fails (rather than
+  // aborting) on an unusable host/port.
+  Status Start();
+
+  // The bound port (resolves option port 0), valid after Start().
+  int port() const { return port_; }
+
+  // Asks the loop to stop. Async-signal-safe (an atomic store and a
+  // write(2)), so colossal_serve calls it from SIGINT/SIGTERM handlers.
+  void RequestStop();
+
+  // Blocks until the event loop exits (RequestStop, a shutdown_server
+  // reply, or Start never having succeeded).
+  void Wait();
+
+  // RequestStop + Wait. In-flight handler jobs finish and their replies
+  // are flushed (bounded by a short drain deadline) before sockets
+  // close.
+  void Shutdown();
+
+  TcpServerStats stats() const;
+
+ private:
+  // All fields owned by the event-loop thread.
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    std::string inbuf;       // bytes read, not yet framed into lines
+    std::string outbuf;      // reply bytes not yet written
+    size_t out_pos = 0;      // flushed prefix of outbuf
+    bool busy = false;       // a handler job is in flight
+    bool close_after_flush = false;
+    bool peer_eof = false;   // read side saw EOF
+    // Lingering close: after the final reply is flushed the write side
+    // is shut down and remaining input discarded until the peer's EOF,
+    // so the reply arrives as data + FIN instead of being torn down by
+    // an RST over unread bytes. Bounded by a byte cap and a deadline so
+    // a silent peer cannot pin the connection slot.
+    bool draining = false;
+    int64_t drained_bytes = 0;
+    Stopwatch drain_clock;
+    // Over-limit rejections close immediately after the flush instead:
+    // lingering would let a connection flood pin fds open indefinitely.
+    bool linger_on_close = true;
+  };
+
+  void Loop();
+  void WakeLoop();
+  // Returns false when the connection died (read error / reset).
+  bool ReadFromConnection(Connection& conn);
+  bool FlushConnection(Connection& conn);
+  void MaybeDispatchLine(Connection& conn);
+  // Returns false on a hard accept failure (EMFILE and friends): the
+  // caller backs off polling the listen fd briefly instead of spinning
+  // on a perpetually-readable socket it cannot accept from.
+  bool AcceptNewConnections();
+  void DestroyConnection(uint64_t id);
+
+  const TcpServerOptions options_;
+  const LineHandler handler_;
+  const ErrorFormatter error_formatter_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_requested_{false};
+  bool started_ = false;
+
+  std::thread loop_thread_;
+  std::mutex join_mutex_;
+
+  // Loop-thread state.
+  std::map<uint64_t, Connection> connections_;
+  uint64_t next_connection_id_ = 1;
+  bool stopping_ = false;
+
+  // Shared between handler jobs and the loop.
+  mutable std::mutex mutex_;
+  std::vector<std::pair<uint64_t, ServerReply>> completions_;
+  TcpServerStats stats_;
+
+  // Last: destroyed first, so handler jobs drain while the rest of the
+  // server is still alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_NET_TCP_SERVER_H_

@@ -1,5 +1,7 @@
 #include "service/dataset_registry.h"
 
+#include <sys/stat.h>
+
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -16,23 +18,43 @@ std::string EntryKey(const std::string& path, const std::string& format) {
 
 }  // namespace
 
+FileSignature StatFileSignature(const std::string& path) {
+  FileSignature signature;
+  struct stat info;
+  if (::stat(path.c_str(), &info) != 0) return signature;
+  signature.size = static_cast<int64_t>(info.st_size);
+  signature.mtime_ns = static_cast<int64_t>(info.st_mtim.tv_sec) *
+                           int64_t{1000000000} +
+                       static_cast<int64_t>(info.st_mtim.tv_nsec);
+  return signature;
+}
+
 DatasetRegistry::DatasetRegistry(const DatasetRegistryOptions& options)
     : options_(options) {}
 
 StatusOr<DatasetHandle> DatasetRegistry::Get(const std::string& path,
                                              const std::string& format) {
   const std::string key = EntryKey(path, format);
+  // Captured before the read, so a writer racing with the load is caught
+  // as stale on the next Get rather than pinned forever.
+  const FileSignature signature = StatFileSignature(path);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second.lru_position);
-      ++stats_.hits;
-      DatasetHandle handle;
-      handle.db = it->second.db;
-      handle.fingerprint = it->second.fingerprint;
-      handle.registry_hit = true;
-      return handle;
+      if (it->second.signature == signature) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+        ++stats_.hits;
+        DatasetHandle handle;
+        handle.db = it->second.db;
+        handle.fingerprint = it->second.fingerprint;
+        handle.registry_hit = true;
+        return handle;
+      }
+      // The file changed (or vanished) under the entry: drop it and fall
+      // through to a fresh load. In-flight users keep their shared_ptr.
+      ++stats_.stale_reloads;
+      EraseEntryLocked(key);
     }
   }
 
@@ -54,6 +76,7 @@ StatusOr<DatasetHandle> DatasetRegistry::Get(const std::string& path,
     entry.db = db;
     entry.fingerprint = fingerprint;
     entry.bytes = db->ApproxMemoryBytes();
+    entry.signature = signature;
     lru_.push_front(key);
     entry.lru_position = lru_.begin();
     resident_bytes_ += entry.bytes;
@@ -93,6 +116,14 @@ DatasetRegistryStats DatasetRegistry::stats() const {
   stats.resident_bytes = resident_bytes_;
   stats.resident_datasets = static_cast<int64_t>(entries_.size());
   return stats;
+}
+
+void DatasetRegistry::EraseEntryLocked(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  resident_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_position);
+  entries_.erase(it);
 }
 
 void DatasetRegistry::EvictLocked() {

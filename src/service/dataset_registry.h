@@ -37,15 +37,33 @@ struct DatasetRegistryStats {
   int64_t loads = 0;       // disk loads (misses)
   int64_t hits = 0;        // served from memory
   int64_t evictions = 0;
+  int64_t stale_reloads = 0;  // hits invalidated by a changed signature
   int64_t resident_bytes = 0;
   int64_t resident_datasets = 0;
 };
 
+// Signature of the on-disk file backing a registry entry, captured just
+// before the load. Get re-stats on every hit and reloads when the
+// signature moved, so a rewritten dataset is picked up automatically.
+struct FileSignature {
+  int64_t size = -1;
+  int64_t mtime_ns = -1;
+
+  friend bool operator==(const FileSignature& a, const FileSignature& b) {
+    return a.size == b.size && a.mtime_ns == b.mtime_ns;
+  }
+};
+
+// stat(2)s `path`; size/mtime stay -1 when the file is unreachable
+// (which never equals a stored signature, forcing the reload path).
+FileSignature StatFileSignature(const std::string& path);
+
 // Loads each dataset once and shares it immutably across requests — the
 // "load once from secondary memory, mine many times" half of the service
 // layer. Keyed by (path, format); thread-safe; LRU-evicts by the memory
-// budget. A changed file under an already-registered path is not
-// detected — call Invalidate(path) to force a reload.
+// budget. A hit re-stats the file's (size, mtime) signature and falls
+// back to a reload when it changed, so rewriting a registered file takes
+// effect on the next Get without an explicit Invalidate.
 class DatasetRegistry {
  public:
   explicit DatasetRegistry(const DatasetRegistryOptions& options = {});
@@ -62,7 +80,10 @@ class DatasetRegistry {
                               const std::string& format = "auto");
 
   // Drops the entry for `path` (all formats) if present. In-flight users
-  // keep their shared_ptr; the next Get reloads from disk.
+  // keep their shared_ptr; the next Get reloads from disk. Rewritten
+  // files are caught automatically by the signature check; Invalidate
+  // remains for out-of-band invalidation (e.g. a mount whose mtimes are
+  // not trustworthy).
   void Invalidate(const std::string& path);
 
   DatasetRegistryStats stats() const;
@@ -72,9 +93,15 @@ class DatasetRegistry {
     std::shared_ptr<const TransactionDatabase> db;
     uint64_t fingerprint = 0;
     int64_t bytes = 0;
+    // On-disk signature captured before the load; a hit whose fresh
+    // signature differs is stale and reloads.
+    FileSignature signature;
     // Position in lru_ (most recent at the front).
     std::list<std::string>::iterator lru_position;
   };
+
+  // Removes `key` if present (caller holds mutex_).
+  void EraseEntryLocked(const std::string& key);
 
   // Evicts LRU entries (never the front) until the budget is met.
   // Caller holds mutex_.

@@ -1,0 +1,164 @@
+#include "service/dispatch.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/pattern.h"
+#include "mining/result_io.h"
+
+namespace colossal {
+
+namespace {
+
+std::string HexFingerprint(uint64_t fingerprint) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buffer;
+}
+
+}  // namespace
+
+StatusOr<std::vector<RequestFileLine>> ReadRequestFile(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open request file: " + path);
+  }
+  std::vector<RequestFileLine> lines;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    lines.push_back({line_number, line});
+  }
+  if (lines.empty()) {
+    return Status::InvalidArgument("request file has no requests: " + path);
+  }
+  return lines;
+}
+
+ServeOutcome DispatchServeLine(MiningService& service,
+                               const std::string& line) {
+  ServeOutcome outcome;
+  const size_t start = line.find_first_not_of(" \t\r");
+  if (start == std::string::npos || line[start] == '#') {
+    outcome.kind = ServeOutcome::Kind::kEmpty;
+    return outcome;
+  }
+  // Control words may carry trailing whitespace (a '\r' from a telnet-style
+  // client, say) but nothing else.
+  const size_t end = line.find_last_not_of(" \t\r");
+  const std::string command = line.substr(start, end - start + 1);
+  if (command == "quit" || command == "exit") {
+    outcome.kind = ServeOutcome::Kind::kQuit;
+    return outcome;
+  }
+  if (command == "shutdown") {
+    outcome.kind = ServeOutcome::Kind::kShutdown;
+    return outcome;
+  }
+  if (command == "stats") {
+    outcome.kind = ServeOutcome::Kind::kStats;
+    outcome.stats_line = FormatStatsLine(service);
+    return outcome;
+  }
+
+  outcome.kind = ServeOutcome::Kind::kResponse;
+  StatusOr<MiningRequest> request = ParseRequestLine(line);
+  if (!request.ok()) {
+    outcome.response.status = request.status();
+    outcome.response.source = ResponseSource::kFailed;
+    return outcome;
+  }
+  outcome.response = service.Mine(*request);
+  return outcome;
+}
+
+std::string FormatStatsLine(const MiningService& service) {
+  const ResultCacheStats cache = service.cache_stats();
+  const DatasetRegistryStats registry = service.registry_stats();
+  char buffer[256];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "stats cache_hits=%lld cache_misses=%lld cache_entries=%lld "
+      "cache_evictions=%lld dataset_loads=%lld dataset_hits=%lld "
+      "resident_mb=%.1f",
+      static_cast<long long>(cache.hits),
+      static_cast<long long>(cache.misses),
+      static_cast<long long>(cache.entries),
+      static_cast<long long>(cache.evictions),
+      static_cast<long long>(registry.loads),
+      static_cast<long long>(registry.hits),
+      static_cast<double>(registry.resident_bytes) / (1 << 20));
+  return buffer;
+}
+
+std::string FormatResponseHeader(const MiningResponse& response) {
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer),
+                "ok source=%s patterns=%zu iterations=%d fingerprint=%s "
+                "ms=%.3f",
+                ResponseSourceName(response.source),
+                response.result ? response.result->patterns.size() : 0,
+                response.result ? response.result->iterations : 0,
+                HexFingerprint(response.dataset_fingerprint).c_str(),
+                response.seconds * 1e3);
+  return buffer;
+}
+
+std::string RenderPatternsPayload(const MiningResponse& response) {
+  if (!response.result) return "";
+  return PatternsToString(ToFrequentItemsets(response.result->patterns));
+}
+
+ServerReply FrameTcpReply(const ServeOutcome& outcome, bool send_patterns) {
+  ServerReply reply;
+  switch (outcome.kind) {
+    case ServeOutcome::Kind::kEmpty:
+      break;  // comments and blank lines get no response
+    case ServeOutcome::Kind::kQuit:
+      reply.data = "ok bye bytes=0\n";
+      reply.close = true;
+      break;
+    case ServeOutcome::Kind::kShutdown:
+      reply.data = "ok bye bytes=0\n";
+      reply.close = true;
+      reply.shutdown_server = true;
+      break;
+    case ServeOutcome::Kind::kStats:
+      reply.data = outcome.stats_line + " bytes=0\n";
+      break;
+    case ServeOutcome::Kind::kResponse: {
+      if (!outcome.response.status.ok()) {
+        const std::string payload = outcome.response.status.message() + "\n";
+        reply.data = std::string("error code=") +
+                     StatusCodeName(outcome.response.status.code()) +
+                     " bytes=" + std::to_string(payload.size()) + "\n" +
+                     payload;
+        break;
+      }
+      const std::string payload =
+          send_patterns ? RenderPatternsPayload(outcome.response)
+                        : std::string();
+      reply.data = FormatResponseHeader(outcome.response) +
+                   " bytes=" + std::to_string(payload.size()) + "\n" +
+                   payload;
+      break;
+    }
+  }
+  return reply;
+}
+
+ServerReply FrameTcpError(const Status& status) {
+  const std::string payload = status.message() + "\n";
+  ServerReply reply;
+  reply.data = std::string("error code=") + StatusCodeName(status.code()) +
+               " bytes=" + std::to_string(payload.size()) + "\n" + payload;
+  reply.close = true;
+  return reply;
+}
+
+}  // namespace colossal

@@ -1,0 +1,98 @@
+#ifndef COLOSSAL_SERVICE_DISPATCH_H_
+#define COLOSSAL_SERVICE_DISPATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "net/tcp_server.h"
+#include "service/mining_service.h"
+
+namespace colossal {
+
+// The one request-dispatch path shared by every interactive front end of
+// colossal_serve — the stdin/stdout daemon and the TCP listen mode both
+// feed raw input lines through DispatchServeLine and render the same
+// ServeOutcome in their own framing. Keeping dispatch here (instead of
+// in the tool) is what guarantees the socket protocol and the pipe
+// protocol can never drift apart semantically.
+
+struct ServeOutcome {
+  enum class Kind {
+    kEmpty,     // blank line or '#' comment: no response
+    kQuit,      // "quit" / "exit": end this client's session
+    kShutdown,  // "shutdown": stop the whole front end (the TCP server;
+                // the stdin daemon treats it like quit)
+    kStats,     // "stats": counters in stats_line
+    kResponse,  // a request line; see response (response.status may be
+                // an error from parsing or mining)
+  };
+
+  Kind kind = Kind::kEmpty;
+  MiningResponse response;
+  std::string stats_line;  // set for kStats, already formatted
+};
+
+// One request line of a batch file, with its 1-based source line for
+// diagnostics.
+struct RequestFileLine {
+  int line_number = 0;
+  std::string text;
+};
+
+// Reads a request file — one request per line, blank lines and '#'
+// comments skipped — the single grammar `colossal_serve batch` replays
+// locally and `colossal_client --requests` replays over the wire (the
+// CI net-smoke byte-identity check depends on both reading the same
+// set). Errors on an unreadable or request-free file.
+StatusOr<std::vector<RequestFileLine>> ReadRequestFile(
+    const std::string& path);
+
+// Interprets one input line of the serve protocol against `service`:
+// strips leading whitespace, recognizes the control words, parses
+// request lines with ParseRequestLine, and mines synchronously. Parse
+// errors surface as kResponse with a failed status so callers have a
+// single error-rendering path.
+ServeOutcome DispatchServeLine(MiningService& service,
+                               const std::string& line);
+
+// "stats cache_hits=... cache_misses=... cache_entries=...
+//  cache_evictions=... dataset_loads=... dataset_hits=...
+//  resident_mb=..." (no trailing newline).
+std::string FormatStatsLine(const MiningService& service);
+
+// "ok source=... patterns=N iterations=I fingerprint=<16-hex> ms=F" (no
+// trailing newline). Requires response.status.ok().
+std::string FormatResponseHeader(const MiningResponse& response);
+
+// The FIMI-format pattern payload for a successful response ("" when the
+// result is null). Byte-identical to what batch mode's --out-dir writes
+// for the same request, which is what the CI net-smoke job asserts.
+std::string RenderPatternsPayload(const MiningResponse& response);
+
+// --- TCP framing -----------------------------------------------------------
+//
+// The socket protocol wraps every outcome in counted framing: one status
+// line ending in " bytes=B\n", then exactly B payload bytes. Clients
+// never have to scan payload content for a terminator, so arbitrarily
+// large FIMI results stream safely.
+//
+//   ok source=... patterns=N iterations=I fingerprint=... ms=F bytes=B
+//   <B bytes of patterns>                  (B = 0 with --no-patterns)
+//   error code=<CODE> bytes=B
+//   <B bytes of error message>
+//   stats cache_hits=... ... bytes=0
+//   ok bye bytes=0                         (quit / shutdown)
+
+// Frames one dispatch outcome. kEmpty produces no bytes (comments and
+// blank lines get no response); kQuit closes the connection after the
+// flush. `send_patterns` false suppresses the payload (bytes=0).
+ServerReply FrameTcpReply(const ServeOutcome& outcome, bool send_patterns);
+
+// Frames transport-detected faults (oversized request line, connection
+// limit) exactly like request errors, so clients have one parse path.
+// Closes the connection after the flush.
+ServerReply FrameTcpError(const Status& status);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_SERVICE_DISPATCH_H_

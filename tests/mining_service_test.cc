@@ -1,5 +1,9 @@
 #include "service/mining_service.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <string>
 
 #include <gtest/gtest.h>
@@ -217,6 +221,65 @@ TEST(DatasetRegistryTest, EvictsLeastRecentlyUsedByBudget) {
   ASSERT_TRUE(reloaded.ok());
   EXPECT_FALSE(reloaded->registry_hit);
   EXPECT_EQ(registry.stats().loads, 3);
+}
+
+TEST(DatasetRegistryTest, RewrittenFileReloadsAutomatically) {
+  const std::string path =
+      ::testing::TempDir() + "/registry_rewrite.fimi";
+  ASSERT_TRUE(WriteFimiFile(MakeDiag(8), path).ok());
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Get(path).ok());
+  ASSERT_TRUE(registry.Get(path)->registry_hit);
+
+  // Rewrite in place (different size) — no Invalidate call.
+  ASSERT_TRUE(WriteFimiFile(MakeDiag(10), path).ok());
+  StatusOr<DatasetHandle> reloaded = registry.Get(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_FALSE(reloaded->registry_hit);
+  EXPECT_EQ(reloaded->db->num_transactions(), 10);
+  EXPECT_EQ(registry.stats().loads, 2);
+  EXPECT_EQ(registry.stats().stale_reloads, 1);
+
+  // The fresh entry is registered under the new signature.
+  EXPECT_TRUE(registry.Get(path)->registry_hit);
+}
+
+TEST(DatasetRegistryTest, MtimeOnlyChangeIsDetected) {
+  const std::string path =
+      ::testing::TempDir() + "/registry_mtime.fimi";
+  ASSERT_TRUE(WriteFimiFile(MakeDiag(8), path).ok());
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Get(path).ok());
+
+  // Same bytes, same size — only the mtime moves (as e.g. `touch` or an
+  // in-place rewrite with identical content would).
+  struct timespec times[2];
+  times[0].tv_sec = 1000;
+  times[0].tv_nsec = 0;
+  times[1].tv_sec = 1000;
+  times[1].tv_nsec = 0;
+  ASSERT_EQ(utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+
+  StatusOr<DatasetHandle> reloaded = registry.Get(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_FALSE(reloaded->registry_hit);
+  EXPECT_EQ(registry.stats().stale_reloads, 1);
+  // Content did not change, so the fingerprint (and thus any cached
+  // results keyed on it) is preserved across the reload.
+  EXPECT_EQ(reloaded->fingerprint, registry.Get(path)->fingerprint);
+}
+
+TEST(DatasetRegistryTest, DeletedFileFailsInsteadOfServingStaleData) {
+  const std::string path =
+      ::testing::TempDir() + "/registry_deleted.fimi";
+  ASSERT_TRUE(WriteFimiFile(MakeDiag(8), path).ok());
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Get(path).ok());
+  ASSERT_EQ(::unlink(path.c_str()), 0);
+
+  StatusOr<DatasetHandle> gone = registry.Get(path);
+  EXPECT_FALSE(gone.ok());
+  EXPECT_EQ(registry.stats().resident_datasets, 0);
 }
 
 TEST(DatasetRegistryTest, InvalidateForcesReload) {

@@ -1,0 +1,145 @@
+// Unit coverage for the shared serve dispatch path (service/dispatch.h):
+// line classification, the response/stats header formats both transports
+// print, and the TCP counted framing.
+
+#include "service/dispatch.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset_io.h"
+#include "data/generators.h"
+
+namespace colossal {
+namespace {
+
+class ServeDispatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    path_ = new std::string(::testing::TempDir() + "/dispatch_test.fimi");
+    ASSERT_TRUE(WriteFimiFile(MakeDiagPlus(16, 8).db, *path_).ok());
+  }
+
+  static std::string RequestLine() {
+    return "--in " + *path_ + " --min-support 8 --k 20 --pool-size 2";
+  }
+
+  static std::string* path_;
+  MiningService service_;
+};
+
+std::string* ServeDispatchTest::path_ = nullptr;
+
+TEST_F(ServeDispatchTest, ClassifiesControlLines) {
+  EXPECT_EQ(DispatchServeLine(service_, "").kind, ServeOutcome::Kind::kEmpty);
+  EXPECT_EQ(DispatchServeLine(service_, "   \t").kind,
+            ServeOutcome::Kind::kEmpty);
+  EXPECT_EQ(DispatchServeLine(service_, "# comment").kind,
+            ServeOutcome::Kind::kEmpty);
+  EXPECT_EQ(DispatchServeLine(service_, "quit").kind,
+            ServeOutcome::Kind::kQuit);
+  EXPECT_EQ(DispatchServeLine(service_, "exit").kind,
+            ServeOutcome::Kind::kQuit);
+  EXPECT_EQ(DispatchServeLine(service_, "  quit\r").kind,
+            ServeOutcome::Kind::kQuit);
+  EXPECT_EQ(DispatchServeLine(service_, "shutdown").kind,
+            ServeOutcome::Kind::kShutdown);
+
+  ServeOutcome stats = DispatchServeLine(service_, "stats");
+  EXPECT_EQ(stats.kind, ServeOutcome::Kind::kStats);
+  EXPECT_EQ(stats.stats_line.rfind("stats cache_hits=0", 0), 0u)
+      << stats.stats_line;
+}
+
+TEST_F(ServeDispatchTest, ParseErrorsAreFailedResponses) {
+  ServeOutcome outcome = DispatchServeLine(service_, "--nope 1");
+  EXPECT_EQ(outcome.kind, ServeOutcome::Kind::kResponse);
+  EXPECT_FALSE(outcome.response.status.ok());
+  EXPECT_EQ(outcome.response.source, ResponseSource::kFailed);
+}
+
+TEST_F(ServeDispatchTest, MinesAndFormatsHeader) {
+  ServeOutcome outcome = DispatchServeLine(service_, RequestLine());
+  ASSERT_EQ(outcome.kind, ServeOutcome::Kind::kResponse);
+  ASSERT_TRUE(outcome.response.status.ok())
+      << outcome.response.status.ToString();
+
+  const std::string header = FormatResponseHeader(outcome.response);
+  EXPECT_EQ(header.rfind("ok source=mined patterns=", 0), 0u) << header;
+  EXPECT_NE(header.find(" iterations="), std::string::npos);
+  // 16 lowercase hex digits.
+  const size_t fp = header.find(" fingerprint=");
+  ASSERT_NE(fp, std::string::npos);
+  const std::string digits = header.substr(fp + 13, 16);
+  EXPECT_EQ(digits.find_first_not_of("0123456789abcdef"), std::string::npos)
+      << digits;
+  EXPECT_NE(header.find(" ms="), std::string::npos);
+
+  // The payload renders the same FIMI text as the result itself.
+  EXPECT_FALSE(RenderPatternsPayload(outcome.response).empty());
+
+  // A repeat is a cache hit through the same path.
+  ServeOutcome again = DispatchServeLine(service_, RequestLine());
+  EXPECT_EQ(again.response.source, ResponseSource::kCache);
+}
+
+TEST_F(ServeDispatchTest, TcpFramingCountsPayloadBytesExactly) {
+  ServeOutcome outcome = DispatchServeLine(service_, RequestLine());
+  ASSERT_TRUE(outcome.response.status.ok());
+
+  ServerReply reply = FrameTcpReply(outcome, /*send_patterns=*/true);
+  EXPECT_FALSE(reply.close);
+  const size_t newline = reply.data.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  const std::string header = reply.data.substr(0, newline);
+  const std::string payload = reply.data.substr(newline + 1);
+  const size_t bytes_pos = header.rfind(" bytes=");
+  ASSERT_NE(bytes_pos, std::string::npos) << header;
+  EXPECT_EQ(std::stoull(header.substr(bytes_pos + 7)), payload.size());
+  EXPECT_EQ(payload, RenderPatternsPayload(outcome.response));
+
+  // --no-patterns mode: same header shape, zero payload bytes.
+  ServerReply stripped = FrameTcpReply(outcome, /*send_patterns=*/false);
+  EXPECT_NE(stripped.data.find(" bytes=0\n"), std::string::npos);
+  EXPECT_EQ(stripped.data.back(), '\n');
+}
+
+TEST_F(ServeDispatchTest, TcpFramingForControlAndErrorOutcomes) {
+  EXPECT_TRUE(FrameTcpReply(DispatchServeLine(service_, "# c"), true)
+                  .data.empty());
+
+  ServerReply quit = FrameTcpReply(DispatchServeLine(service_, "quit"), true);
+  EXPECT_EQ(quit.data, "ok bye bytes=0\n");
+  EXPECT_TRUE(quit.close);
+  EXPECT_FALSE(quit.shutdown_server);
+
+  ServerReply shutdown =
+      FrameTcpReply(DispatchServeLine(service_, "shutdown"), true);
+  EXPECT_EQ(shutdown.data, "ok bye bytes=0\n");
+  EXPECT_TRUE(shutdown.close);
+  EXPECT_TRUE(shutdown.shutdown_server);
+
+  ServerReply stats =
+      FrameTcpReply(DispatchServeLine(service_, "stats"), true);
+  EXPECT_EQ(stats.data.rfind("stats cache_hits=", 0), 0u);
+  EXPECT_NE(stats.data.find(" bytes=0\n"), std::string::npos);
+
+  ServerReply bad = FrameTcpReply(DispatchServeLine(service_, "--nope 1"),
+                                  /*send_patterns=*/true);
+  EXPECT_EQ(bad.data.rfind("error code=INVALID_ARGUMENT bytes=", 0), 0u)
+      << bad.data;
+  EXPECT_FALSE(bad.close);  // a bad request does not kill the connection
+  // Payload length matches the advertised count here too.
+  const size_t newline = bad.data.find('\n');
+  const size_t bytes_pos = bad.data.rfind(" bytes=", newline);
+  EXPECT_EQ(std::stoull(bad.data.substr(bytes_pos + 7, newline - bytes_pos)),
+            bad.data.size() - newline - 1);
+
+  ServerReply transport = FrameTcpError(Status::OutOfRange("line too long"));
+  EXPECT_EQ(transport.data.rfind("error code=OUT_OF_RANGE bytes=", 0), 0u);
+  EXPECT_TRUE(transport.close);
+}
+
+}  // namespace
+}  // namespace colossal

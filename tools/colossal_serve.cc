@@ -22,6 +22,26 @@
 //            fingerprint=<hex> ms=<float>
 //       followed (unless --no-patterns) by the patterns and a single '.'
 //       terminator line; errors print "error: <message>".
+//   listen  --port N [--host H] [--threads N] [--mining-threads N]
+//           [--cache-entries N] [--registry-mb N] [--no-patterns]
+//           [--max-connections N] [--max-line-kb N]
+//       The same request grammar served over TCP (net/tcp_server.h).
+//       --port 0 picks a free port; the resolved one is printed as
+//         listening host=H port=N
+//       Responses use counted framing so clients can stream large
+//       results safely: every response is one status line ending in
+//       bytes=B, followed by exactly B payload bytes —
+//         ok source=... patterns=N iterations=I fingerprint=... \
+//            ms=F bytes=B     (B bytes of FIMI patterns; 0 with
+//                              --no-patterns)
+//         error code=<CODE> bytes=B   (B bytes of error message)
+//         stats ... bytes=0
+//       Control words: stats, quit/exit (close this connection),
+//       shutdown (gracefully stop the whole server). Use
+//       tools/colossal_client.cc as the reference client.
+//
+// Request dispatch for daemon and listen is one shared path
+// (service/dispatch.h), so the two transports cannot drift.
 //
 // Request line grammar (see service/request.h):
 //   --in FILE [--format fimi|matrix|snapshot|auto]
@@ -35,6 +55,7 @@
 // and a repeated request is served from memory, bit-identical to a
 // fresh mine.
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -46,6 +67,8 @@
 #include "common/table_printer.h"
 #include "core/pattern.h"
 #include "mining/result_io.h"
+#include "net/tcp_server.h"
+#include "service/dispatch.h"
 #include "service/mining_service.h"
 
 namespace colossal {
@@ -62,18 +85,14 @@ constexpr const char kUsage[] =
     "           [--registry-mb N] [--csv]\n"
     "       colossal_serve daemon [--mining-threads N] [--cache-entries N]\n"
     "           [--registry-mb N] [--no-patterns]\n"
+    "       colossal_serve listen --port N [--host H] [--threads N]\n"
+    "           [--mining-threads N] [--cache-entries N] [--registry-mb N]\n"
+    "           [--max-connections N] [--max-line-kb N] [--no-patterns]\n"
     "request lines: --in FILE (--sigma F | --min-support N) [--tau F]\n"
     "    [--k N] [--pool-size N] [--pool-miner apriori|eclat]\n"
     "    [--max-iterations N] [--attempts N] [--retain N] [--seed S]\n"
     "    [--threads N] [--format fimi|matrix|snapshot|auto]\n"
     "see the header of tools/colossal_serve.cc for details\n";
-
-std::string HexFingerprint(uint64_t fingerprint) {
-  char buffer[17];
-  std::snprintf(buffer, sizeof(buffer), "%016llx",
-                static_cast<unsigned long long>(fingerprint));
-  return buffer;
-}
 
 // Shared service knobs for both subcommands.
 StatusOr<MiningServiceOptions> ServiceOptionsFromArgs(const Args& args) {
@@ -101,33 +120,6 @@ StatusOr<MiningServiceOptions> ServiceOptionsFromArgs(const Args& args) {
   return options;
 }
 
-// Reads the batch file into request lines, keeping 1-based line numbers
-// for error messages.
-struct BatchLine {
-  int line_number = 0;
-  std::string text;
-};
-
-StatusOr<std::vector<BatchLine>> ReadBatchFile(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) {
-    return Status::NotFound("cannot open request file: " + path);
-  }
-  std::vector<BatchLine> lines;
-  std::string line;
-  int line_number = 0;
-  while (std::getline(file, line)) {
-    ++line_number;
-    const size_t start = line.find_first_not_of(" \t\r");
-    if (start == std::string::npos || line[start] == '#') continue;
-    lines.push_back({line_number, line});
-  }
-  if (lines.empty()) {
-    return Status::InvalidArgument("request file has no requests: " + path);
-  }
-  return lines;
-}
-
 int RunBatch(const Args& args) {
   Status known = args.CheckKnown({"requests", "out-dir", "threads",
                                   "mining-threads", "cache-entries",
@@ -144,12 +136,13 @@ int RunBatch(const Args& args) {
       ServiceOptionsFromArgs(args);
   if (!service_options.ok()) return Fail(service_options.status());
 
-  StatusOr<std::vector<BatchLine>> lines = ReadBatchFile(requests_path);
+  StatusOr<std::vector<RequestFileLine>> lines =
+      ReadRequestFile(requests_path);
   if (!lines.ok()) return Fail(lines.status());
 
   std::vector<MiningRequest> requests;
   requests.reserve(lines->size());
-  for (const BatchLine& line : *lines) {
+  for (const RequestFileLine& line : *lines) {
     StatusOr<MiningRequest> request = ParseRequestLine(line.text);
     if (!request.ok()) {
       return Fail(Status::InvalidArgument(
@@ -232,55 +225,102 @@ int RunDaemon(const Args& args) {
   MiningService service(*service_options);
   std::string line;
   while (std::getline(std::cin, line)) {
-    const size_t start = line.find_first_not_of(" \t\r");
-    if (start == std::string::npos || line[start] == '#') continue;
-    const std::string command = line.substr(start);
-    if (command == "quit" || command == "exit") break;
-    if (command == "stats") {
-      const ResultCacheStats cache = service.cache_stats();
-      const DatasetRegistryStats registry = service.registry_stats();
-      std::printf(
-          "stats cache_hits=%lld cache_misses=%lld cache_entries=%lld "
-          "cache_evictions=%lld dataset_loads=%lld dataset_hits=%lld "
-          "resident_mb=%.1f\n",
-          static_cast<long long>(cache.hits),
-          static_cast<long long>(cache.misses),
-          static_cast<long long>(cache.entries),
-          static_cast<long long>(cache.evictions),
-          static_cast<long long>(registry.loads),
-          static_cast<long long>(registry.hits),
-          static_cast<double>(registry.resident_bytes) / (1 << 20));
-      std::fflush(stdout);
-      continue;
-    }
-
-    StatusOr<MiningRequest> request = ParseRequestLine(line);
-    if (!request.ok()) {
-      std::printf("error: %s\n", request.status().ToString().c_str());
-      std::fflush(stdout);
-      continue;
-    }
-    MiningResponse response = service.Mine(*request);
-    if (!response.status.ok()) {
-      std::printf("error: %s\n", response.status.ToString().c_str());
-      std::fflush(stdout);
-      continue;
-    }
-    std::printf("ok source=%s patterns=%zu iterations=%d fingerprint=%s "
-                "ms=%.3f\n",
-                ResponseSourceName(response.source),
-                response.result->patterns.size(), response.result->iterations,
-                HexFingerprint(response.dataset_fingerprint).c_str(),
-                response.seconds * 1e3);
-    if (print_patterns) {
-      std::fputs(
-          PatternsToString(ToFrequentItemsets(response.result->patterns))
-              .c_str(),
-          stdout);
-      std::printf(".\n");
+    ServeOutcome outcome = DispatchServeLine(service, line);
+    switch (outcome.kind) {
+      case ServeOutcome::Kind::kEmpty:
+        continue;
+      case ServeOutcome::Kind::kQuit:
+      case ServeOutcome::Kind::kShutdown:  // no transport to stop: quit
+        return 0;
+      case ServeOutcome::Kind::kStats:
+        std::printf("%s\n", outcome.stats_line.c_str());
+        break;
+      case ServeOutcome::Kind::kResponse:
+        if (!outcome.response.status.ok()) {
+          std::printf("error: %s\n",
+                      outcome.response.status.ToString().c_str());
+          break;
+        }
+        std::printf("%s\n", FormatResponseHeader(outcome.response).c_str());
+        if (print_patterns) {
+          std::fputs(RenderPatternsPayload(outcome.response).c_str(), stdout);
+          std::printf(".\n");
+        }
+        break;
     }
     std::fflush(stdout);
   }
+  return 0;
+}
+
+// SIGINT/SIGTERM → graceful stop (RequestStop is async-signal-safe).
+TcpServer* g_listen_server = nullptr;
+
+void HandleStopSignal(int) {
+  if (g_listen_server != nullptr) g_listen_server->RequestStop();
+}
+
+int RunListen(const Args& args) {
+  Status known = args.CheckKnown({"port", "host", "threads",
+                                  "mining-threads", "cache-entries",
+                                  "registry-mb", "no-patterns",
+                                  "max-connections", "max-line-kb"});
+  if (!known.ok()) return Fail(known);
+  StatusOr<MiningServiceOptions> service_options =
+      ServiceOptionsFromArgs(args);
+  if (!service_options.ok()) return Fail(service_options.status());
+  const bool send_patterns = !args.Has("no-patterns");
+
+  StatusOr<int64_t> port = args.GetInt("port", -1);
+  if (!port.ok()) return Fail(port.status());
+  StatusOr<int64_t> max_connections = args.GetInt("max-connections", 64);
+  if (!max_connections.ok()) return Fail(max_connections.status());
+  StatusOr<int64_t> max_line_kb = args.GetInt("max-line-kb", 1024);
+  if (!max_line_kb.ok()) return Fail(max_line_kb.status());
+  if (*port < 0 || *port > 65535 || *max_connections < 1 ||
+      *max_line_kb < 1) {
+    return Fail(Status::InvalidArgument(
+        "listen requires --port in [0, 65535] (0 = auto), "
+        "--max-connections >= 1, --max-line-kb >= 1"));
+  }
+
+  TcpServerOptions server_options;
+  server_options.host = args.GetString("host", "127.0.0.1");
+  server_options.port = static_cast<int>(*port);
+  // The handler pool is the request-level fan-out, exactly like batch
+  // --threads; mining threads per request come from the service.
+  server_options.num_threads = service_options->num_threads;
+  server_options.max_connections = static_cast<int>(*max_connections);
+  server_options.max_line_bytes = *max_line_kb * 1024;
+
+  MiningService service(*service_options);
+  TcpServer server(
+      server_options,
+      [&service, send_patterns](const std::string& line) {
+        return FrameTcpReply(DispatchServeLine(service, line), send_patterns);
+      },
+      FrameTcpError);
+
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+
+  g_listen_server = &server;
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  std::printf("listening host=%s port=%d\n", server_options.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+  server.Wait();
+
+  const TcpServerStats stats = server.stats();
+  std::printf(
+      "stopped accepted=%lld rejected=%lld lines=%lld oversized=%lld\n",
+      static_cast<long long>(stats.accepted),
+      static_cast<long long>(stats.rejected),
+      static_cast<long long>(stats.lines_dispatched),
+      static_cast<long long>(stats.oversized_lines));
+  g_listen_server = nullptr;
   return 0;
 }
 
@@ -302,8 +342,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "batch") return RunBatch(*args);
   if (command == "daemon") return RunDaemon(*args);
+  if (command == "listen") return RunListen(*args);
   return Fail(Status::InvalidArgument("unknown command '" + command +
-                                      "' (want batch|daemon)"));
+                                      "' (want batch|daemon|listen)"));
 }
 
 }  // namespace
