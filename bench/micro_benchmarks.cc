@@ -24,6 +24,8 @@
 #include "mining/fpgrowth.h"
 #include "service/dataset_registry.h"
 #include "service/mining_service.h"
+#include "shard/shard_planner.h"
+#include "shard/sharded_miner.h"
 
 namespace colossal {
 namespace {
@@ -332,6 +334,119 @@ void BM_ServiceResultCacheHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServiceResultCacheHit);
+
+// --- Sharding ---------------------------------------------------------------
+// The sharded mining path of src/shard/: the stitch kernel, manifest
+// planning/writing, and exact sharded mining vs. the unsharded
+// reference at several shard counts. Results are recorded in
+// BENCH_shard.json; refresh with --benchmark_filter=Shard.
+
+void BM_ShardStitchSupportSet(benchmark::State& state) {
+  // One OrWithShifted of a 1/8-size shard slice into a global support
+  // set, at a deliberately word-misaligned offset.
+  const int64_t num_bits = state.range(0);
+  const Bitvector local = RandomBits(num_bits / 8, 0.4, 7);
+  Bitvector global(num_bits);
+  const int64_t offset = num_bits / 3 + 1;
+  for (auto _ : state) {
+    global.OrWithShifted(local, offset);
+    benchmark::DoNotOptimize(global);
+  }
+}
+BENCHMARK(BM_ShardStitchSupportSet)->Arg(4395)->Arg(100000);
+
+// One shared sharded fixture: a trace-shaped dataset written once as
+// manifests of 1/2/4 shards.
+struct ShardBenchFixture {
+  TransactionDatabase db;
+  std::string manifests[3];  // 1, 2, 4 shards
+  ColossalMinerOptions options;
+
+  ShardBenchFixture() : db(MakeDiagPlus(24, 12).db) {
+    const int counts[3] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i) {
+      ShardPlanOptions plan_options;
+      plan_options.num_shards = counts[i];
+      StatusOr<std::vector<ShardRange>> plan = PlanShards(db, plan_options);
+      StatusOr<ShardWriteResult> written = plan.ok()
+          ? WriteShardedSnapshots(db, *plan, "/tmp",
+                                  "colossal_bench_shard_" +
+                                      std::to_string(counts[i]))
+          : StatusOr<ShardWriteResult>(plan.status());
+      if (!written.ok()) std::abort();
+      manifests[i] = written->manifest_path;
+    }
+    options.sigma = -1.0;
+    options.min_support_count = 12;
+    options.initial_pool_max_size = 2;
+    options.k = 40;
+  }
+};
+
+const ShardBenchFixture& ShardFixture() {
+  static const ShardBenchFixture* fixture = new ShardBenchFixture();
+  return *fixture;
+}
+
+void BM_ShardPlanAndWrite(benchmark::State& state) {
+  const ShardBenchFixture& fixture = ShardFixture();
+  ShardPlanOptions plan_options;
+  plan_options.num_shards = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    StatusOr<std::vector<ShardRange>> plan =
+        PlanShards(fixture.db, plan_options);
+    if (!plan.ok()) {
+      state.SkipWithError("planning failed");
+      return;
+    }
+    benchmark::DoNotOptimize(
+        WriteShardedSnapshots(fixture.db, *plan, "/tmp",
+                              "colossal_bench_shard_rewrite"));
+  }
+}
+BENCHMARK(BM_ShardPlanAndWrite)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Exact sharded mining (disk shard loads included, as a cold service
+// would pay them) vs. the unsharded in-memory reference mine. Arg is
+// the shard count; 1 isolates the sharding machinery's own overhead.
+void BM_ShardedMineExact(benchmark::State& state) {
+  const ShardBenchFixture& fixture = ShardFixture();
+  const int index = state.range(0) == 1 ? 0 : state.range(0) == 2 ? 1 : 2;
+  StatusOr<ShardManifest> manifest =
+      ReadShardManifestFile(fixture.manifests[index]);
+  if (!manifest.ok()) {
+    state.SkipWithError("manifest unavailable");
+    return;
+  }
+  ShardedMiner miner(*manifest, [](const std::string& path)
+                                    -> StatusOr<LoadedShard> {
+    StatusOr<TransactionDatabase> db = ReadSnapshotFile(path);
+    if (!db.ok()) return db.status();
+    LoadedShard shard;
+    shard.fingerprint = FingerprintDatabase(*db);
+    shard.db = std::make_shared<const TransactionDatabase>(*std::move(db));
+    return shard;
+  });
+  for (auto _ : state) {
+    StatusOr<ColossalMiningResult> result =
+        miner.Mine(fixture.options, ShardMergeMode::kExact);
+    if (!result.ok()) {
+      state.SkipWithError("mine failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ShardedMineExact)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardedMineUnshardedReference(benchmark::State& state) {
+  const ShardBenchFixture& fixture = ShardFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineColossal(fixture.db, fixture.options));
+  }
+}
+BENCHMARK(BM_ShardedMineUnshardedReference)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace colossal

@@ -76,6 +76,24 @@ void Bitvector::OrWith(const Bitvector& other) {
   for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
 }
 
+void Bitvector::OrWithShifted(const Bitvector& other, int64_t offset) {
+  COLOSSAL_CHECK(offset >= 0 && offset + other.num_bits_ <= num_bits_)
+      << "offset=" << offset;
+  const size_t word_shift = static_cast<size_t>(offset / kWordBits);
+  const int bit_shift = static_cast<int>(offset % kWordBits);
+  for (size_t i = 0; i < other.words_.size(); ++i) {
+    const uint64_t word = other.words_[i];
+    if (word == 0) continue;
+    words_[i + word_shift] |= word << bit_shift;
+    if (bit_shift != 0) {
+      const uint64_t carry = word >> (kWordBits - bit_shift);
+      // A nonzero carry implies the destination word exists (the range
+      // check above bounds offset + other bits by our bit length).
+      if (carry != 0) words_[i + word_shift + 1] |= carry;
+    }
+  }
+}
+
 void Bitvector::AndNotWith(const Bitvector& other) {
   COLOSSAL_CHECK(num_bits_ == other.num_bits_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];

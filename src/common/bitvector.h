@@ -49,6 +49,13 @@ class Bitvector {
   void OrWith(const Bitvector& other);
   void AndNotWith(const Bitvector& other);  // this &= ~other
 
+  // this |= (other << offset): ORs `other` into this at bit positions
+  // [offset, offset + other.size_bits()). Word-parallel; the shard layer
+  // uses it to stitch per-shard support sets (local row indices) into a
+  // global support set. Requires offset >= 0 and the shifted range to
+  // fit within size_bits().
+  void OrWithShifted(const Bitvector& other, int64_t offset);
+
   // Out-of-place algebra.
   static Bitvector And(const Bitvector& a, const Bitvector& b);
   static Bitvector Or(const Bitvector& a, const Bitvector& b);

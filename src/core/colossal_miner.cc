@@ -4,14 +4,15 @@
 
 namespace colossal {
 
-StatusOr<ColossalMinerOptions> CanonicalizeMinerOptions(
-    const TransactionDatabase& db, const ColossalMinerOptions& options) {
+StatusOr<ColossalMinerOptions> CanonicalizeMinerOptionsForSize(
+    int64_t num_transactions, const ColossalMinerOptions& options) {
   ColossalMinerOptions canonical = options;
   if (canonical.sigma >= 0.0) {
     if (canonical.sigma > 1.0) {
       return Status::InvalidArgument("sigma must be in [0, 1]");
     }
-    canonical.min_support_count = db.MinSupportCount(canonical.sigma);
+    canonical.min_support_count =
+        MinSupportCountFor(num_transactions, canonical.sigma);
     if (canonical.min_support_count < 1) canonical.min_support_count = 1;
     canonical.sigma = -1.0;
   }
@@ -19,20 +20,16 @@ StatusOr<ColossalMinerOptions> CanonicalizeMinerOptions(
   return canonical;
 }
 
-StatusOr<ColossalMiningResult> MineColossal(
+StatusOr<ColossalMinerOptions> CanonicalizeMinerOptions(
     const TransactionDatabase& db, const ColossalMinerOptions& options) {
-  StatusOr<ColossalMinerOptions> canonical =
-      CanonicalizeMinerOptions(db, options);
-  if (!canonical.ok()) return canonical.status();
-  const int64_t min_support_count = canonical->min_support_count;
+  return CanonicalizeMinerOptionsForSize(db.num_transactions(), options);
+}
 
-  StatusOr<std::vector<Pattern>> pool =
-      BuildInitialPool(db, min_support_count, options.initial_pool_max_size,
-                       options.pool_miner, options.num_threads);
-  if (!pool.ok()) return pool.status();
-
+StatusOr<ColossalMiningResult> FuseColossalFromPool(
+    int64_t num_transactions, std::vector<Pattern> initial_pool,
+    const ColossalMinerOptions& options) {
   PatternFusionOptions fusion_options;
-  fusion_options.min_support_count = min_support_count;
+  fusion_options.min_support_count = options.min_support_count;
   fusion_options.tau = options.tau;
   fusion_options.k = options.k;
   fusion_options.max_iterations = options.max_iterations;
@@ -43,10 +40,10 @@ StatusOr<ColossalMiningResult> MineColossal(
   fusion_options.num_threads = options.num_threads;
 
   ColossalMiningResult result;
-  result.initial_pool_size = static_cast<int64_t>(pool->size());
+  result.initial_pool_size = static_cast<int64_t>(initial_pool.size());
 
-  StatusOr<PatternFusionResult> fusion =
-      RunPatternFusion(db, *std::move(pool), fusion_options);
+  FusionEngine engine(num_transactions, fusion_options);
+  StatusOr<PatternFusionResult> fusion = engine.Run(std::move(initial_pool));
   if (!fusion.ok()) return fusion.status();
 
   result.patterns = std::move(fusion->patterns);
@@ -54,6 +51,24 @@ StatusOr<ColossalMiningResult> MineColossal(
   result.converged = fusion->converged;
   result.iteration_stats = std::move(fusion->iterations);
   return result;
+}
+
+StatusOr<ColossalMiningResult> MineColossal(
+    const TransactionDatabase& db, const ColossalMinerOptions& options) {
+  StatusOr<ColossalMinerOptions> canonical =
+      CanonicalizeMinerOptions(db, options);
+  if (!canonical.ok()) return canonical.status();
+
+  StatusOr<std::vector<Pattern>> pool = BuildInitialPool(
+      db, canonical->min_support_count, options.initial_pool_max_size,
+      options.pool_miner, options.num_threads);
+  if (!pool.ok()) return pool.status();
+
+  // Execution options: canonical thresholds, the caller's thread count
+  // (a pure performance knob that canonicalization zeroes).
+  ColossalMinerOptions exec = *canonical;
+  exec.num_threads = options.num_threads;
+  return FuseColossalFromPool(db.num_transactions(), *std::move(pool), exec);
 }
 
 }  // namespace colossal

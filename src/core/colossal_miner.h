@@ -74,6 +74,13 @@ struct ColossalMinerOptions {
 StatusOr<ColossalMinerOptions> CanonicalizeMinerOptions(
     const TransactionDatabase& db, const ColossalMinerOptions& options);
 
+// Same rewrite given only the transaction count — canonicalization
+// depends on the database solely through |D| (sigma resolution). The
+// shard layer uses this to canonicalize a request against a manifest
+// without loading a single shard.
+StatusOr<ColossalMinerOptions> CanonicalizeMinerOptionsForSize(
+    int64_t num_transactions, const ColossalMinerOptions& options);
+
 struct ColossalMiningResult {
   // The approximation to the colossal patterns, largest first.
   std::vector<Pattern> patterns;
@@ -91,6 +98,16 @@ struct ColossalMiningResult {
 // Runs initial-pool mining + Pattern-Fusion end to end.
 StatusOr<ColossalMiningResult> MineColossal(const TransactionDatabase& db,
                                             const ColossalMinerOptions& options);
+
+// The fusion half of MineColossal, split out so callers that build the
+// initial pool some other way — notably the sharded miner, which
+// recovers the pool from per-shard mining — run the byte-identical
+// pipeline from that point on. `options` must already carry an absolute
+// min_support_count (sigma resolved; options.sigma ignored), and the
+// pool patterns' support sets must span `num_transactions` bits.
+StatusOr<ColossalMiningResult> FuseColossalFromPool(
+    int64_t num_transactions, std::vector<Pattern> initial_pool,
+    const ColossalMinerOptions& options);
 
 }  // namespace colossal
 

@@ -17,10 +17,10 @@ namespace colossal {
 
 namespace {
 
-Status ValidateOptions(const TransactionDatabase& db,
+Status ValidateOptions(int64_t num_transactions,
                        const PatternFusionOptions& options) {
   if (options.min_support_count < 1 ||
-      options.min_support_count > db.num_transactions()) {
+      options.min_support_count > num_transactions) {
     return Status::InvalidArgument(
         "min_support_count out of range: " +
         std::to_string(options.min_support_count));
@@ -112,9 +112,13 @@ FusionOutcome FuseOnce(const std::vector<Pattern>& pool,
   return outcome;
 }
 
+FusionEngine::FusionEngine(int64_t num_transactions,
+                           const PatternFusionOptions& options)
+    : num_transactions_(num_transactions), options_(options) {}
+
 FusionEngine::FusionEngine(const TransactionDatabase& db,
                            const PatternFusionOptions& options)
-    : db_(db), options_(options) {}
+    : FusionEngine(db.num_transactions(), options) {}
 
 std::vector<FusionCandidate> FusionEngine::ProcessSeed(
     const PatternPool& pool, int64_t seed_index, double radius,
@@ -158,7 +162,7 @@ std::vector<FusionCandidate> FusionEngine::ProcessSeed(
 
 StatusOr<PatternFusionResult> FusionEngine::Run(
     std::vector<Pattern> initial_pool) {
-  Status valid = ValidateOptions(db_, options_);
+  Status valid = ValidateOptions(num_transactions_, options_);
   if (!valid.ok()) return valid;
   if (initial_pool.empty()) {
     return Status::InvalidArgument("initial pool is empty");
@@ -269,6 +273,13 @@ StatusOr<std::vector<Pattern>> BuildInitialPool(const TransactionDatabase& db,
         "no frequent patterns at min_support_count " +
         std::to_string(min_support_count));
   }
+  // Normalize to (size, lexicographic) order — Apriori's natural
+  // level-wise order, imposed on Eclat's DFS order too. The fusion
+  // engine is pool-order-sensitive (seed draws index the pool), so this
+  // is what makes the mining output independent of the pool miner, and
+  // what lets the sharded miner recover a positionally identical pool
+  // without ever seeing the unsharded enumeration.
+  SortPatterns(&mined->patterns);
   return MakePatterns(db, mined->patterns);
 }
 

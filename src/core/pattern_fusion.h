@@ -109,6 +109,11 @@ struct FusionCandidate {
 // output is identical for any num_threads.
 class FusionEngine {
  public:
+  // The engine never touches the database beyond its transaction count
+  // (pool patterns carry materialized support sets), so it can also be
+  // constructed from the count alone — the form the shard layer uses,
+  // where no unsharded database ever exists in memory.
+  FusionEngine(int64_t num_transactions, const PatternFusionOptions& options);
   FusionEngine(const TransactionDatabase& db,
                const PatternFusionOptions& options);
 
@@ -130,7 +135,7 @@ class FusionEngine {
                                            int64_t seed_index, double radius,
                                            Rng& rng) const;
 
-  const TransactionDatabase& db_;
+  const int64_t num_transactions_;
   const PatternFusionOptions options_;
 };
 
@@ -142,9 +147,11 @@ StatusOr<PatternFusionResult> RunPatternFusion(
 
 // Which complete miner builds the initial pool. The paper allows "any
 // existing efficient mining algorithm"; both choices produce the
-// identical pool (verified by tests) with different cost profiles —
-// breadth-first Apriori reuses level-(k−1) support sets, depth-first
-// Eclat uses less transient memory.
+// identical pool — BuildInitialPool normalizes to (size, lexicographic)
+// order, so downstream fusion output is byte-identical for either
+// miner — with different cost profiles: breadth-first Apriori reuses
+// level-(k−1) support sets, depth-first Eclat uses less transient
+// memory.
 enum class PoolMiner {
   kApriori,
   kEclat,
@@ -152,8 +159,9 @@ enum class PoolMiner {
 
 // Builds the initial pool (paper §2.3 phase 1): the complete set of
 // frequent patterns of size ≤ max_pattern_size, with support sets
-// materialized. `num_threads` (0 = auto) parallelizes the underlying
-// miner; the pool is identical for any value.
+// materialized, in (size, lexicographic) order regardless of the miner.
+// `num_threads` (0 = auto) parallelizes the underlying miner; the pool
+// is identical for any value.
 StatusOr<std::vector<Pattern>> BuildInitialPool(
     const TransactionDatabase& db, int64_t min_support_count,
     int max_pattern_size, PoolMiner miner = PoolMiner::kApriori,

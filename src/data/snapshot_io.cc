@@ -16,6 +16,15 @@ namespace {
 
 constexpr char kMagic[8] = {'C', 'P', 'F', 'S', 'N', 'A', 'P', '1'};
 
+// The shard-manifest magic line (shard/shard_manifest.h — the literal
+// is duplicated here so data/ keeps no dependency on shard/). A
+// manifest names a *collection* of datasets, so the single-database
+// loaders reject it with a pointer at the sharded path instead of a
+// baffling FIMI parse error.
+bool LooksLikeManifest(const std::string& data) {
+  return data.rfind("CPFSHARD1", 0) == 0;
+}
+
 uint64_t FingerprintTransactions(const std::vector<Itemset>& transactions) {
   uint64_t hash = kFnvOffsetBasis;
   hash = HashCombine(hash, static_cast<uint64_t>(transactions.size()));
@@ -193,6 +202,12 @@ StatusOr<TransactionDatabase> LoadDatabaseFile(const std::string& path,
                       path + ": " + db.status().message());
       }
       return db;
+    }
+    if (LooksLikeManifest(data)) {
+      return Status::InvalidArgument(
+          path +
+          ": is a shard manifest, not a dataset — mine it through the "
+          "service (--shards exact|fuse) or load a shard snapshot");
     }
     StatusOr<TransactionDatabase> db = ParseFimi(data);
     if (!db.ok()) {

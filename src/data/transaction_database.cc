@@ -139,11 +139,15 @@ int64_t TransactionDatabase::Support(const Itemset& itemset) const {
   return SupportSet(itemset).Count();
 }
 
-int64_t TransactionDatabase::MinSupportCount(double sigma) const {
+int64_t MinSupportCountFor(int64_t num_transactions, double sigma) {
   COLOSSAL_CHECK(sigma >= 0.0 && sigma <= 1.0) << "sigma=" << sigma;
-  const double raw = sigma * static_cast<double>(num_transactions());
+  const double raw = sigma * static_cast<double>(num_transactions);
   // ceil with a tolerance so that e.g. 0.3 * 10 == 3, not 4.
   return static_cast<int64_t>(std::ceil(raw - 1e-9));
+}
+
+int64_t TransactionDatabase::MinSupportCount(double sigma) const {
+  return MinSupportCountFor(num_transactions(), sigma);
 }
 
 double TransactionDatabase::Density() const {

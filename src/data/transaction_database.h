@@ -77,7 +77,8 @@ class TransactionDatabase {
   int64_t Support(const Itemset& itemset) const;
 
   // Converts a fractional threshold σ ∈ [0, 1] to the smallest absolute
-  // support count satisfying |D_α|/|D| ≥ σ.
+  // support count satisfying |D_α|/|D| ≥ σ. Equivalent to
+  // MinSupportCountFor(num_transactions(), sigma).
   int64_t MinSupportCount(double sigma) const;
 
   // Fraction of set cells: Σ|t| / (num_transactions · num_items).
@@ -98,6 +99,14 @@ class TransactionDatabase {
   ItemId num_items_ = 0;
   int64_t total_occurrences_ = 0;
 };
+
+// Converts a fractional threshold σ ∈ [0, 1] to the smallest absolute
+// support count satisfying count/num_transactions ≥ σ. Free-standing so
+// callers that know only the transaction count — e.g. the shard layer
+// canonicalizing a request against a manifest before any shard is
+// loaded — resolve σ identically to MinSupportCount on a loaded
+// database.
+int64_t MinSupportCountFor(int64_t num_transactions, double sigma);
 
 }  // namespace colossal
 

@@ -77,11 +77,14 @@ StatusOr<DatasetHandle> DatasetRegistry::Get(const std::string& path,
     entry.fingerprint = fingerprint;
     entry.bytes = db->ApproxMemoryBytes();
     entry.signature = signature;
+    MakeRoomLocked(entry.bytes);
     lru_.push_front(key);
     entry.lru_position = lru_.begin();
     resident_bytes_ += entry.bytes;
     entries_.emplace(key, std::move(entry));
-    EvictLocked();
+    if (resident_bytes_ > stats_.peak_resident_bytes) {
+      stats_.peak_resident_bytes = resident_bytes_;
+    }
   } else {
     // Lost the race; serve the registered copy.
     lru_.splice(lru_.begin(), lru_, it->second.lru_position);
@@ -95,8 +98,48 @@ StatusOr<DatasetHandle> DatasetRegistry::Get(const std::string& path,
   return handle;
 }
 
+StatusOr<ShardManifestHandle> DatasetRegistry::GetManifest(
+    const std::string& path) {
+  const FileSignature signature = StatFileSignature(path);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = manifests_.find(path);
+    if (it != manifests_.end()) {
+      if (it->second.signature == signature) {
+        ++stats_.hits;
+        ShardManifestHandle handle;
+        handle.manifest = it->second.manifest;
+        handle.registry_hit = true;
+        return handle;
+      }
+      ++stats_.stale_reloads;
+      manifests_.erase(it);
+    }
+  }
+
+  StatusOr<ShardManifest> loaded = ReadShardManifestFile(path);
+  if (!loaded.ok()) return loaded.status();
+  auto manifest = std::make_shared<const ShardManifest>(*std::move(loaded));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = manifests_.find(path);
+  if (it == manifests_.end()) {
+    ++stats_.loads;
+    manifests_.emplace(path, ManifestEntry{manifest, signature});
+  } else {
+    // Lost a race; serve the registered copy.
+    ++stats_.hits;
+    manifest = it->second.manifest;
+  }
+  ShardManifestHandle handle;
+  handle.manifest = std::move(manifest);
+  handle.registry_hit = false;
+  return handle;
+}
+
 void DatasetRegistry::Invalidate(const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
+  manifests_.erase(path);
   for (auto it = entries_.begin(); it != entries_.end();) {
     const std::string& key = it->first;
     if (key.compare(0, path.size(), path) == 0 &&
@@ -126,8 +169,9 @@ void DatasetRegistry::EraseEntryLocked(const std::string& key) {
   entries_.erase(it);
 }
 
-void DatasetRegistry::EvictLocked() {
-  while (resident_bytes_ > options_.memory_budget_bytes && lru_.size() > 1) {
+void DatasetRegistry::MakeRoomLocked(int64_t incoming_bytes) {
+  while (resident_bytes_ + incoming_bytes > options_.memory_budget_bytes &&
+         !lru_.empty()) {
     const std::string& victim = lru_.back();
     auto it = entries_.find(victim);
     resident_bytes_ -= it->second.bytes;

@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "data/transaction_database.h"
+#include "shard/shard_manifest.h"
 
 namespace colossal {
 
@@ -34,12 +35,18 @@ struct DatasetRegistryOptions {
 };
 
 struct DatasetRegistryStats {
-  int64_t loads = 0;       // disk loads (misses)
-  int64_t hits = 0;        // served from memory
+  int64_t loads = 0;       // disk loads (misses), manifests included
+  int64_t hits = 0;        // served from memory, manifests included
   int64_t evictions = 0;
   int64_t stale_reloads = 0;  // hits invalidated by a changed signature
   int64_t resident_bytes = 0;
   int64_t resident_datasets = 0;
+  // High-water mark of resident_bytes. Eviction makes room *before* a
+  // new dataset is admitted, so while serving a sharded dataset whose
+  // total exceeds the budget this never passes the budget (unless a
+  // single dataset alone does — such a dataset still loads and simply
+  // owns the whole budget).
+  int64_t peak_resident_bytes = 0;
 };
 
 // Signature of the on-disk file backing a registry entry, captured just
@@ -57,6 +64,13 @@ struct FileSignature {
 // stat(2)s `path`; size/mtime stay -1 when the file is unreachable
 // (which never equals a stored signature, forcing the reload path).
 FileSignature StatFileSignature(const std::string& path);
+
+// A parsed shard manifest as handed to requests (shard paths resolved
+// against the manifest's directory).
+struct ShardManifestHandle {
+  std::shared_ptr<const ShardManifest> manifest;
+  bool registry_hit = false;
+};
 
 // Loads each dataset once and shares it immutably across requests — the
 // "load once from secondary memory, mine many times" half of the service
@@ -79,6 +93,15 @@ class DatasetRegistry {
   StatusOr<DatasetHandle> Get(const std::string& path,
                               const std::string& format = "auto");
 
+  // Returns the shard manifest at `path`, parsing it on first use. A
+  // manifest is a first-class registry entry — same signature-based
+  // staleness as Get — but its shards are *not* loaded here: requests
+  // load them individually through Get, which is what lets a dataset
+  // whose total size exceeds the memory budget serve within it. Parsed
+  // manifests are a few hundred bytes, so they are kept outside the LRU
+  // byte accounting.
+  StatusOr<ShardManifestHandle> GetManifest(const std::string& path);
+
   // Drops the entry for `path` (all formats) if present. In-flight users
   // keep their shared_ptr; the next Get reloads from disk. Rewritten
   // files are caught automatically by the signature check; Invalidate
@@ -100,16 +123,25 @@ class DatasetRegistry {
     std::list<std::string>::iterator lru_position;
   };
 
+  struct ManifestEntry {
+    std::shared_ptr<const ShardManifest> manifest;
+    FileSignature signature;
+  };
+
   // Removes `key` if present (caller holds mutex_).
   void EraseEntryLocked(const std::string& key);
 
-  // Evicts LRU entries (never the front) until the budget is met.
-  // Caller holds mutex_.
-  void EvictLocked();
+  // Evicts LRU entries until `incoming_bytes` more would fit the budget
+  // (or nothing is left to evict), so a new dataset is admitted into a
+  // registry that is already within budget — resident_bytes_ can then
+  // only exceed the budget when a single dataset alone does. Caller
+  // holds mutex_.
+  void MakeRoomLocked(int64_t incoming_bytes);
 
   const DatasetRegistryOptions options_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, Entry> entries_;  // key: path \n format
+  std::unordered_map<std::string, ManifestEntry> manifests_;  // key: path
   std::list<std::string> lru_;                      // keys, MRU first
   int64_t resident_bytes_ = 0;
   DatasetRegistryStats stats_;

@@ -80,19 +80,23 @@ ServeOutcome DispatchServeLine(MiningService& service,
 std::string FormatStatsLine(const MiningService& service) {
   const ResultCacheStats cache = service.cache_stats();
   const DatasetRegistryStats registry = service.registry_stats();
-  char buffer[256];
+  char buffer[384];
   std::snprintf(
       buffer, sizeof(buffer),
       "stats cache_hits=%lld cache_misses=%lld cache_entries=%lld "
       "cache_evictions=%lld dataset_loads=%lld dataset_hits=%lld "
-      "resident_mb=%.1f",
+      "dataset_evictions=%lld dataset_stale_reloads=%lld "
+      "resident_mb=%.1f peak_resident_mb=%.1f",
       static_cast<long long>(cache.hits),
       static_cast<long long>(cache.misses),
       static_cast<long long>(cache.entries),
       static_cast<long long>(cache.evictions),
       static_cast<long long>(registry.loads),
       static_cast<long long>(registry.hits),
-      static_cast<double>(registry.resident_bytes) / (1 << 20));
+      static_cast<long long>(registry.evictions),
+      static_cast<long long>(registry.stale_reloads),
+      static_cast<double>(registry.resident_bytes) / (1 << 20),
+      static_cast<double>(registry.peak_resident_bytes) / (1 << 20));
   return buffer;
 }
 

@@ -57,7 +57,10 @@ ServeOutcome DispatchServeLine(MiningService& service,
 
 // "stats cache_hits=... cache_misses=... cache_entries=...
 //  cache_evictions=... dataset_loads=... dataset_hits=...
-//  resident_mb=..." (no trailing newline).
+//  dataset_evictions=... dataset_stale_reloads=... resident_mb=...
+//  peak_resident_mb=..." (no trailing newline). The daemon and TCP
+// transports share this, so both report the full registry/cache
+// counters.
 std::string FormatStatsLine(const MiningService& service);
 
 // "ok source=... patterns=N iterations=I fingerprint=<16-hex> ms=F" (no

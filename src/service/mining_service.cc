@@ -2,9 +2,20 @@
 
 #include <utility>
 
+#include "common/hash.h"
 #include "common/stopwatch.h"
 
 namespace colossal {
+
+namespace {
+
+// Folded into the cache key's options hash for approximate-fusion
+// requests, so a fuse result can never be served for an exact request
+// (or vice versa) — exact results alone are interchangeable with
+// unsharded mining.
+constexpr uint64_t kFuseModeSalt = 0x66757365u;  // "fuse"
+
+}  // namespace
 
 const char* ResponseSourceName(ResponseSource source) {
   switch (source) {
@@ -28,45 +39,135 @@ MiningService::MiningService(const MiningServiceOptions& options)
 
 MiningService::~MiningService() = default;
 
-MiningResponse MiningService::Mine(const MiningRequest& request) {
+MiningService::Prepared MiningService::Prepare(const MiningRequest& request,
+                                               bool keep_dataset) {
+  Prepared prep;
+  bool is_manifest = request.format == "manifest";
+  if (!is_manifest && request.format == "auto") {
+    // One open+read of the magic bytes per auto-format request, on top
+    // of the registry's own stat. Acceptable against mining costs; a
+    // registry-side sniff cache keyed by FileSignature is the known
+    // optimization if hit-heavy request rates ever make it matter (see
+    // ROADMAP).
+    is_manifest = IsShardManifestFile(request.dataset_path);
+  }
+
+  if (!is_manifest) {
+    if (request.shards_requested) {
+      prep.status = Status::InvalidArgument(
+          "--shards requires a shard manifest dataset, and " +
+          request.dataset_path + " is not one");
+      return prep;
+    }
+    StatusOr<DatasetHandle> handle =
+        registry_.Get(request.dataset_path, request.format);
+    if (!handle.ok()) {
+      prep.status = handle.status();
+      return prep;
+    }
+    prep.handle = *std::move(handle);
+    prep.registry_hit = prep.handle.registry_hit;
+    prep.fingerprint = prep.handle.fingerprint;
+    StatusOr<CanonicalRequest> canonical =
+        CanonicalizeRequest(*prep.handle.db, request.options);
+    if (!canonical.ok()) {
+      prep.status = canonical.status();
+      return prep;
+    }
+    prep.canonical = *std::move(canonical);
+    prep.key = ResultCacheKey{prep.fingerprint, prep.canonical.options_hash};
+    if (!keep_dataset) prep.handle.db.reset();
+    return prep;
+  }
+
+  prep.sharded = true;
+  prep.shard_mode = request.shard_mode;
+  StatusOr<ShardManifestHandle> handle =
+      registry_.GetManifest(request.dataset_path);
+  if (!handle.ok()) {
+    prep.status = handle.status();
+    return prep;
+  }
+  prep.manifest = std::move(handle->manifest);
+  prep.registry_hit = handle->registry_hit;
+  prep.fingerprint = prep.manifest->parent_fingerprint;
+  StatusOr<ColossalMinerOptions> canonical = CanonicalizeMinerOptionsForSize(
+      prep.manifest->num_transactions, request.options);
+  if (!canonical.ok()) {
+    prep.status = canonical.status();
+    return prep;
+  }
+  prep.canonical.options = *canonical;
+  prep.canonical.options_hash = HashMinerOptions(prep.canonical.options);
+  uint64_t key_hash = prep.canonical.options_hash;
+  if (prep.shard_mode == ShardMergeMode::kFuse) {
+    key_hash = HashCombine(key_hash, kFuseModeSalt);
+  }
+  prep.canonical.options_hash = key_hash;
+  prep.key = ResultCacheKey{prep.fingerprint, key_hash};
+  return prep;
+}
+
+StatusOr<ColossalMiningResult> MiningService::RunMine(
+    const MiningRequest& request, const Prepared& prep) {
+  // Execution options: canonical, except the thread count — a pure
+  // performance knob with bit-identical output — which is taken from the
+  // request (falling back to the service's per-job default).
+  ColossalMinerOptions exec = prep.canonical.options;
+  exec.num_threads = request.options.num_threads != 0
+                         ? request.options.num_threads
+                         : options_.mining_threads;
+  if (!prep.sharded) {
+    std::shared_ptr<const TransactionDatabase> db = prep.handle.db;
+    if (db == nullptr) {
+      // Batch prep dropped the handle; re-resolve (usually a registry
+      // hit). A fingerprint that moved means the file was rewritten
+      // after the key was computed — mining the new content would cache
+      // it under the old content's key, so fail the request instead.
+      StatusOr<DatasetHandle> fresh =
+          registry_.Get(request.dataset_path, request.format);
+      if (!fresh.ok()) return fresh.status();
+      if (fresh->fingerprint != prep.fingerprint) {
+        return Status::FailedPrecondition(
+            request.dataset_path + " changed while the batch was in flight");
+      }
+      db = fresh->db;
+    }
+    return MineColossal(*db, exec);
+  }
+  ShardedMiner miner(*prep.manifest,
+                     [this](const std::string& path) -> StatusOr<LoadedShard> {
+                       StatusOr<DatasetHandle> shard =
+                           registry_.Get(path, "auto");
+                       if (!shard.ok()) return shard.status();
+                       return LoadedShard{shard->db, shard->fingerprint};
+                     });
+  return miner.Mine(exec, prep.shard_mode);
+}
+
+MiningResponse MiningService::Execute(const MiningRequest& request,
+                                      const Prepared& prep) {
   Stopwatch stopwatch;
   MiningResponse response;
-
-  StatusOr<DatasetHandle> handle =
-      registry_.Get(request.dataset_path, request.format);
-  if (!handle.ok()) {
-    response.status = handle.status();
+  if (!prep.status.ok()) {
+    response.status = prep.status;
     response.seconds = stopwatch.ElapsedSeconds();
     return response;
   }
-  response.dataset_registry_hit = handle->registry_hit;
-  response.dataset_fingerprint = handle->fingerprint;
-
-  StatusOr<CanonicalRequest> canonical =
-      CanonicalizeRequest(*handle->db, request.options);
-  if (!canonical.ok()) {
-    response.status = canonical.status();
-    response.seconds = stopwatch.ElapsedSeconds();
-    return response;
+  response.dataset_registry_hit = prep.registry_hit;
+  response.dataset_fingerprint = prep.fingerprint;
+  response.options_hash = prep.canonical.options_hash;
+  if (prep.sharded) {
+    response.shards = static_cast<int>(prep.manifest->shards.size());
   }
-  response.options_hash = canonical->options_hash;
-  const ResultCacheKey key{handle->fingerprint, canonical->options_hash};
 
   if (std::shared_ptr<const ColossalMiningResult> cached =
-          cache_.Get(key, canonical->options)) {
+          cache_.Get(prep.key, prep.canonical.options)) {
     response.result = std::move(cached);
     response.source = ResponseSource::kCache;
     response.seconds = stopwatch.ElapsedSeconds();
     return response;
   }
-
-  // Execution options: canonical, except the thread count — a pure
-  // performance knob with bit-identical output — which is taken from the
-  // request (falling back to the service's per-job default).
-  ColossalMinerOptions exec = canonical->options;
-  exec.num_threads = request.options.num_threads != 0
-                         ? request.options.num_threads
-                         : options_.mining_threads;
 
   // Join an identical in-flight request, or become the runner for one.
   // A key collision with different canonical options (verified below)
@@ -76,26 +177,26 @@ MiningResponse MiningService::Mine(const MiningRequest& request) {
   bool standalone = false;
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
-    auto it = inflight_.find(key);
+    auto it = inflight_.find(prep.key);
     if (it == inflight_.end()) {
       job = std::make_shared<Inflight>();
-      job->canonical = canonical->options;
-      inflight_.emplace(key, job);
+      job->canonical = prep.canonical.options;
+      inflight_.emplace(prep.key, job);
       runner = true;
-    } else if (it->second->canonical == canonical->options) {
+    } else if (it->second->canonical == prep.canonical.options) {
       job = it->second;
     } else {
       standalone = true;
     }
   }
   if (standalone) {
-    StatusOr<ColossalMiningResult> mined = MineColossal(*handle->db, exec);
+    StatusOr<ColossalMiningResult> mined = RunMine(request, prep);
     response.status = mined.status();
     if (mined.ok()) {
       response.result =
           std::make_shared<const ColossalMiningResult>(*std::move(mined));
       response.source = ResponseSource::kMined;
-      cache_.Put(key, canonical->options, response.result);
+      cache_.Put(prep.key, prep.canonical.options, response.result);
     }
     response.seconds = stopwatch.ElapsedSeconds();
     return response;
@@ -112,12 +213,11 @@ MiningResponse MiningService::Mine(const MiningRequest& request) {
     return response;
   }
 
-  StatusOr<ColossalMiningResult> mined = MineColossal(*handle->db, exec);
+  StatusOr<ColossalMiningResult> mined = RunMine(request, prep);
 
   std::shared_ptr<const ColossalMiningResult> result;
   if (mined.ok()) {
-    result =
-        std::make_shared<const ColossalMiningResult>(*std::move(mined));
+    result = std::make_shared<const ColossalMiningResult>(*std::move(mined));
   }
   {
     std::lock_guard<std::mutex> lock(job->mutex);
@@ -128,10 +228,10 @@ MiningResponse MiningService::Mine(const MiningRequest& request) {
   job->done_cv.notify_all();
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
-    inflight_.erase(key);
+    inflight_.erase(prep.key);
   }
   if (mined.ok()) {
-    cache_.Put(key, canonical->options, result);
+    cache_.Put(prep.key, prep.canonical.options, result);
   }
 
   response.status = mined.status();
@@ -142,13 +242,115 @@ MiningResponse MiningService::Mine(const MiningRequest& request) {
   return response;
 }
 
+MiningResponse MiningService::Mine(const MiningRequest& request) {
+  Stopwatch stopwatch;
+  const Prepared prep = Prepare(request, /*keep_dataset=*/true);
+  MiningResponse response = Execute(request, prep);
+  response.seconds = stopwatch.ElapsedSeconds();
+  return response;
+}
+
 std::vector<MiningResponse> MiningService::MineBatch(
     const std::vector<MiningRequest>& requests) {
-  std::vector<MiningResponse> responses(requests.size());
-  pool_.ParallelFor(static_cast<int64_t>(requests.size()), [&](int64_t i) {
-    responses[static_cast<size_t>(i)] =
-        Mine(requests[static_cast<size_t>(i)]);
+  const size_t n = requests.size();
+  std::vector<MiningResponse> responses(n);
+
+  // Phase 1: resolve every request to its cache key (dataset loads fan
+  // out across the pool, exactly as mining used to).
+  std::vector<Prepared> prepared(n);
+  std::vector<double> prep_seconds(n, 0.0);
+  pool_.ParallelFor(static_cast<int64_t>(n), [&](int64_t i) {
+    Stopwatch stopwatch;
+    prepared[static_cast<size_t>(i)] =
+        Prepare(requests[static_cast<size_t>(i)], /*keep_dataset=*/false);
+    prep_seconds[static_cast<size_t>(i)] = stopwatch.ElapsedSeconds();
   });
+
+  // Phase 2: group by canonical cache key (verifying canonical options,
+  // so a 64-bit collision falls into its own group instead of sharing a
+  // result). The first request of a group is its representative; exact
+  // sharded and unsharded requests over the same content group together
+  // because their results are interchangeable by construction.
+  std::vector<std::vector<size_t>> groups;
+  std::unordered_map<ResultCacheKey, std::vector<size_t>, ResultCacheKeyHash>
+      groups_by_key;
+  for (size_t i = 0; i < n; ++i) {
+    if (!prepared[i].status.ok()) {
+      responses[i] = Execute(requests[i], prepared[i]);  // fail response
+      continue;
+    }
+    std::vector<size_t>& candidates = groups_by_key[prepared[i].key];
+    bool joined = false;
+    for (size_t group_index : candidates) {
+      const Prepared& rep = prepared[groups[group_index][0]];
+      if (rep.canonical.options == prepared[i].canonical.options) {
+        groups[group_index].push_back(i);
+        joined = true;
+        break;
+      }
+    }
+    if (!joined) {
+      groups.push_back({i});
+      candidates.push_back(groups.size() - 1);
+    }
+  }
+
+  // Phase 3: one mine per group; the rest of the group fans out from
+  // the result cache (deterministically kCache, for any thread count —
+  // the cut in worst-case latency when a batch is hit-heavy). Prep
+  // dropped every dataset handle, so resident datasets stay governed by
+  // the registry budget even while a batch over many datasets is in
+  // flight; the representatives re-resolve on mine (see RunMine).
+  pool_.ParallelFor(static_cast<int64_t>(groups.size()), [&](int64_t g) {
+    const std::vector<size_t>& group = groups[static_cast<size_t>(g)];
+    const size_t rep = group[0];
+    responses[rep] = Execute(requests[rep], prepared[rep]);
+    for (size_t j = 1; j < group.size(); ++j) {
+      const size_t i = group[j];
+      const Prepared& prep = prepared[i];
+      Stopwatch stopwatch;
+      // Identity fields come from the member's own resolution (a group
+      // can mix a sharded manifest with its unsharded equivalent, so
+      // the representative's fields need not apply).
+      MiningResponse& response = responses[i];
+      response.dataset_registry_hit = prep.registry_hit;
+      response.dataset_fingerprint = prep.fingerprint;
+      response.options_hash = prep.canonical.options_hash;
+      if (prep.sharded) {
+        response.shards = static_cast<int>(prep.manifest->shards.size());
+      }
+      if (!responses[rep].status.ok()) {
+        // A group can mix a manifest request with its unsharded
+        // equivalent; a failure tied to the representative's data
+        // source (a broken shard file, say) is not deterministic for a
+        // member reading a different source, so only true duplicates
+        // inherit the failure — others run their own full path.
+        if (requests[i].dataset_path == requests[rep].dataset_path &&
+            prep.sharded == prepared[rep].sharded) {
+          response.status = responses[rep].status;
+          response.source = ResponseSource::kFailed;
+        } else {
+          responses[i] = Execute(requests[i], prepared[i]);
+        }
+      } else if (std::shared_ptr<const ColossalMiningResult> cached =
+                     cache_.Get(prep.key, prep.canonical.options)) {
+        response.status = Status::Ok();
+        response.result = std::move(cached);
+        response.source = ResponseSource::kCache;
+      } else {
+        // Cache disabled (or the entry already evicted): share the
+        // representative's in-batch mine rather than repeating it.
+        response.status = Status::Ok();
+        response.result = responses[rep].result;
+        response.source = ResponseSource::kCoalesced;
+      }
+      response.seconds = stopwatch.ElapsedSeconds();
+    }
+  });
+
+  for (size_t i = 0; i < n; ++i) {
+    responses[i].seconds += prep_seconds[i];
+  }
   return responses;
 }
 

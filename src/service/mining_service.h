@@ -13,6 +13,7 @@
 #include "service/dataset_registry.h"
 #include "service/request.h"
 #include "service/result_cache.h"
+#include "shard/sharded_miner.h"
 
 namespace colossal {
 
@@ -52,6 +53,8 @@ struct MiningResponse {
   bool dataset_registry_hit = false;
   uint64_t dataset_fingerprint = 0;
   uint64_t options_hash = 0;
+  // Shard count the request was mined over (0 = unsharded dataset).
+  int shards = 0;
   // End-to-end wall-clock for this request (registry + cache + mining).
   double seconds = 0.0;
 };
@@ -60,6 +63,15 @@ struct MiningResponse {
 // collapses equivalent requests onto one ResultCache entry, deduplicates
 // identical in-flight requests (the second caller waits for the first
 // instead of mining twice), and fans batches across a ThreadPool.
+//
+// Sharded datasets are first-class: a request whose dataset is a shard
+// manifest (sniffed, or --format manifest) routes through ShardedMiner,
+// with shards loaded individually through the registry so a dataset
+// larger than the memory budget still serves within it. Exact sharded
+// results are byte-identical to unsharded ones and share their cache
+// entries (the manifest carries the parent's content fingerprint);
+// approximate fusion results are cached under a distinct key.
+//
 // Thread-safe; Mine may be called concurrently from any thread.
 class MiningService {
  public:
@@ -73,8 +85,11 @@ class MiningService {
   MiningResponse Mine(const MiningRequest& request);
 
   // Serves a batch, scheduling requests across the service pool.
-  // Responses are positionally aligned with `requests`. Duplicate
-  // requests within a batch are served once (cache or in-flight dedup).
+  // Responses are positionally aligned with `requests`. The batch is
+  // dedup-aware: requests are grouped by canonical cache key, each key
+  // is mined once (by its first request), and the rest of the group is
+  // fanned out from the result cache — so a hit-heavy batch pays one
+  // mine per distinct key regardless of replay order or thread count.
   std::vector<MiningResponse> MineBatch(
       const std::vector<MiningRequest>& requests);
 
@@ -94,6 +109,40 @@ class MiningService {
     Status status;
     std::shared_ptr<const ColossalMiningResult> result;
   };
+
+  // A request resolved to its cache identity but not yet mined: the
+  // dataset (or manifest), the canonical options, and the cache key.
+  // This is the unit MineBatch groups by.
+  struct Prepared {
+    Status status;  // dataset resolution / canonicalization failure
+    bool sharded = false;
+    ShardMergeMode shard_mode = ShardMergeMode::kExact;
+    std::shared_ptr<const ShardManifest> manifest;  // sharded only
+    DatasetHandle handle;                           // unsharded only
+    bool registry_hit = false;
+    uint64_t fingerprint = 0;
+    CanonicalRequest canonical;
+    ResultCacheKey key;
+  };
+
+  // Resolves the request's dataset through the registry (manifests
+  // included) and canonicalizes its options into the cache key. With
+  // `keep_dataset` false the dataset handle is dropped again once the
+  // key is computed — MineBatch prepares every request up front, and
+  // holding all their handles across the batch would defeat the
+  // registry's memory budget; Execute re-resolves through the registry
+  // (a hit in the common case) when it actually mines.
+  Prepared Prepare(const MiningRequest& request, bool keep_dataset);
+
+  // Serves a prepared request: result cache, in-flight dedup, then the
+  // actual mine (sharded or not). Sets everything but leaves
+  // response.seconds covering only this call.
+  MiningResponse Execute(const MiningRequest& request, const Prepared& prep);
+
+  // The mine itself, with canonical options and the request's thread
+  // count resolved.
+  StatusOr<ColossalMiningResult> RunMine(const MiningRequest& request,
+                                         const Prepared& prep);
 
   const MiningServiceOptions options_;
   DatasetRegistry registry_;

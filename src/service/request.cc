@@ -65,7 +65,7 @@ StatusOr<MiningRequest> ParseRequestLine(const std::string& line) {
   Status known = args.CheckKnown(
       {"in", "format", "sigma", "min-support", "tau", "k", "pool-size",
        "pool-miner", "max-iterations", "attempts", "retain", "seed",
-       "threads"});
+       "threads", "shards"});
   if (!known.ok()) return known;
 
   MiningRequest request;
@@ -74,6 +74,13 @@ StatusOr<MiningRequest> ParseRequestLine(const std::string& line) {
     return Status::InvalidArgument("request needs --in FILE");
   }
   request.format = args.GetString("format", "auto");
+  if (args.Has("shards")) {
+    StatusOr<ShardMergeMode> mode =
+        ParseShardMergeMode(args.GetString("shards"));
+    if (!mode.ok()) return mode.status();
+    request.shard_mode = *mode;
+    request.shards_requested = true;
+  }
 
   ColossalMinerOptions& options = request.options;
   if (args.Has("sigma")) {

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "core/colossal_miner.h"
 #include "data/transaction_database.h"
+#include "shard/sharded_miner.h"
 
 namespace colossal {
 
@@ -15,8 +16,16 @@ namespace colossal {
 // service resolves the dataset path through its DatasetRegistry.
 struct MiningRequest {
   std::string dataset_path;
-  // "fimi" | "matrix" | "snapshot" | "auto" (see LoadDatabaseFile).
+  // "fimi" | "matrix" | "snapshot" | "manifest" | "auto" (see
+  // LoadDatabaseFile; "manifest"/"auto" admit a shard manifest, which
+  // the service routes through the sharded miner).
   std::string format = "auto";
+  // How to merge per-shard results when dataset_path is a shard
+  // manifest (--shards). kExact is the default; shards_requested
+  // records whether --shards appeared, because naming it on a
+  // non-manifest dataset is a request error.
+  ShardMergeMode shard_mode = ShardMergeMode::kExact;
+  bool shards_requested = false;
   ColossalMinerOptions options;
 };
 
@@ -59,10 +68,10 @@ struct ResultCacheKeyHash {
 
 // Parses one request line of the batch/daemon protocol:
 //
-//   --in FILE [--format fimi|matrix|snapshot|auto]
+//   --in FILE [--format fimi|matrix|snapshot|manifest|auto]
 //   (--sigma F | --min-support N) [--tau F] [--k N] [--pool-size N]
 //   [--pool-miner apriori|eclat] [--max-iterations N] [--attempts N]
-//   [--retain N] [--seed S] [--threads N]
+//   [--retain N] [--seed S] [--threads N] [--shards exact|fuse]
 //
 // Unknown flags are rejected with the list of known ones.
 StatusOr<MiningRequest> ParseRequestLine(const std::string& line);

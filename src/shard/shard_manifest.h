@@ -1,0 +1,78 @@
+#ifndef COLOSSAL_SHARD_SHARD_MANIFEST_H_
+#define COLOSSAL_SHARD_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace colossal {
+
+// Shard manifests: the on-disk description of a transaction database
+// partitioned into contiguous row-range shards, each stored as its own
+// snapshot file (data/snapshot_io.h). A manifest is what the serving
+// stack admits when the whole database is too large for one registry
+// budget: shards load and evict individually, and the manifest carries
+// enough evidence — the parent's content fingerprint plus one
+// fingerprint per shard — for every consumer to verify it is fusing the
+// shards the planner actually wrote.
+//
+// The format is line-oriented text (diffable, greppable):
+//
+//   CPFSHARD1
+//   parent <fingerprint-hex16> <num_transactions> <num_items>
+//   shard <row_begin> <row_end> <fingerprint-hex16> <path>
+//   ...
+//
+// Row ranges are half-open [row_begin, row_end), must start at 0, tile
+// the parent contiguously (no gaps, no overlaps) and end at
+// num_transactions — ParseShardManifest rejects anything else with a
+// Status, never a crash. Shard paths are stored relative to the
+// manifest's directory; ReadShardManifestFile resolves them.
+
+struct ShardInfo {
+  std::string path;
+  int64_t row_begin = 0;
+  int64_t row_end = 0;  // exclusive
+  // FingerprintDatabase of the shard's rows as their own database.
+  uint64_t fingerprint = 0;
+
+  int64_t rows() const { return row_end - row_begin; }
+};
+
+struct ShardManifest {
+  // FingerprintDatabase of the unsharded parent — the dataset half of
+  // the service layer's result-cache key, so exact sharded results and
+  // unsharded results of the same content share cache entries.
+  uint64_t parent_fingerprint = 0;
+  int64_t num_transactions = 0;
+  int64_t num_items = 0;
+  std::vector<ShardInfo> shards;
+};
+
+// Renders the manifest in the text format above.
+std::string ToManifestString(const ShardManifest& manifest);
+
+// Parses and validates a manifest document: magic, one parent line,
+// at least one shard, well-formed fingerprints, and contiguous row
+// ranges covering exactly [0, num_transactions).
+StatusOr<ShardManifest> ParseShardManifest(const std::string& data);
+
+// True iff `data` starts with the manifest magic line (format sniffing).
+bool LooksLikeShardManifest(const std::string& data);
+
+// Cheap on-disk sniff: reads only the magic bytes of `path`. False on
+// unreadable files.
+bool IsShardManifestFile(const std::string& path);
+
+// File variants. ReadShardManifestFile resolves relative shard paths
+// against the manifest's own directory, so a manifest and its shards
+// move together as one directory.
+Status WriteShardManifestFile(const ShardManifest& manifest,
+                              const std::string& path);
+StatusOr<ShardManifest> ReadShardManifestFile(const std::string& path);
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_SHARD_SHARD_MANIFEST_H_

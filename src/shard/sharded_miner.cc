@@ -1,0 +1,230 @@
+#include "shard/sharded_miner.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/thread_pool.h"
+#include "core/pattern.h"
+#include "mining/apriori.h"
+#include "mining/eclat.h"
+#include "mining/miner.h"
+
+namespace colossal {
+
+namespace {
+
+// The Partition-scaled local threshold for a shard of `shard_rows`
+// rows. An itemset X with global support >= s satisfies, in at least
+// one shard i, sup_i(X) >= s·|D_i|/|D| (real-valued: were sup_i(X)
+// strictly below that bound in every shard, summing over shards would
+// put the global support strictly below s). Any integer >= s·|D_i|/|D|
+// is also >= max(1, ⌊s·|D_i|/|D|⌋) — the floor must NOT be tightened
+// to a ceiling, which would violate the bound exactly at integer
+// boundaries — so mining every shard at this clamped floor yields a
+// candidate superset of the globally frequent itemsets.
+int64_t LocalMinSupport(int64_t min_support, int64_t shard_rows,
+                        int64_t total_rows) {
+  const int64_t scaled = min_support * shard_rows / total_rows;
+  return scaled < 1 ? 1 : scaled;
+}
+
+// Support set of `items` within one shard, or an empty vector when an
+// item does not occur in the shard at all (its id is outside the
+// shard's dense domain — the global pattern simply has no rows there).
+Bitvector ShardSupportSet(const TransactionDatabase& shard,
+                          const Itemset& items) {
+  for (ItemId item : items) {
+    if (item >= shard.num_items()) {
+      return Bitvector(shard.num_transactions());
+    }
+  }
+  return shard.SupportSet(items);
+}
+
+}  // namespace
+
+const char* ShardMergeModeName(ShardMergeMode mode) {
+  switch (mode) {
+    case ShardMergeMode::kExact:
+      return "exact";
+    case ShardMergeMode::kFuse:
+      return "fuse";
+  }
+  return "unknown";
+}
+
+StatusOr<ShardMergeMode> ParseShardMergeMode(const std::string& name) {
+  if (name == "exact") return ShardMergeMode::kExact;
+  if (name == "fuse") return ShardMergeMode::kFuse;
+  return Status::InvalidArgument("unknown shard merge mode '" + name +
+                                 "' (want exact|fuse)");
+}
+
+ShardedMiner::ShardedMiner(ShardManifest manifest, ShardLoader loader)
+    : manifest_(std::move(manifest)), loader_(std::move(loader)) {}
+
+StatusOr<LoadedShard> ShardedMiner::LoadShard(size_t index) const {
+  const ShardInfo& info = manifest_.shards[index];
+  StatusOr<LoadedShard> shard = loader_(info.path);
+  if (!shard.ok()) {
+    return Status(shard.status().code(), "shard " + std::to_string(index) +
+                                             " (" + info.path + "): " +
+                                             shard.status().message());
+  }
+  if (shard->db == nullptr) {
+    return Status::Internal("shard loader returned no database");
+  }
+  if (shard->db->num_transactions() != info.rows()) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(index) + " (" + info.path + ") holds " +
+        std::to_string(shard->db->num_transactions()) +
+        " transactions, manifest declares " + std::to_string(info.rows()));
+  }
+  if (shard->fingerprint != info.fingerprint) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(index) + " (" + info.path +
+        ") fingerprint mismatch vs manifest (shard file rewritten or "
+        "swapped?)");
+  }
+  if (static_cast<int64_t>(shard->db->num_items()) > manifest_.num_items) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(index) + " (" + info.path +
+        ") uses item ids beyond the parent's domain");
+  }
+  return shard;
+}
+
+StatusOr<ColossalMiningResult> ShardedMiner::Mine(
+    const ColossalMinerOptions& options, ShardMergeMode mode) const {
+  const int64_t total_rows = manifest_.num_transactions;
+  StatusOr<ColossalMinerOptions> canonical =
+      CanonicalizeMinerOptionsForSize(total_rows, options);
+  if (!canonical.ok()) return canonical.status();
+  const int64_t min_support = canonical->min_support_count;
+  if (min_support > total_rows) {
+    return Status::InvalidArgument(
+        "min_support_count out of range: " + std::to_string(min_support));
+  }
+  // Mirrors BuildInitialPool's check; without it, 0 would mean
+  // "unbounded" to the per-shard complete miners — the explosion the
+  // bounded pool exists to avoid.
+  if (canonical->initial_pool_max_size < 1) {
+    return Status::InvalidArgument("max_pattern_size must be >= 1");
+  }
+
+  // Phase 1 — per-shard mining, shards visited in manifest order (so at
+  // most one shard beyond the registry's choices is resident, and the
+  // candidate order is independent of thread count). Candidates keep
+  // first-appearance order.
+  std::unordered_set<Itemset, ItemsetHash, ItemsetEq> seen;
+  std::vector<Itemset> candidates;
+  auto add_candidate = [&](const Itemset& items) {
+    if (seen.insert(items).second) candidates.push_back(items);
+  };
+
+  for (size_t i = 0; i < manifest_.shards.size(); ++i) {
+    StatusOr<LoadedShard> shard = LoadShard(i);
+    if (!shard.ok()) return shard.status();
+    const int64_t local_min =
+        LocalMinSupport(min_support, manifest_.shards[i].rows(), total_rows);
+
+    if (mode == ShardMergeMode::kExact) {
+      // The complete bounded-size miner at the Partition-scaled
+      // threshold: the union over shards is a superset of the global
+      // initial pool.
+      MinerOptions miner_options;
+      miner_options.min_support_count = local_min;
+      miner_options.max_pattern_size = canonical->initial_pool_max_size;
+      miner_options.num_threads = options.num_threads;
+      StatusOr<MiningResult> mined =
+          canonical->pool_miner == PoolMiner::kApriori
+              ? MineApriori(*shard->db, miner_options)
+              : MineEclat(*shard->db, miner_options);
+      if (!mined.ok()) return mined.status();
+      for (const FrequentItemset& pattern : mined->patterns) {
+        add_candidate(pattern.items);
+      }
+    } else {
+      // Approximate fusion: each shard's colossal patterns are the core
+      // patterns the cross-shard fusion will draw from.
+      ColossalMinerOptions local = *canonical;
+      local.sigma = -1.0;
+      local.min_support_count = local_min;
+      local.num_threads = options.num_threads;
+      StatusOr<ColossalMiningResult> mined = MineColossal(*shard->db, local);
+      if (!mined.ok()) return mined.status();
+      for (const Pattern& pattern : mined->patterns) {
+        add_candidate(pattern.items);
+      }
+    }
+  }
+  if (candidates.empty()) {
+    return Status::FailedPrecondition(
+        "no frequent patterns at min_support_count " +
+        std::to_string(min_support));
+  }
+
+  // Phase 2 — re-count: stitch each candidate's per-shard support sets
+  // into its exact global support set. Shards are again visited one at
+  // a time; candidates shard across workers (each writes only its own
+  // global bitvector, so the result is thread-count invariant).
+  std::vector<Bitvector> global_support(candidates.size());
+  for (Bitvector& support : global_support) {
+    support = Bitvector(total_rows);
+  }
+  const int num_threads =
+      ParallelPolicy{options.num_threads}.ResolvedThreads();
+  std::unique_ptr<ThreadPool> workers;
+  if (num_threads > 1 && candidates.size() > 1) {
+    workers = std::make_unique<ThreadPool>(num_threads);
+  }
+  for (size_t i = 0; i < manifest_.shards.size(); ++i) {
+    StatusOr<LoadedShard> shard = LoadShard(i);
+    if (!shard.ok()) return shard.status();
+    const TransactionDatabase& shard_db = *shard->db;
+    const int64_t offset = manifest_.shards[i].row_begin;
+    ParallelFor(workers.get(), static_cast<int64_t>(candidates.size()),
+                [&](int64_t c) {
+                  const Bitvector local = ShardSupportSet(
+                      shard_db, candidates[static_cast<size_t>(c)]);
+                  global_support[static_cast<size_t>(c)].OrWithShifted(
+                      local, offset);
+                });
+  }
+
+  // Phase 3 — keep the globally frequent candidates and order them the
+  // way the level-wise miners enumerate (size, then lexicographic), so
+  // the exact pool is positionally identical to BuildInitialPool's.
+  std::vector<Pattern> pool;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const int64_t support = global_support[c].Count();
+    if (support < min_support) continue;
+    Pattern pattern;
+    pattern.items = candidates[c];
+    pattern.support_set = std::move(global_support[c]);
+    pattern.support = support;
+    pool.push_back(std::move(pattern));
+  }
+  if (pool.empty()) {
+    return Status::FailedPrecondition(
+        "no globally frequent patterns at min_support_count " +
+        std::to_string(min_support));
+  }
+  std::sort(pool.begin(), pool.end(), [](const Pattern& a, const Pattern& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a.items < b.items;
+  });
+
+  // Phase 4 — the shared fusion pipeline. For kExact the pool is the
+  // global initial pool, so the result is byte-identical to unsharded
+  // MineColossal; for kFuse it is the union of per-shard colossal
+  // patterns acting as core patterns.
+  ColossalMinerOptions exec = *canonical;
+  exec.num_threads = options.num_threads;
+  return FuseColossalFromPool(total_rows, std::move(pool), exec);
+}
+
+}  // namespace colossal

@@ -1,0 +1,101 @@
+#ifndef COLOSSAL_SHARD_SHARDED_MINER_H_
+#define COLOSSAL_SHARD_SHARDED_MINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/colossal_miner.h"
+#include "data/transaction_database.h"
+#include "shard/shard_manifest.h"
+
+namespace colossal {
+
+// Mining over a sharded dataset — the system-level echo of the paper's
+// core idea: mine small neighborhoods, then fuse. The miner walks a
+// manifest's shards one at a time (so at most one shard needs to be
+// resident beyond what the dataset registry chooses to keep), mines
+// each shard with the configured miner, and merges per-shard results in
+// one of two modes:
+//
+//   kExact — recovers the output of unsharded MineColossal *byte for
+//     byte*. Per shard, the complete bounded-size miner runs at the
+//     Partition-scaled local threshold ⌊σ·|D_i|⌋ (Savasere-style: any
+//     globally frequent itemset is locally frequent in at least one
+//     shard, so the union of per-shard results is a candidate superset
+//     of the global initial pool). A re-count pass then stitches each
+//     candidate's per-shard support sets into its exact global support
+//     set (Bitvector::OrWithShifted at the shard's row offset) and
+//     drops globally infrequent candidates — recovering the global
+//     initial pool, in the same (size, lexicographic) order the level-
+//     wise miners enumerate. FuseColossalFromPool then runs the
+//     identical fusion pipeline, so results, iteration stats and cache
+//     entries are interchangeable with unsharded mining.
+//
+//   kFuse — the approximate mode for datasets too large to ever re-mine
+//     whole: each shard runs full MineColossal locally, the per-shard
+//     colossal patterns are treated as core patterns, their global
+//     supports are recovered by the same re-count pass (dropping
+//     globally infrequent ones), and FusionEngine fuses the union. The
+//     answer approximates the global colossal patterns without any
+//     single pass over an unsharded pool.
+//
+// Both modes are deterministic for any thread count: shards are visited
+// in manifest order, per-shard miners are themselves thread-count
+// invariant, and candidates keep first-appearance order until the final
+// deterministic sort.
+
+enum class ShardMergeMode {
+  kExact,
+  kFuse,
+};
+
+const char* ShardMergeModeName(ShardMergeMode mode);
+
+// Parses "exact" | "fuse" (the request grammar's --shards values).
+StatusOr<ShardMergeMode> ParseShardMergeMode(const std::string& name);
+
+// One shard as handed to the miner by its loader. The fingerprint must
+// be FingerprintDatabase of the loaded content; the miner verifies it
+// against the manifest so a swapped or rewritten shard file fails with
+// a Status instead of silently corrupting the merge.
+struct LoadedShard {
+  std::shared_ptr<const TransactionDatabase> db;
+  uint64_t fingerprint = 0;
+};
+
+// Resolves a shard path to its database. The service layer passes the
+// DatasetRegistry here, which is what makes shards load/evict
+// individually under the registry's memory budget.
+using ShardLoader =
+    std::function<StatusOr<LoadedShard>(const std::string& path)>;
+
+class ShardedMiner {
+ public:
+  // `manifest` must carry resolved shard paths (ReadShardManifestFile).
+  ShardedMiner(ShardManifest manifest, ShardLoader loader);
+
+  ShardedMiner(const ShardedMiner&) = delete;
+  ShardedMiner& operator=(const ShardedMiner&) = delete;
+
+  // Mines the sharded dataset. `options` is interpreted exactly as
+  // MineColossal interprets it (sigma resolved against the manifest's
+  // transaction count; num_threads is a pure performance knob).
+  StatusOr<ColossalMiningResult> Mine(const ColossalMinerOptions& options,
+                                      ShardMergeMode mode) const;
+
+ private:
+  // Loads shard `index` and verifies it against the manifest: row count
+  // must match the range, the fingerprint must match the manifest's,
+  // and the item domain must fit the parent's.
+  StatusOr<LoadedShard> LoadShard(size_t index) const;
+
+  const ShardManifest manifest_;
+  const ShardLoader loader_;
+};
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_SHARD_SHARDED_MINER_H_

@@ -147,6 +147,56 @@ TEST(BitvectorTest, ToStringShowsBitZeroFirst) {
   EXPECT_EQ(bits.ToString(), "0101");
 }
 
+TEST(BitvectorTest, OrWithShiftedStitchesAtAnyOffset) {
+  // The shard-stitch kernel: for a sweep of destination sizes, shard
+  // sizes and offsets (word-aligned and not), the shifted OR must equal
+  // the bit-by-bit reference.
+  for (int64_t total : {int64_t{70}, int64_t{128}, int64_t{200}}) {
+    for (int64_t local_bits : {int64_t{1}, int64_t{63}, int64_t{64},
+                               int64_t{65}}) {
+      for (int64_t offset : {int64_t{0}, int64_t{1}, int64_t{37},
+                             int64_t{64}, int64_t{70}}) {
+        if (offset + local_bits > total) continue;
+        Bitvector local(local_bits);
+        for (int64_t i = 0; i < local_bits; i += 2) local.Set(i);
+        local.Set(local_bits - 1);
+
+        Bitvector stitched(total);
+        stitched.Set(0);  // pre-existing bits must survive
+        stitched.OrWithShifted(local, offset);
+
+        Bitvector expected(total);
+        expected.Set(0);
+        for (int64_t i = 0; i < local_bits; ++i) {
+          if (local.Test(i)) expected.Set(offset + i);
+        }
+        EXPECT_EQ(stitched, expected)
+            << "total=" << total << " local=" << local_bits
+            << " offset=" << offset;
+      }
+    }
+  }
+}
+
+TEST(BitvectorTest, OrWithShiftedComposesAPartition) {
+  // Stitching disjoint per-shard slices reproduces the whole: the exact
+  // property the sharded miner relies on.
+  Bitvector whole(150);
+  for (int64_t i = 0; i < 150; ++i) {
+    if ((i * 2654435761u) % 5 < 2) whole.Set(i);
+  }
+  Bitvector stitched(150);
+  const int64_t cuts[] = {0, 40, 64, 110, 150};
+  for (int c = 0; c + 1 < 5; ++c) {
+    Bitvector slice(cuts[c + 1] - cuts[c]);
+    for (int64_t i = cuts[c]; i < cuts[c + 1]; ++i) {
+      if (whole.Test(i)) slice.Set(i - cuts[c]);
+    }
+    stitched.OrWithShifted(slice, cuts[c]);
+  }
+  EXPECT_EQ(stitched, whole);
+}
+
 TEST(BitvectorSerializationTest, RoundTripsEmptyAndZeroLength) {
   for (int64_t num_bits : {int64_t{0}, int64_t{1}, int64_t{100}}) {
     const Bitvector original(num_bits);  // all clear

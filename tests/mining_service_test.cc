@@ -176,6 +176,43 @@ TEST_F(MiningServiceTest, BatchAlignsResponsesAndDeduplicates) {
   EXPECT_NE(responses[0].options_hash, responses[1].options_hash);
 }
 
+TEST_F(MiningServiceTest, BatchDedupIsThreadCountInvariant) {
+  // The dedup-aware batch scheduler groups requests by canonical cache
+  // key and mines each key once, so duplicate-heavy batches produce the
+  // same sources under heavy parallelism as under --threads 1: one
+  // kMined per distinct key, kCache for the rest — never a coalesced
+  // wait.
+  MiningServiceOptions options;
+  options.num_threads = 8;
+  MiningService service(options);
+
+  MiningRequest request = BasicRequest();
+  MiningRequest sigma_equivalent = BasicRequest();
+  sigma_equivalent.options.sigma =
+      8.0 / static_cast<double>(db_->num_transactions());
+  MiningRequest different = BasicRequest();
+  different.options.k = 10;
+  std::vector<MiningRequest> batch = {request, different, sigma_equivalent,
+                                      request, request, different};
+  std::vector<MiningResponse> responses = service.MineBatch(batch);
+  ASSERT_EQ(responses.size(), 6u);
+  for (const MiningResponse& response : responses) {
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+  EXPECT_EQ(responses[0].source, ResponseSource::kMined);
+  EXPECT_EQ(responses[1].source, ResponseSource::kMined);
+  EXPECT_EQ(responses[2].source, ResponseSource::kCache);  // sigma ≡ absolute
+  EXPECT_EQ(responses[3].source, ResponseSource::kCache);
+  EXPECT_EQ(responses[4].source, ResponseSource::kCache);
+  EXPECT_EQ(responses[5].source, ResponseSource::kCache);
+  EXPECT_EQ(responses[0].result.get(), responses[3].result.get());
+  EXPECT_EQ(responses[0].result.get(), responses[2].result.get());
+  EXPECT_EQ(responses[1].result.get(), responses[5].result.get());
+  // Two groups → two mines, four fan-outs served as cache hits.
+  EXPECT_EQ(service.cache_stats().misses, 2);
+  EXPECT_EQ(service.cache_stats().hits, 4);
+}
+
 TEST_F(MiningServiceTest, FailuresArePerRequest) {
   MiningService service;
   MiningRequest good = BasicRequest();
@@ -197,6 +234,28 @@ TEST_F(MiningServiceTest, DisabledCacheMinesEveryTime) {
   const MiningRequest request = BasicRequest();
   EXPECT_EQ(service.Mine(request).source, ResponseSource::kMined);
   EXPECT_EQ(service.Mine(request).source, ResponseSource::kMined);
+}
+
+TEST_F(MiningServiceTest, BatchDuplicatesCoalesceWhenCacheIsDisabled) {
+  // With no result cache to fan out from, duplicates still share the
+  // representative's one in-batch mine instead of each re-mining.
+  MiningServiceOptions options;
+  options.cache.max_entries = 0;
+  options.num_threads = 4;
+  MiningService service(options);
+  const MiningRequest request = BasicRequest();
+  std::vector<MiningResponse> responses =
+      service.MineBatch({request, request, request});
+  ASSERT_EQ(responses.size(), 3u);
+  for (const MiningResponse& response : responses) {
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ASSERT_NE(response.result, nullptr);
+  }
+  EXPECT_EQ(responses[0].source, ResponseSource::kMined);
+  EXPECT_EQ(responses[1].source, ResponseSource::kCoalesced);
+  EXPECT_EQ(responses[2].source, ResponseSource::kCoalesced);
+  EXPECT_EQ(responses[0].result.get(), responses[1].result.get());
+  EXPECT_EQ(responses[0].result.get(), responses[2].result.get());
 }
 
 TEST(DatasetRegistryTest, EvictsLeastRecentlyUsedByBudget) {

@@ -50,6 +50,15 @@ TEST_F(ServeDispatchTest, ClassifiesControlLines) {
   EXPECT_EQ(stats.kind, ServeOutcome::Kind::kStats);
   EXPECT_EQ(stats.stats_line.rfind("stats cache_hits=0", 0), 0u)
       << stats.stats_line;
+  // The full registry/cache counter set rides the one stats line every
+  // transport shares.
+  for (const char* field :
+       {" cache_misses=", " cache_entries=", " cache_evictions=",
+        " dataset_loads=", " dataset_hits=", " dataset_evictions=",
+        " dataset_stale_reloads=", " resident_mb=", " peak_resident_mb="}) {
+    EXPECT_NE(stats.stats_line.find(field), std::string::npos)
+        << "missing " << field << " in: " << stats.stats_line;
+  }
 }
 
 TEST_F(ServeDispatchTest, ParseErrorsAreFailedResponses) {

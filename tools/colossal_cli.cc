@@ -21,6 +21,14 @@
 //       Converts a dataset to the binary snapshot format (rows +
 //       vertical index + content fingerprint; see data/snapshot_io.h),
 //       the load-once form the mining service prefers.
+//   shard     --in FILE --out-dir DIR (--shards N | --max-shard-mb N)
+//             [--name NAME] [--format fimi|matrix|snapshot|auto]
+//       Partitions a dataset into contiguous row-range shards, writes
+//       one snapshot per shard plus a manifest (DIR/NAME.manifest; NAME
+//       defaults to the input's basename) tying them together. The
+//       mining service admits the manifest directly: request lines with
+//       --in DIR/NAME.manifest [--shards exact|fuse] mine it shard by
+//       shard under the registry budget (see shard/sharded_miner.h).
 //   evaluate  --mined FILE --reference FILE [--min-size N]
 //       Computes the paper's approximation error Δ(A_P^Q) of the mined
 //       set against a reference set (both in FIMI output format).
@@ -33,6 +41,7 @@
 //   colossal_cli mine --in d.fimi --algo pf --min-support 20 --k 100
 //   colossal_cli mine --in d.fimi --algo closed --min-support 20 --out q.txt
 //   colossal_cli snapshot --in d.fimi --out d.snap
+//   colossal_cli shard --in d.fimi --out-dir shards --shards 4
 //   colossal_cli evaluate --mined p.txt --reference q.txt --min-size 20
 
 #include <cstdio>
@@ -54,6 +63,7 @@
 #include "mining/maximal_miner.h"
 #include "mining/result_io.h"
 #include "mining/topk_miner.h"
+#include "shard/shard_planner.h"
 
 namespace colossal {
 namespace {
@@ -83,6 +93,12 @@ constexpr const char kMineUsage[] =
 constexpr const char kSnapshotUsage[] =
     "usage: colossal_cli snapshot --in FILE --out FILE\n"
     "           [--format fimi|matrix|snapshot|auto]\n";
+constexpr const char kShardUsage[] =
+    "usage: colossal_cli shard --in FILE --out-dir DIR\n"
+    "           (--shards N | --max-shard-mb N) [--name NAME]\n"
+    "           [--format fimi|matrix|snapshot|auto]\n"
+    "writes one snapshot per row-range shard plus DIR/NAME.manifest\n"
+    "(NAME defaults to the input's basename)\n";
 constexpr const char kEvaluateUsage[] =
     "usage: colossal_cli evaluate --mined FILE --reference FILE "
     "[--min-size N]\n";
@@ -184,6 +200,62 @@ int RunSnapshot(const Args& args) {
               static_cast<long long>(db->num_transactions()),
               static_cast<unsigned long long>(FingerprintDatabase(*db)),
               out.c_str());
+  return 0;
+}
+
+int RunShard(const Args& args) {
+  const int common = HandleCommonFlags(
+      args, kShardUsage,
+      {"in", "out-dir", "shards", "max-shard-mb", "name", "format"});
+  if (common >= 0) return common;
+  const std::string out_dir = args.GetString("out-dir");
+  if (out_dir.empty()) {
+    return Fail(Status::InvalidArgument("shard requires --out-dir"));
+  }
+  StatusOr<TransactionDatabase> db = LoadDatabase(args);
+  if (!db.ok()) return Fail(db.status());
+
+  ASSIGN_OR_FAIL(const int64_t shards, args.GetInt("shards", 0));
+  ASSIGN_OR_FAIL(const int64_t max_shard_mb, args.GetInt("max-shard-mb", 0));
+  if (shards < 0 || shards > std::numeric_limits<int>::max() ||
+      max_shard_mb < 0) {
+    return Fail(Status::InvalidArgument(
+        "--shards and --max-shard-mb must be positive"));
+  }
+  ShardPlanOptions plan_options;
+  plan_options.num_shards = static_cast<int>(shards);
+  plan_options.max_shard_bytes = max_shard_mb * (int64_t{1} << 20);
+  StatusOr<std::vector<ShardRange>> plan = PlanShards(*db, plan_options);
+  if (!plan.ok()) return Fail(plan.status());
+
+  // Default the manifest name to the input's basename sans extension.
+  std::string name = args.GetString("name");
+  if (name.empty()) {
+    name = args.GetString("in");
+    const size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    const size_t dot = name.find_last_of('.');
+    if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  }
+
+  StatusOr<ShardWriteResult> written =
+      WriteShardedSnapshots(*db, *plan, out_dir, name);
+  if (!written.ok()) return Fail(written.status());
+  for (size_t i = 0; i < written->manifest.shards.size(); ++i) {
+    const ShardInfo& shard = written->manifest.shards[i];
+    std::printf("shard %04zu rows [%lld, %lld) fingerprint %016llx %s\n", i,
+                static_cast<long long>(shard.row_begin),
+                static_cast<long long>(shard.row_end),
+                static_cast<unsigned long long>(shard.fingerprint),
+                written->shard_paths[i].c_str());
+  }
+  std::printf(
+      "wrote %zu shard(s) of %lld transactions (parent fingerprint %016llx) "
+      "to %s\n",
+      written->manifest.shards.size(),
+      static_cast<long long>(written->manifest.num_transactions),
+      static_cast<unsigned long long>(written->manifest.parent_fingerprint),
+      written->manifest_path.c_str());
   return 0;
 }
 
@@ -319,7 +391,7 @@ int RunEvaluate(const Args& args) {
 
 int Main(int argc, char** argv) {
   constexpr const char kTopUsage[] =
-      "usage: colossal_cli generate|stats|mine|snapshot|evaluate "
+      "usage: colossal_cli generate|stats|mine|snapshot|shard|evaluate "
       "[--flag value]...\n"
       "run 'colossal_cli <subcommand> --help' for that subcommand's "
       "flags,\n"
@@ -339,10 +411,11 @@ int Main(int argc, char** argv) {
   if (command == "stats") return RunStats(*args);
   if (command == "mine") return RunMine(*args);
   if (command == "snapshot") return RunSnapshot(*args);
+  if (command == "shard") return RunShard(*args);
   if (command == "evaluate") return RunEvaluate(*args);
   return Fail(Status::InvalidArgument(
       "unknown command '" + command +
-      "' (want generate|stats|mine|snapshot|evaluate)"));
+      "' (want generate|stats|mine|snapshot|shard|evaluate)"));
 }
 
 }  // namespace

@@ -44,16 +44,22 @@
 // (service/dispatch.h), so the two transports cannot drift.
 //
 // Request line grammar (see service/request.h):
-//   --in FILE [--format fimi|matrix|snapshot|auto]
+//   --in FILE [--format fimi|matrix|snapshot|manifest|auto]
 //   (--sigma F | --min-support N) [--tau F] [--k N] [--pool-size N]
 //   [--pool-miner apriori|eclat] [--max-iterations N] [--attempts N]
-//   [--retain N] [--seed S] [--threads N]
+//   [--retain N] [--seed S] [--threads N] [--shards exact|fuse]
 //
 // Cache semantics: results are keyed by (dataset content fingerprint,
 // canonical options). Equivalent requests — e.g. --sigma 0.5 vs. the
 // --min-support it denotes, or any --threads value — share one entry,
 // and a repeated request is served from memory, bit-identical to a
 // fresh mine.
+//
+// Sharded datasets: when FILE is a shard manifest (colossal_cli shard),
+// the request mines shard by shard under the registry's memory budget.
+// --shards exact (the default) is byte-identical to unsharded mining of
+// the parent and shares its cache entries; --shards fuse runs the
+// approximate cross-shard fusion under its own cache key.
 
 #include <csignal>
 #include <cstdio>
@@ -91,7 +97,8 @@ constexpr const char kUsage[] =
     "request lines: --in FILE (--sigma F | --min-support N) [--tau F]\n"
     "    [--k N] [--pool-size N] [--pool-miner apriori|eclat]\n"
     "    [--max-iterations N] [--attempts N] [--retain N] [--seed S]\n"
-    "    [--threads N] [--format fimi|matrix|snapshot|auto]\n"
+    "    [--threads N] [--format fimi|matrix|snapshot|manifest|auto]\n"
+    "    [--shards exact|fuse]   (when FILE is a shard manifest)\n"
     "see the header of tools/colossal_serve.cc for details\n";
 
 // Shared service knobs for both subcommands.
