@@ -388,6 +388,20 @@ const ShardBenchFixture& ShardFixture() {
   return *fixture;
 }
 
+// Disk shard loader for the sharded-mining benches (cold loads, as a
+// cold service would pay them).
+ShardLoader BenchShardLoader() {
+  return [](const std::string& path,
+            int64_t /*estimated_bytes*/) -> StatusOr<LoadedShard> {
+    StatusOr<TransactionDatabase> db = ReadSnapshotFile(path);
+    if (!db.ok()) return db.status();
+    LoadedShard shard;
+    shard.fingerprint = FingerprintDatabase(*db);
+    shard.db = std::make_shared<const TransactionDatabase>(*std::move(db));
+    return shard;
+  };
+}
+
 void BM_ShardPlanAndWrite(benchmark::State& state) {
   const ShardBenchFixture& fixture = ShardFixture();
   ShardPlanOptions plan_options;
@@ -418,15 +432,7 @@ void BM_ShardedMineExact(benchmark::State& state) {
     state.SkipWithError("manifest unavailable");
     return;
   }
-  ShardedMiner miner(*manifest, [](const std::string& path)
-                                    -> StatusOr<LoadedShard> {
-    StatusOr<TransactionDatabase> db = ReadSnapshotFile(path);
-    if (!db.ok()) return db.status();
-    LoadedShard shard;
-    shard.fingerprint = FingerprintDatabase(*db);
-    shard.db = std::make_shared<const TransactionDatabase>(*std::move(db));
-    return shard;
-  });
+  ShardedMiner miner(*manifest, BenchShardLoader());
   for (auto _ : state) {
     StatusOr<ColossalMiningResult> result =
         miner.Mine(fixture.options, ShardMergeMode::kExact);
@@ -438,6 +444,36 @@ void BM_ShardedMineExact(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ShardedMineExact)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Fan-out sweep: the 4-shard manifest mined cold at shard-parallelism
+// {1, 2, 4}. On multi-core the cold wall-time should drop as
+// parallelism grows (flat on a single-CPU host); output is
+// byte-identical throughout, asserted by sharded_miner_test. Results
+// are recorded in BENCH_shard_fanout.json; refresh with
+// --benchmark_filter=ShardedMineFanOut.
+void BM_ShardedMineFanOut(benchmark::State& state) {
+  const ShardBenchFixture& fixture = ShardFixture();
+  StatusOr<ShardManifest> manifest =
+      ReadShardManifestFile(fixture.manifests[2]);  // 4 shards
+  if (!manifest.ok()) {
+    state.SkipWithError("manifest unavailable");
+    return;
+  }
+  ShardedMiner miner(*manifest, BenchShardLoader());
+  ColossalMinerOptions options = fixture.options;
+  options.shard_parallelism = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    StatusOr<ColossalMiningResult> result =
+        miner.Mine(options, ShardMergeMode::kExact);
+    if (!result.ok()) {
+      state.SkipWithError("mine failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ShardedMineFanOut)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ShardedMineUnshardedReference(benchmark::State& state) {

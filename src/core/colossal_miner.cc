@@ -17,6 +17,7 @@ StatusOr<ColossalMinerOptions> CanonicalizeMinerOptionsForSize(
     canonical.sigma = -1.0;
   }
   canonical.num_threads = 0;
+  canonical.shard_parallelism = 0;
   return canonical;
 }
 

@@ -48,7 +48,19 @@ struct ColossalMinerOptions {
   // output is bit-identical for any value (see PatternFusionOptions).
   int num_threads = 0;
 
-  // Field-wise equality (every knob, including num_threads).
+  // Concurrent shards during the sharded miner's phase-1 fan-out
+  // (shard/sharded_miner.h); ignored by unsharded mining. 0 = auto:
+  // one shard job per hardware thread, capped by the residency
+  // governor so concurrently resident shards fit the registry budget —
+  // and sequential when the miner was given no budget to govern with
+  // (direct library callers keep the at-most-one-shard-resident
+  // guarantee unless they opt in explicitly). 1 = the sequential walk.
+  // Like num_threads, a pure performance knob: output is bit-identical
+  // for any value, and canonicalization zeroes it.
+  int shard_parallelism = 0;
+
+  // Field-wise equality (every knob, including the performance-only
+  // num_threads and shard_parallelism).
   friend bool operator==(const ColossalMinerOptions& a,
                          const ColossalMinerOptions& b) {
     return a.sigma == b.sigma && a.min_support_count == b.min_support_count &&
@@ -57,7 +69,8 @@ struct ColossalMinerOptions {
            a.max_iterations == b.max_iterations &&
            a.fusion_attempts_per_seed == b.fusion_attempts_per_seed &&
            a.max_superpatterns_per_seed == b.max_superpatterns_per_seed &&
-           a.seed == b.seed && a.num_threads == b.num_threads;
+           a.seed == b.seed && a.num_threads == b.num_threads &&
+           a.shard_parallelism == b.shard_parallelism;
   }
 };
 
@@ -67,8 +80,8 @@ struct ColossalMinerOptions {
 //   * a fractional sigma is resolved against `db` into the absolute
 //     min_support_count it denotes (then cleared), so sigma 0.5 and the
 //     matching --min-support collapse;
-//   * num_threads is zeroed, because thread count is a pure performance
-//     knob (output is bit-identical for any value).
+//   * num_threads and shard_parallelism are zeroed, because both are
+//     pure performance knobs (output is bit-identical for any value).
 // Fails on sigma > 1 (mirroring MineColossal's validation).
 // MineColossal(db, Canonicalize...(db, o)) == MineColossal(db, o).
 StatusOr<ColossalMinerOptions> CanonicalizeMinerOptions(

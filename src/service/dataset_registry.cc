@@ -3,7 +3,9 @@
 #include <sys/stat.h>
 
 #include <utility>
+#include <vector>
 
+#include "common/check.h"
 #include "common/stopwatch.h"
 #include "data/snapshot_io.h"
 
@@ -16,7 +18,48 @@ std::string EntryKey(const std::string& path, const std::string& format) {
   return path + "\n" + format;
 }
 
+// Bounds on the sniff-verdict cache. Unlike entries_ (budget-evicted)
+// and manifests_ (cached only after a successful parse of a real file),
+// sniffs_ caches a verdict for *any* request path — which a hostile
+// client stream of distinct --in strings could otherwise grow without
+// bound. Oversized paths are not cached at all, and a full map is
+// simply cleared: verdicts are one stat + open to re-derive.
+constexpr size_t kMaxSniffPathBytes = 4096;
+constexpr size_t kMaxSniffEntries = 4096;
+
 }  // namespace
+
+// Releases a GetPinned budget reservation on every exit path —
+// including an exception thrown out of the load (bad_alloc on a large
+// shard, say) — so a failed load can never leave phantom reserved bytes
+// behind to starve future admissions forever. The normal paths release
+// under their own lock (TakeLocked) to convert the reservation into the
+// entry's actual accounting atomically.
+class DatasetRegistry::ReservationGuard {
+ public:
+  ReservationGuard(DatasetRegistry* registry, int64_t bytes)
+      : registry_(registry), bytes_(bytes) {}
+  ~ReservationGuard() {
+    if (registry_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(registry_->mutex_);
+    registry_->reserved_bytes_ -= bytes_;
+    registry_->admission_cv_.notify_all();
+  }
+
+  ReservationGuard(const ReservationGuard&) = delete;
+  ReservationGuard& operator=(const ReservationGuard&) = delete;
+
+  // Disarms the guard and returns the reserved bytes for the caller to
+  // release itself (caller holds the registry mutex).
+  int64_t TakeLocked() {
+    registry_ = nullptr;
+    return bytes_;
+  }
+
+ private:
+  DatasetRegistry* registry_;
+  const int64_t bytes_;
+};
 
 FileSignature StatFileSignature(const std::string& path) {
   FileSignature signature;
@@ -69,33 +112,127 @@ StatusOr<DatasetHandle> DatasetRegistry::Get(const std::string& path,
   const double load_seconds = stopwatch.ElapsedSeconds();
 
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.loads;
-    Entry entry;
-    entry.db = db;
-    entry.fingerprint = fingerprint;
-    entry.bytes = db->ApproxMemoryBytes();
-    entry.signature = signature;
-    MakeRoomLocked(entry.bytes);
-    lru_.push_front(key);
-    entry.lru_position = lru_.begin();
-    resident_bytes_ += entry.bytes;
-    entries_.emplace(key, std::move(entry));
-    if (resident_bytes_ > stats_.peak_resident_bytes) {
-      stats_.peak_resident_bytes = resident_bytes_;
-    }
-  } else {
-    // Lost the race; serve the registered copy.
-    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
-    ++stats_.hits;
-  }
+  RegisterLoadedLocked(key, std::move(db), fingerprint, signature);
   DatasetHandle handle;
   handle.db = entries_.at(key).db;
   handle.fingerprint = entries_.at(key).fingerprint;
   handle.registry_hit = false;
   handle.load_seconds = load_seconds;
   return handle;
+}
+
+StatusOr<PinnedDatasetHandle> DatasetRegistry::GetPinned(
+    const std::string& path, const std::string& format,
+    int64_t estimated_bytes) {
+  // Estimates derive from request-supplied manifests, so a bad one is
+  // clamped, never CHECKed: a hostile input must fail (or load under a
+  // clamped reservation), not abort the server. The upper clamp is the
+  // budget itself — reserving more buys nothing (the solo-admission
+  // rule owns the whole budget anyway) and keeps reserved_bytes_ sums
+  // overflow-free.
+  if (estimated_bytes < 0) estimated_bytes = 0;
+  if (options_.memory_budget_bytes > 0 &&
+      estimated_bytes > options_.memory_budget_bytes) {
+    estimated_bytes = options_.memory_budget_bytes;
+  }
+  const std::string key = EntryKey(path, format);
+  const FileSignature signature = StatFileSignature(path);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.signature == signature) {
+        // Already resident: pinning adds no bytes, so no admission
+        // wait — the entry's bytes merely move into the pinned set.
+        lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+        ++stats_.hits;
+        PinnedDatasetHandle pinned;
+        pinned.handle.db = it->second.db;
+        pinned.handle.fingerprint = it->second.fingerprint;
+        pinned.handle.registry_hit = true;
+        pinned.pin = AddPinLocked(key);
+        return pinned;
+      }
+      ++stats_.stale_reloads;
+      EraseEntryLocked(key);
+    }
+    // Reserve-before-load: wait until the estimate fits alongside what
+    // cannot be evicted (pinned entries + other reservations), then
+    // charge it, so N concurrent pinned loads can never drive
+    // resident + reserved past the budget. Admission is FIFO by ticket:
+    // a large reservation cannot be starved by a stream of small ones
+    // that happen to keep fitting — each waiter is admitted in arrival
+    // order, and the head of the line with nothing else pinned or
+    // reserved is always admitted (the pinned mirror of Get's
+    // single-dataset-owns-the-budget rule), which is what makes
+    // admission deadlock-free: pin holders never need admission to
+    // finish, so the head's turn always comes.
+    const uint64_t ticket = admission_next_ticket_++;
+    auto admissible = [this, estimated_bytes, ticket] {
+      if (ticket != admission_serving_ticket_) return false;
+      const __int128 unevictable =
+          static_cast<__int128>(reserved_bytes_) + pinned_bytes_;
+      if (unevictable == 0) return true;
+      return unevictable + estimated_bytes <=
+             static_cast<__int128>(options_.memory_budget_bytes);
+    };
+    if (!admissible()) {
+      ++stats_.admission_waits;
+      admission_cv_.wait(lock, admissible);
+    }
+    reserved_bytes_ += estimated_bytes;
+    ++admission_serving_ticket_;
+    admission_cv_.notify_all();  // next ticket holder re-evaluates
+    // Evict unpinned entries now so the in-flight load already has its
+    // room while it reads from disk — the resident high-water mark then
+    // cannot pass the budget when the loaded bytes land.
+    MakeRoomLocked(0);
+  }
+  ReservationGuard reservation(this, estimated_bytes);
+
+  Stopwatch stopwatch;
+  StatusOr<TransactionDatabase> loaded = LoadDatabaseFile(path, format);
+  if (!loaded.ok()) return loaded.status();  // guard releases
+  auto db = std::make_shared<const TransactionDatabase>(*std::move(loaded));
+  const uint64_t fingerprint = FingerprintDatabase(*db);
+  const double load_seconds = stopwatch.ElapsedSeconds();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The reservation converts into the entry's actual byte accounting
+  // (or vanishes, on a lost race against another loader of `key`).
+  reserved_bytes_ -= reservation.TakeLocked();
+  RegisterLoadedLocked(key, std::move(db), fingerprint, signature);
+  PinnedDatasetHandle pinned;
+  pinned.handle.db = entries_.at(key).db;
+  pinned.handle.fingerprint = entries_.at(key).fingerprint;
+  pinned.handle.registry_hit = false;
+  pinned.handle.load_seconds = load_seconds;
+  pinned.pin = AddPinLocked(key);
+  admission_cv_.notify_all();
+  return pinned;
+}
+
+bool DatasetRegistry::SniffIsManifest(const std::string& path) {
+  const FileSignature signature = StatFileSignature(path);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sniffs_.find(path);
+    if (it != sniffs_.end() && it->second.signature == signature) {
+      ++stats_.sniff_cache_hits;
+      return it->second.is_manifest;
+    }
+  }
+  // Cold (or stale) path: one open+read of the magic bytes, outside the
+  // lock.
+  const bool is_manifest = IsShardManifestFile(path);
+  if (path.size() > kMaxSniffPathBytes) return is_manifest;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sniffs_.size() >= kMaxSniffEntries &&
+      sniffs_.find(path) == sniffs_.end()) {
+    sniffs_.clear();
+  }
+  sniffs_[path] = SniffEntry{signature, is_manifest};
+  return is_manifest;
 }
 
 StatusOr<ShardManifestHandle> DatasetRegistry::GetManifest(
@@ -140,17 +277,16 @@ StatusOr<ShardManifestHandle> DatasetRegistry::GetManifest(
 void DatasetRegistry::Invalidate(const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   manifests_.erase(path);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    const std::string& key = it->first;
+  sniffs_.erase(path);
+  std::vector<std::string> keys;
+  for (const auto& [key, entry] : entries_) {
     if (key.compare(0, path.size(), path) == 0 &&
         key.size() > path.size() && key[path.size()] == '\n') {
-      resident_bytes_ -= it->second.bytes;
-      lru_.erase(it->second.lru_position);
-      it = entries_.erase(it);
-    } else {
-      ++it;
+      keys.push_back(key);
     }
   }
+  for (const std::string& key : keys) EraseEntryLocked(key);
+  admission_cv_.notify_all();
 }
 
 DatasetRegistryStats DatasetRegistry::stats() const {
@@ -158,26 +294,110 @@ DatasetRegistryStats DatasetRegistry::stats() const {
   DatasetRegistryStats stats = stats_;
   stats.resident_bytes = resident_bytes_;
   stats.resident_datasets = static_cast<int64_t>(entries_.size());
+  stats.reserved_bytes = reserved_bytes_;
+  stats.pinned_bytes = pinned_bytes_;
   return stats;
+}
+
+void DatasetRegistry::RegisterLoadedLocked(
+    const std::string& key, std::shared_ptr<const TransactionDatabase> db,
+    uint64_t fingerprint, const FileSignature& signature) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Lost the race; serve the copy another loader registered.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    ++stats_.hits;
+    return;
+  }
+  ++stats_.loads;
+  Entry entry;
+  entry.db = std::move(db);
+  entry.fingerprint = fingerprint;
+  entry.bytes = entry.db->ApproxMemoryBytes();
+  entry.signature = signature;
+  entry.generation = next_generation_++;
+  // Room for this entry *and* every outstanding pinned-load reservation
+  // (accounted inside MakeRoomLocked), so the resident + reserved
+  // high-water mark stays within the budget.
+  MakeRoomLocked(entry.bytes);
+  lru_.push_front(key);
+  entry.lru_position = lru_.begin();
+  resident_bytes_ += entry.bytes;
+  entries_.emplace(key, std::move(entry));
+  NotePeakLocked();
 }
 
 void DatasetRegistry::EraseEntryLocked(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
   resident_bytes_ -= it->second.bytes;
+  if (it->second.pin_count > 0) {
+    // Erasing a pinned entry (stale reload, Invalidate) drops its byte
+    // accounting with it; the outstanding pins carry the erased
+    // generation and release as no-ops.
+    pinned_bytes_ -= it->second.bytes;
+    admission_cv_.notify_all();
+  }
   lru_.erase(it->second.lru_position);
   entries_.erase(it);
 }
 
 void DatasetRegistry::MakeRoomLocked(int64_t incoming_bytes) {
-  while (resident_bytes_ + incoming_bytes > options_.memory_budget_bytes &&
-         !lru_.empty()) {
-    const std::string& victim = lru_.back();
-    auto it = entries_.find(victim);
+  if (lru_.empty()) return;
+  // Oldest-first over the unpinned entries; pinned ones are skipped (a
+  // pin is a promise the dataset stays resident until released). The
+  // target is resident + reserved + incoming <= budget — outstanding
+  // reservations always keep their room — compared in 128 bits so
+  // saturated hostile estimates cannot wrap the arithmetic.
+  auto pos = std::prev(lru_.end());
+  while (static_cast<__int128>(resident_bytes_) + reserved_bytes_ +
+             incoming_bytes >
+         static_cast<__int128>(options_.memory_budget_bytes)) {
+    const bool at_front = pos == lru_.begin();
+    auto it = entries_.find(*pos);
+    if (it->second.pin_count > 0) {
+      if (at_front) return;
+      --pos;
+      continue;
+    }
     resident_bytes_ -= it->second.bytes;
     entries_.erase(it);
-    lru_.pop_back();
     ++stats_.evictions;
+    const auto victim = pos;
+    if (!at_front) --pos;
+    lru_.erase(victim);
+    if (at_front) return;
+  }
+}
+
+std::shared_ptr<void> DatasetRegistry::AddPinLocked(const std::string& key) {
+  Entry& entry = entries_.at(key);
+  if (entry.pin_count++ == 0) pinned_bytes_ += entry.bytes;
+  const uint64_t generation = entry.generation;
+  DatasetRegistry* self = this;
+  return std::shared_ptr<void>(new int(0),
+                               [self, key, generation](void* token) {
+                                 delete static_cast<int*>(token);
+                                 self->ReleasePin(key, generation);
+                               });
+}
+
+void DatasetRegistry::ReleasePin(const std::string& key,
+                                 uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.generation != generation) return;
+  Entry& entry = it->second;
+  COLOSSAL_CHECK(entry.pin_count > 0) << "unbalanced unpin for " << key;
+  if (--entry.pin_count == 0) {
+    pinned_bytes_ -= entry.bytes;
+    admission_cv_.notify_all();
+  }
+}
+
+void DatasetRegistry::NotePeakLocked() {
+  if (resident_bytes_ > stats_.peak_resident_bytes) {
+    stats_.peak_resident_bytes = resident_bytes_;
   }
 }
 

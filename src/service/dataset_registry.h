@@ -1,6 +1,7 @@
 #ifndef COLOSSAL_SERVICE_DATASET_REGISTRY_H_
 #define COLOSSAL_SERVICE_DATASET_REGISTRY_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -42,11 +43,26 @@ struct DatasetRegistryStats {
   int64_t resident_bytes = 0;
   int64_t resident_datasets = 0;
   // High-water mark of resident_bytes. Eviction makes room *before* a
-  // new dataset is admitted, so while serving a sharded dataset whose
-  // total exceeds the budget this never passes the budget (unless a
-  // single dataset alone does — such a dataset still loads and simply
-  // owns the whole budget).
+  // new dataset is admitted and GetPinned reserves its estimate
+  // *before* it loads (reservations gate admission but are not counted
+  // here — they deliberately over-estimate), so while serving a sharded
+  // dataset whose total exceeds the budget — even with shards loading
+  // concurrently — this never passes the budget. Two bounded
+  // exceptions: a single dataset larger than the budget still loads
+  // (and owns the whole budget), and a plain Get landing while pins
+  // hold bytes it cannot evict may overshoot by at most pinned_bytes —
+  // plain Get never blocks, by design (see Get vs. GetPinned).
   int64_t peak_resident_bytes = 0;
+  // Bytes reserved by in-flight GetPinned loads (admitted, not yet
+  // resident) and currently pinned resident bytes.
+  int64_t reserved_bytes = 0;
+  int64_t pinned_bytes = 0;
+  // GetPinned admissions that had to wait for pins/reservations to
+  // drain before their reservation fit the budget.
+  int64_t admission_waits = 0;
+  // Manifest-sniff verdicts served from the signature-keyed cache
+  // (a single stat instead of an open+read of the magic bytes).
+  int64_t sniff_cache_hits = 0;
 };
 
 // Signature of the on-disk file backing a registry entry, captured just
@@ -72,6 +88,15 @@ struct ShardManifestHandle {
   bool registry_hit = false;
 };
 
+// A dataset admitted through GetPinned: the handle plus a pin that
+// excludes the entry from eviction (and from counting as evictable by
+// other admissions) until released. Releasing `pin` — or letting the
+// struct go out of scope — unpins; the registry must outlive every pin.
+struct PinnedDatasetHandle {
+  DatasetHandle handle;
+  std::shared_ptr<void> pin;
+};
+
 // Loads each dataset once and shares it immutably across requests — the
 // "load once from secondary memory, mine many times" half of the service
 // layer. Keyed by (path, format); thread-safe; LRU-evicts by the memory
@@ -89,9 +114,37 @@ class DatasetRegistry {
   // LoadDatabaseFile: "fimi" | "matrix" | "snapshot" | "auto") on first
   // use. Loads run outside the registry lock; if two threads race on the
   // same new path both read the file and one copy is kept. (Identical
-  // *requests* are deduplicated upstream by MiningService.)
+  // *requests* are deduplicated upstream by MiningService.) Get never
+  // blocks on admission: if concurrent pins hold bytes its eviction
+  // pass cannot claim, the insert may overshoot the budget by at most
+  // pinned_bytes until those pins release — the price of keeping the
+  // hot unsharded path wait-free.
   StatusOr<DatasetHandle> Get(const std::string& path,
                               const std::string& format = "auto");
+
+  // Concurrent-admission Get for callers that hold several datasets
+  // resident at once (the sharded miner's parallel fan-out). The
+  // difference from Get is reserve-before-load: `estimated_bytes` is
+  // charged against the budget *before* the disk load starts — blocking
+  // until outstanding pins + reservations leave room — so N concurrent
+  // pinned loads can never drive resident + reserved past the budget.
+  // The returned entry is pinned: eviction skips it until the handle's
+  // pin is released. A caller whose estimate alone exceeds the budget is
+  // admitted once nothing else is pinned or reserved (mirroring Get's
+  // single-dataset-owns-the-budget rule), so admission cannot deadlock
+  // as long as pins are eventually released.
+  StatusOr<PinnedDatasetHandle> GetPinned(const std::string& path,
+                                          const std::string& format,
+                                          int64_t estimated_bytes);
+
+  // Whether `path` is a shard manifest, with the verdict cached by the
+  // file's (size, mtime) signature: a warm call is a single stat(2)
+  // instead of an open+read of the magic bytes (counted in
+  // sniff_cache_hits). A rewritten file re-sniffs automatically; a
+  // vanished file never matches a stored signature and re-sniffs too.
+  // The cache is bounded (paths come from untrusted request lines): a
+  // full map resets, and oversized paths are never cached.
+  bool SniffIsManifest(const std::string& path);
 
   // Returns the shard manifest at `path`, parsing it on first use. A
   // manifest is a first-class registry entry — same signature-based
@@ -112,6 +165,10 @@ class DatasetRegistry {
   DatasetRegistryStats stats() const;
 
  private:
+  // RAII release of a GetPinned budget reservation (defined in the
+  // .cc); nested so it can reach the accounting fields.
+  class ReservationGuard;
+
   struct Entry {
     std::shared_ptr<const TransactionDatabase> db;
     uint64_t fingerprint = 0;
@@ -121,6 +178,12 @@ class DatasetRegistry {
     FileSignature signature;
     // Position in lru_ (most recent at the front).
     std::list<std::string>::iterator lru_position;
+    // Outstanding GetPinned pins; eviction skips pinned entries.
+    int pin_count = 0;
+    // Distinguishes this entry from a later one under the same key, so
+    // a pin outliving a stale-erase + reload never unpins the new
+    // entry.
+    uint64_t generation = 0;
   };
 
   struct ManifestEntry {
@@ -128,22 +191,65 @@ class DatasetRegistry {
     FileSignature signature;
   };
 
-  // Removes `key` if present (caller holds mutex_).
+  struct SniffEntry {
+    FileSignature signature;
+    bool is_manifest = false;
+  };
+
+  // Registers a freshly loaded database under `key`, or adopts the copy
+  // another loader registered while ours was reading (caller holds
+  // mutex_). Covers eviction-ahead, LRU placement, byte accounting and
+  // the peak stat — the one insert path Get and GetPinned share.
+  void RegisterLoadedLocked(const std::string& key,
+                            std::shared_ptr<const TransactionDatabase> db,
+                            uint64_t fingerprint,
+                            const FileSignature& signature);
+
+  // Removes `key` if present (caller holds mutex_), dropping its byte
+  // accounting (pinned included — in-flight users keep their shared_ptr,
+  // and outstanding pins on the erased generation become no-ops).
   void EraseEntryLocked(const std::string& key);
 
-  // Evicts LRU entries until `incoming_bytes` more would fit the budget
-  // (or nothing is left to evict), so a new dataset is admitted into a
-  // registry that is already within budget — resident_bytes_ can then
-  // only exceed the budget when a single dataset alone does. Caller
-  // holds mutex_.
+  // Evicts unpinned LRU entries until `incoming_bytes` more — on top of
+  // resident and reserved bytes, both accounted internally — would fit
+  // the budget (or nothing evictable is left), so a new dataset is
+  // admitted into a registry that is already within budget —
+  // resident_bytes_ can then only exceed the budget when a single
+  // dataset alone does, or when pins + reservations alone hold it
+  // (which GetPinned admission prevents). Caller holds mutex_.
   void MakeRoomLocked(int64_t incoming_bytes);
+
+  // Pin bookkeeping. AddPinLocked increments `key`'s pin count (first
+  // pin moves the entry's bytes into pinned_bytes_) and returns the
+  // releaser handed out via PinnedDatasetHandle::pin; ReleasePin is its
+  // (locking) inverse and wakes admission waiters.
+  std::shared_ptr<void> AddPinLocked(const std::string& key);
+  void ReleasePin(const std::string& key, uint64_t generation);
+
+  // Updates stats_.peak_resident_bytes from resident_bytes_.
+  // Reservations are deliberately not counted (see the stats doc) —
+  // they over-estimate, and their room was already evicted ahead.
+  void NotePeakLocked();
 
   const DatasetRegistryOptions options_;
   mutable std::mutex mutex_;
+  // Admission waiters (GetPinned) blocked on pins/reservations draining.
+  std::condition_variable admission_cv_;
   std::unordered_map<std::string, Entry> entries_;  // key: path \n format
   std::unordered_map<std::string, ManifestEntry> manifests_;  // key: path
+  std::unordered_map<std::string, SniffEntry> sniffs_;        // key: path
   std::list<std::string> lru_;                      // keys, MRU first
   int64_t resident_bytes_ = 0;
+  // Bytes reserved by admitted-but-still-loading GetPinned calls.
+  int64_t reserved_bytes_ = 0;
+  // Bytes of resident entries with pin_count > 0 (subset of
+  // resident_bytes_); these cannot be evicted to make room.
+  int64_t pinned_bytes_ = 0;
+  // FIFO admission tickets for GetPinned reservations (fairness: a
+  // large waiter cannot be starved by later small ones).
+  uint64_t admission_next_ticket_ = 0;
+  uint64_t admission_serving_ticket_ = 0;
+  uint64_t next_generation_ = 1;
   DatasetRegistryStats stats_;
 };
 

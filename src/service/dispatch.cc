@@ -80,12 +80,13 @@ ServeOutcome DispatchServeLine(MiningService& service,
 std::string FormatStatsLine(const MiningService& service) {
   const ResultCacheStats cache = service.cache_stats();
   const DatasetRegistryStats registry = service.registry_stats();
-  char buffer[384];
+  char buffer[512];
   std::snprintf(
       buffer, sizeof(buffer),
       "stats cache_hits=%lld cache_misses=%lld cache_entries=%lld "
       "cache_evictions=%lld dataset_loads=%lld dataset_hits=%lld "
       "dataset_evictions=%lld dataset_stale_reloads=%lld "
+      "sniff_cache_hits=%lld admission_waits=%lld "
       "resident_mb=%.1f peak_resident_mb=%.1f",
       static_cast<long long>(cache.hits),
       static_cast<long long>(cache.misses),
@@ -95,6 +96,8 @@ std::string FormatStatsLine(const MiningService& service) {
       static_cast<long long>(registry.hits),
       static_cast<long long>(registry.evictions),
       static_cast<long long>(registry.stale_reloads),
+      static_cast<long long>(registry.sniff_cache_hits),
+      static_cast<long long>(registry.admission_waits),
       static_cast<double>(registry.resident_bytes) / (1 << 20),
       static_cast<double>(registry.peak_resident_bytes) / (1 << 20));
   return buffer;

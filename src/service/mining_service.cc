@@ -1,5 +1,6 @@
 #include "service/mining_service.h"
 
+#include <exception>
 #include <utility>
 
 #include "common/hash.h"
@@ -44,12 +45,10 @@ MiningService::Prepared MiningService::Prepare(const MiningRequest& request,
   Prepared prep;
   bool is_manifest = request.format == "manifest";
   if (!is_manifest && request.format == "auto") {
-    // One open+read of the magic bytes per auto-format request, on top
-    // of the registry's own stat. Acceptable against mining costs; a
-    // registry-side sniff cache keyed by FileSignature is the known
-    // optimization if hit-heavy request rates ever make it matter (see
-    // ROADMAP).
-    is_manifest = IsShardManifestFile(request.dataset_path);
+    // Registry-side sniff cache keyed by the file's signature: a warm
+    // auto-format request costs one stat here instead of an open+read
+    // of the magic bytes, and a rewritten file re-sniffs automatically.
+    is_manifest = registry_.SniffIsManifest(request.dataset_path);
   }
 
   if (!is_manifest) {
@@ -110,13 +109,17 @@ MiningService::Prepared MiningService::Prepare(const MiningRequest& request,
 
 StatusOr<ColossalMiningResult> MiningService::RunMine(
     const MiningRequest& request, const Prepared& prep) {
-  // Execution options: canonical, except the thread count — a pure
-  // performance knob with bit-identical output — which is taken from the
-  // request (falling back to the service's per-job default).
+  // Execution options: canonical, except the thread count and shard
+  // parallelism — pure performance knobs with bit-identical output —
+  // which are taken from the request (falling back to the service's
+  // per-job defaults).
   ColossalMinerOptions exec = prep.canonical.options;
   exec.num_threads = request.options.num_threads != 0
                          ? request.options.num_threads
                          : options_.mining_threads;
+  exec.shard_parallelism = request.options.shard_parallelism != 0
+                               ? request.options.shard_parallelism
+                               : options_.shard_parallelism;
   if (!prep.sharded) {
     std::shared_ptr<const TransactionDatabase> db = prep.handle.db;
     if (db == nullptr) {
@@ -135,14 +138,36 @@ StatusOr<ColossalMiningResult> MiningService::RunMine(
     }
     return MineColossal(*db, exec);
   }
-  ShardedMiner miner(*prep.manifest,
-                     [this](const std::string& path) -> StatusOr<LoadedShard> {
-                       StatusOr<DatasetHandle> shard =
-                           registry_.Get(path, "auto");
-                       if (!shard.ok()) return shard.status();
-                       return LoadedShard{shard->db, shard->fingerprint};
-                     });
+  // Shards load through the registry's concurrent-admission API:
+  // GetPinned reserves the estimate before reading, so however many
+  // shard jobs the fan-out runs, resident + reserved bytes never pass
+  // the registry budget; the pin rides the LoadedShard and releases
+  // when the shard job drops it.
+  ShardResidencyOptions residency;
+  residency.budget_bytes = options_.registry.memory_budget_bytes;
+  ShardedMiner miner(
+      *prep.manifest,
+      [this](const std::string& path,
+             int64_t estimated_bytes) -> StatusOr<LoadedShard> {
+        StatusOr<PinnedDatasetHandle> shard =
+            registry_.GetPinned(path, "auto", estimated_bytes);
+        if (!shard.ok()) return shard.status();
+        return LoadedShard{shard->handle.db, shard->handle.fingerprint,
+                           std::move(shard->pin)};
+      },
+      residency);
   return miner.Mine(exec, prep.shard_mode);
+}
+
+StatusOr<ColossalMiningResult> MiningService::RunMineNoThrow(
+    const MiningRequest& request, const Prepared& prep) {
+  try {
+    return RunMine(request, prep);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("mining threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("mining threw a non-standard exception");
+  }
 }
 
 MiningResponse MiningService::Execute(const MiningRequest& request,
@@ -190,7 +215,7 @@ MiningResponse MiningService::Execute(const MiningRequest& request,
     }
   }
   if (standalone) {
-    StatusOr<ColossalMiningResult> mined = RunMine(request, prep);
+    StatusOr<ColossalMiningResult> mined = RunMineNoThrow(request, prep);
     response.status = mined.status();
     if (mined.ok()) {
       response.result =
@@ -213,7 +238,7 @@ MiningResponse MiningService::Execute(const MiningRequest& request,
     return response;
   }
 
-  StatusOr<ColossalMiningResult> mined = RunMine(request, prep);
+  StatusOr<ColossalMiningResult> mined = RunMineNoThrow(request, prep);
 
   std::shared_ptr<const ColossalMiningResult> result;
   if (mined.ok()) {

@@ -28,6 +28,13 @@ struct MiningServiceOptions {
   // request-level --threads. Output is identical either way.
   int mining_threads = 1;
 
+  // Default phase-1 shard fan-out when a sharded request leaves
+  // options.shard_parallelism at 0. 0 = auto (one shard job per
+  // hardware thread, capped by the residency governor so concurrently
+  // resident shards fit the registry budget); 1 = the sequential walk.
+  // Output is identical for any value.
+  int shard_parallelism = 0;
+
   DatasetRegistryOptions registry;
   ResultCacheOptions cache;
 };
@@ -143,6 +150,15 @@ class MiningService {
   // count resolved.
   StatusOr<ColossalMiningResult> RunMine(const MiningRequest& request,
                                          const Prepared& prep);
+
+  // RunMine with escaping exceptions (bad_alloc in a deep mining
+  // allocation, say) converted to an Internal Status. Execute's runner
+  // path publishes its Status to every coalesced waiter on the
+  // in-flight condvar; an exception thrown between inserting the
+  // in-flight entry and notify_all would otherwise leave those waiters
+  // blocked forever (and the entry leaked).
+  StatusOr<ColossalMiningResult> RunMineNoThrow(const MiningRequest& request,
+                                                const Prepared& prep);
 
   const MiningServiceOptions options_;
   DatasetRegistry registry_;

@@ -39,6 +39,7 @@ uint64_t HashMinerOptions(const ColossalMinerOptions& options) {
       hash, static_cast<uint64_t>(options.max_superpatterns_per_seed));
   hash = HashCombine(hash, options.seed);
   hash = HashCombine(hash, static_cast<uint64_t>(options.num_threads));
+  hash = HashCombine(hash, static_cast<uint64_t>(options.shard_parallelism));
   return hash;
 }
 
@@ -65,7 +66,7 @@ StatusOr<MiningRequest> ParseRequestLine(const std::string& line) {
   Status known = args.CheckKnown(
       {"in", "format", "sigma", "min-support", "tau", "k", "pool-size",
        "pool-miner", "max-iterations", "attempts", "retain", "seed",
-       "threads", "shards"});
+       "threads", "shards", "shard-parallelism"});
   if (!known.ok()) return known;
 
   MiningRequest request;
@@ -123,6 +124,8 @@ StatusOr<MiningRequest> ParseRequestLine(const std::string& line) {
        std::numeric_limits<int>::max(), &options.max_superpatterns_per_seed},
       {"threads", options.num_threads, 0, kMaxExplicitThreads,
        &options.num_threads},
+      {"shard-parallelism", options.shard_parallelism, 0, kMaxExplicitThreads,
+       &options.shard_parallelism},
   };
   for (const auto& flag : int_flags) {
     StatusOr<int64_t> value = args.GetInt(flag.flag, flag.fallback);

@@ -72,6 +72,7 @@ struct ResultCacheKeyHash {
 //   (--sigma F | --min-support N) [--tau F] [--k N] [--pool-size N]
 //   [--pool-miner apriori|eclat] [--max-iterations N] [--attempts N]
 //   [--retain N] [--seed S] [--threads N] [--shards exact|fuse]
+//   [--shard-parallelism N]
 //
 // Unknown flags are rejected with the list of known ones.
 StatusOr<MiningRequest> ParseRequestLine(const std::string& line);

@@ -1,6 +1,11 @@
 #include "shard/sharded_miner.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <limits>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -8,6 +13,7 @@
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "core/pattern.h"
+#include "data/snapshot_io.h"
 #include "mining/apriori.h"
 #include "mining/eclat.h"
 #include "mining/miner.h"
@@ -15,21 +21,6 @@
 namespace colossal {
 
 namespace {
-
-// The Partition-scaled local threshold for a shard of `shard_rows`
-// rows. An itemset X with global support >= s satisfies, in at least
-// one shard i, sup_i(X) >= s·|D_i|/|D| (real-valued: were sup_i(X)
-// strictly below that bound in every shard, summing over shards would
-// put the global support strictly below s). Any integer >= s·|D_i|/|D|
-// is also >= max(1, ⌊s·|D_i|/|D|⌋) — the floor must NOT be tightened
-// to a ceiling, which would violate the bound exactly at integer
-// boundaries — so mining every shard at this clamped floor yields a
-// candidate superset of the globally frequent itemsets.
-int64_t LocalMinSupport(int64_t min_support, int64_t shard_rows,
-                        int64_t total_rows) {
-  const int64_t scaled = min_support * shard_rows / total_rows;
-  return scaled < 1 ? 1 : scaled;
-}
 
 // Support set of `items` within one shard, or an empty vector when an
 // item does not occur in the shard at all (its id is outside the
@@ -42,6 +33,18 @@ Bitvector ShardSupportSet(const TransactionDatabase& shard,
     }
   }
   return shard.SupportSet(items);
+}
+
+// Whether `path` starts with the snapshot magic (one 8-byte read — the
+// byte-estimate below must know which on-disk layout it is bounding).
+bool HasSnapshotMagic(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  char magic[8];
+  const size_t bytes_read = std::fread(magic, 1, sizeof(magic), file);
+  std::fclose(file);
+  return bytes_read == sizeof(magic) &&
+         LooksLikeSnapshot(std::string(magic, sizeof(magic)));
 }
 
 }  // namespace
@@ -63,12 +66,118 @@ StatusOr<ShardMergeMode> ParseShardMergeMode(const std::string& name) {
                                  "' (want exact|fuse)");
 }
 
-ShardedMiner::ShardedMiner(ShardManifest manifest, ShardLoader loader)
-    : manifest_(std::move(manifest)), loader_(std::move(loader)) {}
+// An itemset X with global support >= s satisfies, in at least one
+// shard i, sup_i(X) >= s·|D_i|/|D| (real-valued: were sup_i(X) strictly
+// below that bound in every shard, summing over shards would put the
+// global support strictly below s). Any integer >= s·|D_i|/|D| is also
+// >= max(1, ⌊s·|D_i|/|D|⌋) — the floor must NOT be tightened to a
+// ceiling, which would violate the bound exactly at integer boundaries.
+// The multiply is the overflow hazard: min_support and shard_rows are
+// each bounded by |D|, so their product can pass INT64_MAX long before
+// either operand does — hence the 128-bit intermediate (the quotient is
+// <= min_support, so the cast back is always in range).
+int64_t ShardLocalMinSupport(int64_t min_support, int64_t shard_rows,
+                             int64_t total_rows) {
+  const int64_t scaled = static_cast<int64_t>(
+      static_cast<__int128>(min_support) * shard_rows / total_rows);
+  return scaled < 1 ? 1 : scaled;
+}
 
-StatusOr<LoadedShard> ShardedMiner::LoadShard(size_t index) const {
+int64_t EstimateShardResidentBytes(const ShardInfo& info, int64_t num_items) {
+  // Manifest row/item counts are caller-supplied (any int64 passes
+  // manifest validation), so all arithmetic runs in 128 bits and
+  // saturates: a hostile manifest must yield a huge-but-valid estimate
+  // — which admission handles like any over-budget dataset — never a
+  // negative one (and never an abort downstream).
+  const auto saturate = [](__int128 value) {
+    const __int128 max64 = std::numeric_limits<int64_t>::max();
+    if (value > max64) return std::numeric_limits<int64_t>::max();
+    if (value < 0) return int64_t{0};
+    return static_cast<int64_t>(value);
+  };
+  const __int128 rows = info.rows();
+  const __int128 items = num_items;
+  // Container overhead the snapshot encoding does not pay: one Itemset
+  // header per row, one Bitvector header per item, plus struct slack.
+  const __int128 overhead = rows * static_cast<int64_t>(sizeof(Itemset)) +
+                            items * static_cast<int64_t>(sizeof(Bitvector)) +
+                            4096;
+  struct stat file_info;
+  if (::stat(info.path.c_str(), &file_info) == 0) {
+    const __int128 file_bytes = file_info.st_size;
+    if (HasSnapshotMagic(info.path)) {
+      // Snapshot shards store rows and tidsets near their in-memory
+      // layout, so file size plus overhead over-estimates.
+      return saturate(file_bytes + overhead);
+    }
+    // Text shard (FIMI/matrix — nothing forces hand-authored manifests
+    // to reference snapshots): every occurrence costs >= 2 bytes of
+    // text vs 4 in memory, so the row store is <= 2x the file size; the
+    // vertical index (one rows-bit tidset per item) exists only in
+    // memory and is added in full.
+    return saturate(2 * file_bytes + items * ((rows + 7) / 8) + overhead);
+  }
+  // Unreachable file: bound by the row store's worst case within the
+  // item domain plus the vertical index (rows bits per item).
+  return saturate(rows * ((items + 7) / 8) + items * ((rows + 7) / 8) +
+                  overhead);
+}
+
+int MaxConcurrentResidentShards(const std::vector<int64_t>& estimated_bytes,
+                                int64_t budget_bytes) {
+  const int count = static_cast<int>(estimated_bytes.size());
+  if (budget_bytes <= 0 || count <= 1) return count < 1 ? 1 : count;
+  // Admission must hold for *any* concurrently resident subset the
+  // scheduler might produce, so the governor sums the largest k
+  // estimates: the largest k that still fits is the answer.
+  std::vector<int64_t> sorted = estimated_bytes;
+  std::sort(sorted.begin(), sorted.end(),
+            [](int64_t a, int64_t b) { return a > b; });
+  int admitted = 0;
+  int64_t total = 0;
+  // total <= budget_bytes always holds, so the subtraction form cannot
+  // overflow even on saturated INT64_MAX estimates.
+  while (admitted < count && sorted[admitted] <= budget_bytes - total) {
+    total += sorted[admitted];
+    ++admitted;
+  }
+  return admitted < 1 ? 1 : admitted;
+}
+
+ShardedMiner::ShardedMiner(ShardManifest manifest, ShardLoader loader,
+                           ShardResidencyOptions residency)
+    : manifest_(std::move(manifest)),
+      loader_(std::move(loader)),
+      residency_(residency) {}
+
+int ShardedMiner::ResolveFanOut(const ColossalMinerOptions& options,
+                                const std::vector<int64_t>& estimates) const {
+  // Auto (0) without a residency budget stays sequential: sharding
+  // exists so datasets larger than memory mine within a bound, and a
+  // default-constructed miner has no information to bound concurrent
+  // residency with — wide fan-out is opt-in there, either via an
+  // explicit shard_parallelism (the caller takes responsibility) or by
+  // supplying the budget the governor needs (the service always does).
+  if (options.shard_parallelism == 0 && residency_.budget_bytes <= 0) {
+    return 1;
+  }
+  const int num_shards = static_cast<int>(manifest_.shards.size());
+  int fan_out = options.shard_parallelism > 0
+                    ? options.shard_parallelism
+                    : ParallelPolicy{0}.ResolvedThreads();
+  if (fan_out > num_shards) fan_out = num_shards;
+  if (residency_.budget_bytes > 0 && fan_out > 1) {
+    const int admitted =
+        MaxConcurrentResidentShards(estimates, residency_.budget_bytes);
+    if (fan_out > admitted) fan_out = admitted;
+  }
+  return fan_out < 1 ? 1 : fan_out;
+}
+
+StatusOr<LoadedShard> ShardedMiner::LoadShard(size_t index,
+                                              int64_t estimated_bytes) const {
   const ShardInfo& info = manifest_.shards[index];
-  StatusOr<LoadedShard> shard = loader_(info.path);
+  StatusOr<LoadedShard> shard = loader_(info.path, estimated_bytes);
   if (!shard.ok()) {
     return Status(shard.status().code(), "shard " + std::to_string(index) +
                                              " (" + info.path + "): " +
@@ -115,22 +224,35 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
     return Status::InvalidArgument("max_pattern_size must be >= 1");
   }
 
-  // Phase 1 — per-shard mining, shards visited in manifest order (so at
-  // most one shard beyond the registry's choices is resident, and the
-  // candidate order is independent of thread count). Candidates keep
-  // first-appearance order.
-  std::unordered_set<Itemset, ItemsetHash, ItemsetEq> seen;
-  std::vector<Itemset> candidates;
-  auto add_candidate = [&](const Itemset& items) {
-    if (seen.insert(items).second) candidates.push_back(items);
-  };
-
-  for (size_t i = 0; i < manifest_.shards.size(); ++i) {
-    StatusOr<LoadedShard> shard = LoadShard(i);
+  // Phase 1 — per-shard mining, fanned out across a bounded pool of
+  // shard jobs. ResolveFanOut caps concurrency so the concurrently
+  // resident shards always fit the registry budget (at fan-out 1 this
+  // is exactly the old sequential walk: at most one shard resident
+  // beyond the registry's choices). Each job's result lands in its
+  // shard's slot; merging then walks slots in manifest order with
+  // first-appearance dedup, so the candidate list — and everything
+  // downstream — is byte-identical to the sequential walk regardless of
+  // completion order. Per-shard miners derive any randomness from the
+  // options alone (each MineColossal call seeds its own RNG stream from
+  // options.seed), never from scheduling, which keeps fuse mode
+  // identical across thread counts and parallelism too.
+  const size_t num_shards = manifest_.shards.size();
+  // One estimate per shard (one stat each), shared by the governor and
+  // every load below so both reason from the same numbers.
+  std::vector<int64_t> estimates;
+  estimates.reserve(num_shards);
+  for (const ShardInfo& info : manifest_.shards) {
+    estimates.push_back(EstimateShardResidentBytes(info, manifest_.num_items));
+  }
+  const int fan_out = ResolveFanOut(options, estimates);
+  auto mine_shard = [&](int64_t index) -> StatusOr<std::vector<Itemset>> {
+    const size_t i = static_cast<size_t>(index);
+    StatusOr<LoadedShard> shard = LoadShard(i, estimates[i]);
     if (!shard.ok()) return shard.status();
-    const int64_t local_min =
-        LocalMinSupport(min_support, manifest_.shards[i].rows(), total_rows);
+    const int64_t local_min = ShardLocalMinSupport(
+        min_support, manifest_.shards[i].rows(), total_rows);
 
+    std::vector<Itemset> mined_items;
     if (mode == ShardMergeMode::kExact) {
       // The complete bounded-size miner at the Partition-scaled
       // threshold: the union over shards is a superset of the global
@@ -144,8 +266,9 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
               ? MineApriori(*shard->db, miner_options)
               : MineEclat(*shard->db, miner_options);
       if (!mined.ok()) return mined.status();
+      mined_items.reserve(mined->patterns.size());
       for (const FrequentItemset& pattern : mined->patterns) {
-        add_candidate(pattern.items);
+        mined_items.push_back(pattern.items);
       }
     } else {
       // Approximate fusion: each shard's colossal patterns are the core
@@ -156,9 +279,66 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
       local.num_threads = options.num_threads;
       StatusOr<ColossalMiningResult> mined = MineColossal(*shard->db, local);
       if (!mined.ok()) return mined.status();
+      mined_items.reserve(mined->patterns.size());
       for (const Pattern& pattern : mined->patterns) {
-        add_candidate(pattern.items);
+        mined_items.push_back(pattern.items);
       }
+    }
+    return mined_items;
+  };
+  std::unordered_set<Itemset, ItemsetHash, ItemsetEq> seen;
+  std::vector<Itemset> candidates;
+  auto merge_candidates = [&](std::vector<Itemset>& mined_items) {
+    for (Itemset& items : mined_items) {
+      if (seen.insert(items).second) candidates.push_back(std::move(items));
+    }
+    mined_items.clear();
+  };
+  if (fan_out > 1 && num_shards > 1) {
+    // A dedicated pool sized to the admitted width: each driver holds
+    // at most one shard resident at a time, so concurrent residency is
+    // bounded by fan_out even before the loader's own admission
+    // control. Results land in per-index slots; the merge below walks
+    // them in manifest order (lowest-index failure wins, matching the
+    // status the sequential walk would have returned). Fail-fast with
+    // the same contract: once shard f has failed, shards *above* f are
+    // skipped — exactly the shards a sequential walk would never have
+    // reached — while shards below f still mine, so the reported
+    // failure is the true lowest-index one, not a scheduling accident.
+    std::vector<StatusOr<std::vector<Itemset>>> per_shard(
+        num_shards, StatusOr<std::vector<Itemset>>(std::vector<Itemset>{}));
+    std::atomic<int64_t> first_failure{
+        std::numeric_limits<int64_t>::max()};
+    ThreadPool shard_pool(fan_out);
+    shard_pool.ParallelFor(static_cast<int64_t>(num_shards), [&](int64_t i) {
+      if (i > first_failure.load(std::memory_order_acquire)) {
+        // Never read: the merge stops at the lower failing index.
+        per_shard[static_cast<size_t>(i)] =
+            Status::Internal("shard skipped after an earlier shard failed");
+        return;
+      }
+      per_shard[static_cast<size_t>(i)] = mine_shard(i);
+      if (!per_shard[static_cast<size_t>(i)].ok()) {
+        int64_t lowest = first_failure.load(std::memory_order_relaxed);
+        while (i < lowest && !first_failure.compare_exchange_weak(
+                                 lowest, i, std::memory_order_release)) {
+        }
+      }
+    });
+    for (size_t i = 0; i < num_shards; ++i) {
+      if (!per_shard[i].ok()) return per_shard[i].status();
+      merge_candidates(*per_shard[i]);
+    }
+  } else {
+    // Sequential walk: merge each shard's output as it arrives — the
+    // governor picks fan-out 1 exactly when shards are large relative
+    // to the budget, so never buffer more than one shard's pre-dedup
+    // list — and stop at the first failure, like before.
+    for (size_t i = 0; i < num_shards; ++i) {
+      StatusOr<std::vector<Itemset>> mined =
+          mine_shard(static_cast<int64_t>(i));
+      if (!mined.ok()) return mined.status();
+      merge_candidates(*mined);
     }
   }
   if (candidates.empty()) {
@@ -182,7 +362,7 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
     workers = std::make_unique<ThreadPool>(num_threads);
   }
   for (size_t i = 0; i < manifest_.shards.size(); ++i) {
-    StatusOr<LoadedShard> shard = LoadShard(i);
+    StatusOr<LoadedShard> shard = LoadShard(i, estimates[i]);
     if (!shard.ok()) return shard.status();
     const TransactionDatabase& shard_db = *shard->db;
     const int64_t offset = manifest_.shards[i].row_begin;

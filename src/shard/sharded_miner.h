@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/colossal_miner.h"
@@ -14,11 +15,14 @@
 namespace colossal {
 
 // Mining over a sharded dataset — the system-level echo of the paper's
-// core idea: mine small neighborhoods, then fuse. The miner walks a
-// manifest's shards one at a time (so at most one shard needs to be
-// resident beyond what the dataset registry chooses to keep), mines
-// each shard with the configured miner, and merges per-shard results in
-// one of two modes:
+// core idea: mine small neighborhoods, then fuse. Phase-1 per-shard
+// mining fans out across a thread pool whose width is bounded by a
+// residency governor (see MaxConcurrentResidentShards): per-shard byte
+// estimates from the manifest decide how many shards may be resident at
+// once under the registry budget, so cold sharded mines use every core
+// the budget admits while never holding more shard bytes than a
+// sequential walk's budget would. The miner mines each shard with the
+// configured miner and merges per-shard results in one of two modes:
 //
 //   kExact — recovers the output of unsharded MineColossal *byte for
 //     byte*. Per shard, the complete bounded-size miner runs at the
@@ -42,10 +46,15 @@ namespace colossal {
 //     answer approximates the global colossal patterns without any
 //     single pass over an unsharded pool.
 //
-// Both modes are deterministic for any thread count: shards are visited
-// in manifest order, per-shard miners are themselves thread-count
-// invariant, and candidates keep first-appearance order until the final
-// deterministic sort.
+// Both modes are deterministic for any thread count and any shard
+// parallelism: per-shard results are collected by shard index (never
+// completion order) and merged in manifest order, per-shard miners are
+// themselves thread-count invariant with RNG streams derived from the
+// options alone (never from scheduling), and candidates keep
+// first-appearance order until the final deterministic sort — so exact
+// mode stays byte-identical to both the sequential sharded walk and
+// unsharded MineColossal, and fuse mode is identical across shard
+// parallelism and thread counts.
 
 enum class ShardMergeMode {
   kExact,
@@ -57,43 +66,99 @@ const char* ShardMergeModeName(ShardMergeMode mode);
 // Parses "exact" | "fuse" (the request grammar's --shards values).
 StatusOr<ShardMergeMode> ParseShardMergeMode(const std::string& name);
 
+// The Partition-scaled local threshold for a shard of `shard_rows` rows
+// out of `total_rows`: max(1, ⌊min_support·shard_rows/total_rows⌋).
+// Mining every shard at this clamped floor yields a candidate superset
+// of the globally frequent itemsets. The multiply runs in 128-bit
+// arithmetic, so near-INT64_MAX products of support × shard rows cannot
+// overflow into a wrong (unsound) threshold.
+int64_t ShardLocalMinSupport(int64_t min_support, int64_t shard_rows,
+                             int64_t total_rows);
+
+// Estimated resident bytes of a shard once loaded, from manifest
+// metadata plus one stat(2) and one magic-sniff of the shard file — no
+// shard load. Snapshot shards store rows and tidsets near their
+// in-memory layout, so file size plus per-row/per-item container
+// overhead over-estimates TransactionDatabase::ApproxMemoryBytes
+// slightly; text shards (FIMI/matrix, legal in hand-authored manifests)
+// are bounded by 2x file size for the row store plus the full vertical
+// index, which only exists in memory. Over-estimating is the safe
+// direction for admission control: never under-reserve. Unreachable
+// files fall back to a row/item worst-case bound (the subsequent load
+// fails with its own Status anyway).
+int64_t EstimateShardResidentBytes(const ShardInfo& info, int64_t num_items);
+
+// The residency governor: how many shards may be resident at once so
+// that any concurrently loaded subset fits `budget_bytes` (computed
+// against the largest estimates, since the scheduler may co-locate
+// them). budget_bytes <= 0 means no budget: every shard may be
+// resident. Never less than 1 — a single over-budget shard still mines,
+// exactly like the registry's single-dataset rule.
+int MaxConcurrentResidentShards(const std::vector<int64_t>& estimated_bytes,
+                                int64_t budget_bytes);
+
 // One shard as handed to the miner by its loader. The fingerprint must
 // be FingerprintDatabase of the loaded content; the miner verifies it
 // against the manifest so a swapped or rewritten shard file fails with
-// a Status instead of silently corrupting the merge.
+// a Status instead of silently corrupting the merge. `pin` (optional)
+// keeps an admission-controlled registry entry resident while the shard
+// is in use; the miner drops it with the shard.
 struct LoadedShard {
   std::shared_ptr<const TransactionDatabase> db;
   uint64_t fingerprint = 0;
+  std::shared_ptr<void> pin;
 };
 
-// Resolves a shard path to its database. The service layer passes the
-// DatasetRegistry here, which is what makes shards load/evict
-// individually under the registry's memory budget.
-using ShardLoader =
-    std::function<StatusOr<LoadedShard>(const std::string& path)>;
+// Resolves a shard path to its database. `estimated_bytes` is the
+// residency governor's estimate for the shard (0 = unknown); loaders
+// backed by an admission-controlled registry pass it through
+// DatasetRegistry::GetPinned so concurrent loads reserve before they
+// read. Plain disk loaders may ignore it.
+using ShardLoader = std::function<StatusOr<LoadedShard>(
+    const std::string& path, int64_t estimated_bytes)>;
+
+// Residency context for the fan-out. budget_bytes mirrors the dataset
+// registry's memory budget; <= 0 means no budget is known, so
+// shard_parallelism 0 (auto) stays sequential — preserving the
+// at-most-one-shard-resident guarantee for direct callers — and only an
+// explicit shard_parallelism > 1 fans out (bounded then just by the
+// shard count).
+struct ShardResidencyOptions {
+  int64_t budget_bytes = 0;
+};
 
 class ShardedMiner {
  public:
   // `manifest` must carry resolved shard paths (ReadShardManifestFile).
-  ShardedMiner(ShardManifest manifest, ShardLoader loader);
+  ShardedMiner(ShardManifest manifest, ShardLoader loader,
+               ShardResidencyOptions residency = {});
 
   ShardedMiner(const ShardedMiner&) = delete;
   ShardedMiner& operator=(const ShardedMiner&) = delete;
 
   // Mines the sharded dataset. `options` is interpreted exactly as
   // MineColossal interprets it (sigma resolved against the manifest's
-  // transaction count; num_threads is a pure performance knob).
+  // transaction count; num_threads and shard_parallelism are pure
+  // performance knobs).
   StatusOr<ColossalMiningResult> Mine(const ColossalMinerOptions& options,
                                       ShardMergeMode mode) const;
 
  private:
-  // Loads shard `index` and verifies it against the manifest: row count
-  // must match the range, the fingerprint must match the manifest's,
-  // and the item domain must fit the parent's.
-  StatusOr<LoadedShard> LoadShard(size_t index) const;
+  // Loads shard `index` (passing the residency governor's
+  // `estimated_bytes` through to the loader) and verifies it against
+  // the manifest: row count must match the range, the fingerprint must
+  // match the manifest's, and the item domain must fit the parent's.
+  StatusOr<LoadedShard> LoadShard(size_t index, int64_t estimated_bytes) const;
+
+  // Phase-1 fan-out width for this request: min(resolved
+  // shard_parallelism, shard count, governor admission over the
+  // per-shard `estimates`).
+  int ResolveFanOut(const ColossalMinerOptions& options,
+                    const std::vector<int64_t>& estimates) const;
 
   const ShardManifest manifest_;
   const ShardLoader loader_;
+  const ShardResidencyOptions residency_;
 };
 
 }  // namespace colossal

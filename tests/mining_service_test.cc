@@ -4,7 +4,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <limits>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -355,6 +359,211 @@ TEST(DatasetRegistryTest, InvalidateForcesReload) {
   ASSERT_TRUE(reloaded.ok());
   EXPECT_FALSE(reloaded->registry_hit);
   EXPECT_EQ(reloaded->db->num_transactions(), 10);
+}
+
+TEST(DatasetRegistryTest, PinnedEntriesSurviveEviction) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path_a = dir + "/registry_pin_a.fimi";
+  const std::string path_b = dir + "/registry_pin_b.fimi";
+  const std::string path_c = dir + "/registry_pin_c.fimi";
+  ASSERT_TRUE(WriteFimiFile(MakeDiag(12), path_a).ok());
+  ASSERT_TRUE(WriteFimiFile(MakeDiag(14), path_b).ok());
+  ASSERT_TRUE(WriteFimiFile(MakeDiag(16), path_c).ok());
+
+  DatasetRegistryOptions options;
+  options.memory_budget_bytes = 1;  // everything over budget
+  DatasetRegistry registry(options);
+
+  StatusOr<PinnedDatasetHandle> pinned = registry.GetPinned(path_a, "auto", 0);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_GT(registry.stats().pinned_bytes, 0);
+
+  // A plain Get whose eviction pass would claim path_a under the LRU
+  // rule must skip the pinned entry.
+  ASSERT_TRUE(registry.Get(path_b).ok());
+  EXPECT_EQ(registry.stats().resident_datasets, 2);
+  StatusOr<DatasetHandle> still_resident = registry.Get(path_a);
+  ASSERT_TRUE(still_resident.ok());
+  EXPECT_TRUE(still_resident->registry_hit);
+
+  // Released pin → path_a is evictable again: the next insert's
+  // eviction pass clears both unpinned entries.
+  pinned->pin.reset();
+  EXPECT_EQ(registry.stats().pinned_bytes, 0);
+  ASSERT_TRUE(registry.Get(path_c).ok());
+  EXPECT_EQ(registry.stats().resident_datasets, 1);
+  StatusOr<DatasetHandle> reloaded = registry.Get(path_a);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_FALSE(reloaded->registry_hit);
+}
+
+TEST(DatasetRegistryTest, ConcurrentPinnedLoadsRespectTheBudget) {
+  // Four threads cycle pinned loads of four datasets through a budget
+  // sized for roughly two; reserve-before-load admission must keep the
+  // resident high-water mark within the budget throughout, and every
+  // load must succeed.
+  const std::string dir = ::testing::TempDir();
+  std::vector<std::string> paths;
+  int64_t max_bytes = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::string path =
+        dir + "/registry_admission_" + std::to_string(i) + ".fimi";
+    const TransactionDatabase db = MakeDiag(16 + 2 * i);
+    ASSERT_TRUE(WriteFimiFile(db, path).ok());
+    if (db.ApproxMemoryBytes() > max_bytes) {
+      max_bytes = db.ApproxMemoryBytes();
+    }
+    paths.push_back(path);
+  }
+  // Estimates must cover the loaded size; give each load the worst case
+  // and a budget that admits two such reservations.
+  const int64_t estimate = max_bytes * 2;
+  DatasetRegistryOptions options;
+  options.memory_budget_bytes = estimate * 2;
+  DatasetRegistry registry(options);
+
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&registry, &paths, &failures, estimate, t] {
+      for (int round = 0; round < 8; ++round) {
+        const std::string& path =
+            paths[static_cast<size_t>((t + round) % 4)];
+        StatusOr<PinnedDatasetHandle> pinned =
+            registry.GetPinned(path, "auto", estimate);
+        if (!pinned.ok()) {
+          ++failures;
+          return;
+        }
+        // Touch the database while pinned, then release.
+        if (pinned->handle.db->num_transactions() < 16) ++failures;
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const DatasetRegistryStats stats = registry.stats();
+  EXPECT_LE(stats.peak_resident_bytes, options.memory_budget_bytes);
+  EXPECT_EQ(stats.pinned_bytes, 0);
+  EXPECT_EQ(stats.reserved_bytes, 0);
+}
+
+TEST(DatasetRegistryTest, HostileEstimatesAreClampedNotFatal) {
+  // A hostile manifest saturates its shard estimate to INT64_MAX; the
+  // registry must clamp the reservation to the budget (no overflow in
+  // admission or eviction arithmetic, no abort) and still serve the
+  // load under the solo-admission rule.
+  const std::string path =
+      ::testing::TempDir() + "/registry_hostile_estimate.fimi";
+  ASSERT_TRUE(WriteFimiFile(MakeDiag(8), path).ok());
+  DatasetRegistryOptions options;
+  options.memory_budget_bytes = 1;
+  DatasetRegistry registry(options);
+  StatusOr<PinnedDatasetHandle> pinned = registry.GetPinned(
+      path, "auto", std::numeric_limits<int64_t>::max());
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  EXPECT_EQ(pinned->handle.db->num_transactions(), 8);
+  pinned->pin.reset();
+  EXPECT_EQ(registry.stats().reserved_bytes, 0);
+  EXPECT_EQ(registry.stats().pinned_bytes, 0);
+  // Negative estimates clamp to zero the same way.
+  StatusOr<PinnedDatasetHandle> negative = registry.GetPinned(
+      path, "auto", std::numeric_limits<int64_t>::min());
+  ASSERT_TRUE(negative.ok());
+}
+
+TEST(DatasetRegistryTest, StalePinReleaseDoesNotUnpinTheReloadedEntry) {
+  // A pinned entry whose file is rewritten goes stale and is replaced;
+  // the old pin must release as a no-op (generation mismatch), never
+  // unpinning the new entry out from under its own pins.
+  const std::string path =
+      ::testing::TempDir() + "/registry_stale_pin.fimi";
+  ASSERT_TRUE(WriteFimiFile(MakeDiag(8), path).ok());
+  DatasetRegistry registry;
+  StatusOr<PinnedDatasetHandle> old_pin = registry.GetPinned(path, "auto", 0);
+  ASSERT_TRUE(old_pin.ok());
+
+  ASSERT_TRUE(WriteFimiFile(MakeDiag(10), path).ok());
+  StatusOr<PinnedDatasetHandle> new_pin = registry.GetPinned(path, "auto", 0);
+  ASSERT_TRUE(new_pin.ok());
+  EXPECT_EQ(new_pin->handle.db->num_transactions(), 10);
+  EXPECT_EQ(registry.stats().stale_reloads, 1);
+
+  const int64_t pinned_before = registry.stats().pinned_bytes;
+  EXPECT_GT(pinned_before, 0);
+  old_pin->pin.reset();  // stale generation: must be a no-op
+  EXPECT_EQ(registry.stats().pinned_bytes, pinned_before);
+  new_pin->pin.reset();
+  EXPECT_EQ(registry.stats().pinned_bytes, 0);
+}
+
+TEST(DatasetRegistryTest, SniffCacheServesWarmVerdictsByStat) {
+  const std::string dir = ::testing::TempDir();
+  const std::string data_path = dir + "/sniff_cache_data.fimi";
+  ASSERT_TRUE(WriteFimiFile(MakeDiag(8), data_path).ok());
+
+  DatasetRegistry registry;
+  EXPECT_FALSE(registry.SniffIsManifest(data_path));
+  EXPECT_EQ(registry.stats().sniff_cache_hits, 0);  // cold: real sniff
+  EXPECT_FALSE(registry.SniffIsManifest(data_path));
+  EXPECT_FALSE(registry.SniffIsManifest(data_path));
+  EXPECT_EQ(registry.stats().sniff_cache_hits, 2);
+
+  // Rewriting the file as a manifest invalidates the cached verdict via
+  // the signature, not via any explicit call.
+  ShardManifest manifest;
+  manifest.parent_fingerprint = 1;
+  manifest.num_transactions = 8;
+  manifest.num_items = 8;
+  manifest.shards.push_back(ShardInfo{"x.snap", 0, 8, 2});
+  ASSERT_TRUE(WriteShardManifestFile(manifest, data_path).ok());
+  EXPECT_TRUE(registry.SniffIsManifest(data_path));
+  EXPECT_EQ(registry.stats().sniff_cache_hits, 2);  // miss re-sniffed
+  EXPECT_TRUE(registry.SniffIsManifest(data_path));
+  EXPECT_EQ(registry.stats().sniff_cache_hits, 3);
+
+  // Invalidate drops the verdict with the rest of the path's entries.
+  registry.Invalidate(data_path);
+  EXPECT_TRUE(registry.SniffIsManifest(data_path));
+  EXPECT_EQ(registry.stats().sniff_cache_hits, 3);
+}
+
+TEST(DatasetRegistryTest, SniffCacheIsBoundedAgainstHostilePathStreams) {
+  // Request paths are untrusted; a stream of distinct (even
+  // nonexistent) paths must not grow the sniff cache without bound.
+  // The bound is internal, so this asserts the observable contract: a
+  // flood of unique paths leaves the cache functional (a known path
+  // still serves warm hits afterwards) and the flood itself cannot
+  // produce hits.
+  const std::string dir = ::testing::TempDir();
+  const std::string real_path = dir + "/sniff_bound_real.fimi";
+  ASSERT_TRUE(WriteFimiFile(MakeDiag(8), real_path).ok());
+  DatasetRegistry registry;
+  EXPECT_FALSE(registry.SniffIsManifest(real_path));
+  for (int i = 0; i < 5000; ++i) {
+    registry.SniffIsManifest(dir + "/no_such_" + std::to_string(i));
+  }
+  EXPECT_EQ(registry.stats().sniff_cache_hits, 0);
+  EXPECT_FALSE(registry.SniffIsManifest(real_path));  // re-warm (or warm)
+  EXPECT_FALSE(registry.SniffIsManifest(real_path));
+  EXPECT_GE(registry.stats().sniff_cache_hits, 1);
+}
+
+TEST_F(MiningServiceTest, WarmAutoFormatRequestsHitTheSniffCache) {
+  // The Prepare path sniffs every auto-format dataset; with the
+  // registry-side cache, only the first request per (path, signature)
+  // pays the open+read — warm requests (cache hits included) are a
+  // single stat.
+  MiningService service;
+  ASSERT_TRUE(service.Mine(BasicRequest()).status.ok());
+  EXPECT_EQ(service.registry_stats().sniff_cache_hits, 0);
+  MiningResponse warm = service.Mine(BasicRequest());
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_EQ(warm.source, ResponseSource::kCache);
+  EXPECT_EQ(service.registry_stats().sniff_cache_hits, 1);
+  ASSERT_TRUE(service.Mine(BasicRequest()).status.ok());
+  EXPECT_EQ(service.registry_stats().sniff_cache_hits, 2);
 }
 
 TEST(ResultCacheTest, LruEvictionAndCollisionSafety) {

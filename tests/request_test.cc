@@ -43,6 +43,26 @@ TEST(CanonicalizeRequestTest, ThreadCountIsErased) {
   EXPECT_EQ(a->options.num_threads, 0);
 }
 
+TEST(CanonicalizeRequestTest, ShardParallelismIsErased) {
+  // Like num_threads, shard parallelism is a pure performance knob:
+  // requests differing only in it must collapse to one cache key, so
+  // a fan-out replay hits the sequential replay's entries.
+  const TransactionDatabase db = MakeDiag(10);
+  ColossalMinerOptions sequential;
+  sequential.min_support_count = 3;
+  sequential.shard_parallelism = 1;
+  ColossalMinerOptions wide = sequential;
+  wide.shard_parallelism = 8;
+
+  StatusOr<CanonicalRequest> a = CanonicalizeRequest(db, sequential);
+  StatusOr<CanonicalRequest> b = CanonicalizeRequest(db, wide);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->options == b->options);
+  EXPECT_EQ(a->options_hash, b->options_hash);
+  EXPECT_EQ(a->options.shard_parallelism, 0);
+}
+
 TEST(CanonicalizeRequestTest, ResultAffectingKnobsChangeTheHash) {
   const TransactionDatabase db = MakeDiag(10);
   ColossalMinerOptions base;
@@ -75,7 +95,7 @@ TEST(ParseRequestLineTest, ParsesFullGrammar) {
   StatusOr<MiningRequest> request = ParseRequestLine(
       "--in data.fimi --format fimi --sigma 0.25 --tau 0.4 --k 50 "
       "--pool-size 2 --pool-miner eclat --max-iterations 9 --attempts 3 "
-      "--retain 4 --seed 11 --threads 2");
+      "--retain 4 --seed 11 --threads 2 --shard-parallelism 4");
   ASSERT_TRUE(request.ok()) << request.status().ToString();
   EXPECT_EQ(request->dataset_path, "data.fimi");
   EXPECT_EQ(request->format, "fimi");
@@ -89,6 +109,7 @@ TEST(ParseRequestLineTest, ParsesFullGrammar) {
   EXPECT_EQ(request->options.max_superpatterns_per_seed, 4);
   EXPECT_EQ(request->options.seed, 11u);
   EXPECT_EQ(request->options.num_threads, 2);
+  EXPECT_EQ(request->options.shard_parallelism, 4);
 }
 
 TEST(ParseRequestLineTest, MinSupportVariantAndDefaults) {
@@ -112,6 +133,12 @@ TEST(ParseRequestLineTest, RejectsBadRequests) {
       ParseRequestLine("--in d.fimi --min-support 5 --k 0").ok());
   EXPECT_FALSE(ParseRequestLine("--in d.fimi --min-support 5 "
                                 "--pool-miner fpgrowth")
+                   .ok());
+  EXPECT_FALSE(ParseRequestLine("--in d.fimi --min-support 5 "
+                                "--shard-parallelism -1")
+                   .ok());
+  EXPECT_FALSE(ParseRequestLine("--in d.fimi --min-support 5 "
+                                "--shard-parallelism 99999")
                    .ok());
 }
 

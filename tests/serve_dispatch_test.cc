@@ -55,7 +55,8 @@ TEST_F(ServeDispatchTest, ClassifiesControlLines) {
   for (const char* field :
        {" cache_misses=", " cache_entries=", " cache_evictions=",
         " dataset_loads=", " dataset_hits=", " dataset_evictions=",
-        " dataset_stale_reloads=", " resident_mb=", " peak_resident_mb="}) {
+        " dataset_stale_reloads=", " sniff_cache_hits=",
+        " admission_waits=", " resident_mb=", " peak_resident_mb="}) {
     EXPECT_NE(stats.stats_line.find(field), std::string::npos)
         << "missing " << field << " in: " << stats.stats_line;
   }

@@ -2,7 +2,12 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <cstdio>
+#include <limits>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -53,7 +58,8 @@ class ShardedMinerTest : public ::testing::Test {
   // A loader reading straight from disk (tests of the miner itself; the
   // service tests below route through a registry instead).
   static ShardLoader DiskLoader() {
-    return [](const std::string& path) -> StatusOr<LoadedShard> {
+    return [](const std::string& path,
+              int64_t /*estimated_bytes*/) -> StatusOr<LoadedShard> {
       StatusOr<TransactionDatabase> db = ReadSnapshotFile(path);
       if (!db.ok()) return db.status();
       LoadedShard shard;
@@ -115,6 +121,219 @@ TEST_F(ShardedMinerTest, ExactIsByteIdenticalAcrossShardAndThreadCounts) {
       }
     }
   }
+}
+
+TEST_F(ShardedMinerTest, FanOutMatrixIsByteIdenticalToUnsharded) {
+  // The acceptance matrix: shard counts {1, 2, 7} × shard-parallelism
+  // {1, 2, 4} × threads {1, 8}, every cell byte-identical to unsharded
+  // MineColossal — parallelism 1 doubles as the sequential-walk
+  // reference, so the matrix also proves fan-out == sequential sharded.
+  StatusOr<ColossalMiningResult> reference =
+      MineColossal(*db_, BaseOptions());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const std::string reference_text = Render(*reference);
+  ASSERT_FALSE(reference_text.empty());
+
+  for (const std::string& manifest_path : *manifest_paths_) {
+    StatusOr<ShardManifest> manifest = ReadShardManifestFile(manifest_path);
+    ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+    ShardedMiner miner(*manifest, DiskLoader());
+    for (int parallelism : {1, 2, 4}) {
+      for (int threads : {1, 8}) {
+        ColossalMinerOptions options = BaseOptions();
+        options.shard_parallelism = parallelism;
+        options.num_threads = threads;
+        StatusOr<ColossalMiningResult> sharded =
+            miner.Mine(options, ShardMergeMode::kExact);
+        ASSERT_TRUE(sharded.ok())
+            << manifest_path << ": " << sharded.status().ToString();
+        EXPECT_EQ(Render(*sharded), reference_text)
+            << manifest_path << " parallelism=" << parallelism
+            << " threads=" << threads;
+        EXPECT_EQ(sharded->initial_pool_size, reference->initial_pool_size);
+        EXPECT_EQ(sharded->iterations, reference->iterations);
+        EXPECT_EQ(sharded->converged, reference->converged);
+        ASSERT_EQ(sharded->patterns.size(), reference->patterns.size());
+        for (size_t i = 0; i < reference->patterns.size(); ++i) {
+          EXPECT_TRUE(sharded->patterns[i] == reference->patterns[i])
+              << manifest_path << " parallelism=" << parallelism
+              << " threads=" << threads << " pattern " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ShardedMinerTest, FuseModeIsInvariantAcrossFanOutAndThreads) {
+  StatusOr<ShardManifest> manifest =
+      ReadShardManifestFile((*manifest_paths_)[2]);  // 7 shards
+  ASSERT_TRUE(manifest.ok());
+  ShardedMiner miner(*manifest, DiskLoader());
+  ColossalMinerOptions sequential = BaseOptions();
+  sequential.shard_parallelism = 1;
+  StatusOr<ColossalMiningResult> reference =
+      miner.Mine(sequential, ShardMergeMode::kFuse);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const std::string reference_text = Render(*reference);
+
+  for (int parallelism : {2, 4}) {
+    for (int threads : {1, 8}) {
+      ColossalMinerOptions options = BaseOptions();
+      options.shard_parallelism = parallelism;
+      options.num_threads = threads;
+      StatusOr<ColossalMiningResult> fused =
+          miner.Mine(options, ShardMergeMode::kFuse);
+      ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+      EXPECT_EQ(Render(*fused), reference_text)
+          << "parallelism=" << parallelism << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ShardedMinerTest, FanOutFailuresReportTheLowestFailingShard) {
+  // Parallel completion order must not leak into which Status the merge
+  // returns: corrupt two shards, and the lowest-index one is reported,
+  // exactly as the sequential walk would.
+  StatusOr<ShardManifest> manifest =
+      ReadShardManifestFile((*manifest_paths_)[2]);  // 7 shards
+  ASSERT_TRUE(manifest.ok());
+  manifest->shards[2].fingerprint ^= 1;
+  manifest->shards[5].fingerprint ^= 1;
+  ShardedMiner miner(*manifest, DiskLoader());
+  ColossalMinerOptions options = BaseOptions();
+  options.shard_parallelism = 4;
+  StatusOr<ColossalMiningResult> result =
+      miner.Mine(options, ShardMergeMode::kExact);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().message().find("shard 2"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(ShardedMinerTest, AutoFanOutWithoutABudgetStaysSequential) {
+  // A miner constructed with no residency budget has nothing to bound
+  // concurrent residency with, so auto parallelism must keep the
+  // original at-most-one-shard-resident walk; wide fan-out is opt-in
+  // (explicit shard_parallelism, or a budget for the governor). The
+  // loader tracks how many shards are alive at once via each
+  // LoadedShard's pin.
+  auto concurrent = std::make_shared<std::atomic<int>>(0);
+  auto peak = std::make_shared<std::atomic<int>>(0);
+  ShardLoader tracking = [concurrent, peak](
+                             const std::string& path,
+                             int64_t /*estimated_bytes*/)
+      -> StatusOr<LoadedShard> {
+    StatusOr<TransactionDatabase> db = ReadSnapshotFile(path);
+    if (!db.ok()) return db.status();
+    const int now = concurrent->fetch_add(1) + 1;
+    int seen = peak->load();
+    while (now > seen && !peak->compare_exchange_weak(seen, now)) {
+    }
+    LoadedShard shard;
+    shard.fingerprint = FingerprintDatabase(*db);
+    shard.db = std::make_shared<const TransactionDatabase>(*std::move(db));
+    shard.pin = std::shared_ptr<void>(
+        new int(0), [concurrent](void* token) {
+          delete static_cast<int*>(token);
+          concurrent->fetch_sub(1);
+        });
+    return shard;
+  };
+
+  StatusOr<ShardManifest> manifest =
+      ReadShardManifestFile((*manifest_paths_)[2]);  // 7 shards
+  ASSERT_TRUE(manifest.ok());
+  ShardedMiner miner(*manifest, tracking);  // no residency budget
+  ColossalMinerOptions options = BaseOptions();
+  options.shard_parallelism = 0;  // auto
+  StatusOr<ColossalMiningResult> mined =
+      miner.Mine(options, ShardMergeMode::kExact);
+  ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+  EXPECT_EQ(peak->load(), 1);
+}
+
+TEST(ShardLocalMinSupportTest, MatchesPlainArithmeticInRange) {
+  EXPECT_EQ(ShardLocalMinSupport(8, 18, 36), 4);
+  EXPECT_EQ(ShardLocalMinSupport(8, 5, 36), 1);   // clamped floor
+  EXPECT_EQ(ShardLocalMinSupport(1, 1, 100), 1);
+  EXPECT_EQ(ShardLocalMinSupport(7, 10, 36), 1);  // floor, not ceiling
+}
+
+TEST(ShardLocalMinSupportTest, NearInt64MaxProductsDoNotOverflow) {
+  // min_support × shard_rows = 1.6e19 overflows int64 (the pre-fix
+  // multiply wrapped negative and clamped the threshold to 1 — an
+  // unsound per-shard threshold drop); the 128-bit intermediate keeps
+  // the exact quotient.
+  const int64_t four_billion = int64_t{4000000000};
+  EXPECT_EQ(ShardLocalMinSupport(four_billion, four_billion,
+                                 int64_t{8000000000}),
+            int64_t{2000000000});
+  // Degenerate extreme: one shard holding everything at a support of
+  // |D| — the product is INT64_MAX², far beyond any 64-bit intermediate.
+  const int64_t max64 = std::numeric_limits<int64_t>::max();
+  EXPECT_EQ(ShardLocalMinSupport(max64, max64, max64), max64);
+  EXPECT_EQ(ShardLocalMinSupport(max64 / 2, max64, max64), max64 / 2);
+}
+
+TEST(MaxConcurrentResidentShardsTest, AdmitsTheLargestFittingPrefix) {
+  // No budget: everything may be resident.
+  EXPECT_EQ(MaxConcurrentResidentShards({100, 100, 100}, 0), 3);
+  EXPECT_EQ(MaxConcurrentResidentShards({100, 100, 100}, -5), 3);
+  // Budget fits exactly two of the largest.
+  EXPECT_EQ(MaxConcurrentResidentShards({100, 90, 80, 70}, 200), 2);
+  // Sums against the *largest* estimates: {100, 90} busts 150 even
+  // though {80, 70} would fit.
+  EXPECT_EQ(MaxConcurrentResidentShards({70, 100, 80, 90}, 150), 1);
+  // A single over-budget shard still mines.
+  EXPECT_EQ(MaxConcurrentResidentShards({500}, 100), 1);
+  EXPECT_EQ(MaxConcurrentResidentShards({500, 400}, 100), 1);
+  // Everything fits.
+  EXPECT_EQ(MaxConcurrentResidentShards({10, 10, 10}, 1000), 3);
+  EXPECT_EQ(MaxConcurrentResidentShards({}, 100), 1);
+}
+
+TEST(EstimateShardResidentBytesTest, HostileManifestCountsSaturate) {
+  // Row/item counts come straight from a caller-supplied manifest (any
+  // int64 passes manifest validation); the estimate must saturate to a
+  // huge-but-valid value — which admission treats like any over-budget
+  // dataset — never wrap negative (the pre-fix int64 arithmetic did,
+  // and a negative estimate would have tripped a process-aborting CHECK
+  // in DatasetRegistry::GetPinned).
+  const int64_t max64 = std::numeric_limits<int64_t>::max();
+  ShardInfo hostile;
+  hostile.path = "/no/such/shard.snap";  // stat fails: worst-case bound
+  hostile.row_begin = 0;
+  hostile.row_end = max64;
+  EXPECT_EQ(EstimateShardResidentBytes(hostile, max64), max64);
+  // And the governor copes with saturated estimates (no re-overflow in
+  // its prefix sums).
+  EXPECT_EQ(MaxConcurrentResidentShards({max64, max64}, max64), 1);
+}
+
+TEST_F(ShardedMinerTest, EstimateOverestimatesActualResidentBytes) {
+  // The governor and GetPinned reservations rely on the estimate being
+  // an over-estimate of ApproxMemoryBytes — the safe direction for
+  // admission control: never under-reserve.
+  StatusOr<ShardManifest> manifest =
+      ReadShardManifestFile((*manifest_paths_)[2]);  // 7 shards
+  ASSERT_TRUE(manifest.ok());
+  for (const ShardInfo& info : manifest->shards) {
+    StatusOr<TransactionDatabase> shard = ReadSnapshotFile(info.path);
+    ASSERT_TRUE(shard.ok());
+    EXPECT_GE(EstimateShardResidentBytes(info, manifest->num_items),
+              shard->ApproxMemoryBytes())
+        << info.path;
+  }
+
+  // The over-estimate must hold for text shards too (nothing forces a
+  // hand-authored manifest to reference snapshots, and the FIMI text is
+  // far smaller than the loaded database with its vertical index).
+  ShardInfo text_shard;
+  text_shard.path = *parent_path_;  // the parent written as FIMI
+  text_shard.row_begin = 0;
+  text_shard.row_end = db_->num_transactions();
+  EXPECT_GE(EstimateShardResidentBytes(text_shard, db_->num_items()),
+            db_->ApproxMemoryBytes());
 }
 
 TEST_F(ShardedMinerTest, ExactHoldsForTheEclatPoolMinerToo) {
@@ -362,6 +581,137 @@ TEST_F(ShardedMinerTest, RegistryBudgetHoldsWhileServingAManifest) {
       MineColossal(*db_, BaseOptions());
   ASSERT_TRUE(reference.ok());
   EXPECT_EQ(Render(*response.result), Render(*reference));
+}
+
+TEST_F(ShardedMinerTest, FanOutHoldsTheRegistryBudgetAndStaysExact) {
+  // The fan-out acceptance criterion: a budget sized to roughly two
+  // shards, a request asking for shard-parallelism 4 — the residency
+  // governor plus GetPinned's reserve-before-load must keep the
+  // registry's high-water mark within the budget while shards load
+  // concurrently, and the answer must still be byte-identical to the
+  // unsharded reference.
+  StatusOr<ShardManifest> manifest =
+      ReadShardManifestFile((*manifest_paths_)[2]);  // 7 shards
+  ASSERT_TRUE(manifest.ok());
+  int64_t max_estimate = 0;
+  int64_t total_estimate = 0;
+  for (const ShardInfo& info : manifest->shards) {
+    const int64_t estimate =
+        EstimateShardResidentBytes(info, manifest->num_items);
+    total_estimate += estimate;
+    if (estimate > max_estimate) max_estimate = estimate;
+  }
+  const int64_t budget = max_estimate * 2;
+  ASSERT_GT(total_estimate, budget)
+      << "fixture must not fit the budget whole";
+
+  MiningServiceOptions options;
+  options.registry.memory_budget_bytes = budget;
+  MiningService service(options);
+  MiningRequest request = ManifestRequest(2);
+  request.options.shard_parallelism = 4;
+  request.options.num_threads = 2;
+  MiningResponse response = service.Mine(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.shards, 7);
+
+  const DatasetRegistryStats stats = service.registry_stats();
+  EXPECT_LE(stats.peak_resident_bytes, budget);
+  EXPECT_LE(stats.resident_bytes, budget);
+  EXPECT_GT(stats.evictions, 0);
+  // Every pin and reservation drained with the mine.
+  EXPECT_EQ(stats.pinned_bytes, 0);
+  EXPECT_EQ(stats.reserved_bytes, 0);
+
+  StatusOr<ColossalMiningResult> reference =
+      MineColossal(*db_, BaseOptions());
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(Render(*response.result), Render(*reference));
+}
+
+TEST_F(ShardedMinerTest, ServiceFanOutMatchesSequentialByteForByte) {
+  // Through the full service path (registry-pinned loads included):
+  // shard-parallelism {1, 2, 4} over the 7-shard manifest, all mined
+  // fresh, all byte-identical — and all landing on one cache key, since
+  // canonicalization erases the knob.
+  StatusOr<ColossalMiningResult> reference =
+      MineColossal(*db_, BaseOptions());
+  ASSERT_TRUE(reference.ok());
+  const std::string reference_text = Render(*reference);
+
+  for (int parallelism : {1, 2, 4}) {
+    MiningService service;  // fresh: no carried-over cache
+    MiningRequest request = ManifestRequest(2);
+    request.options.shard_parallelism = parallelism;
+    MiningResponse mined = service.Mine(request);
+    ASSERT_TRUE(mined.status.ok())
+        << "parallelism=" << parallelism << ": " << mined.status.ToString();
+    EXPECT_EQ(mined.source, ResponseSource::kMined);
+    EXPECT_EQ(Render(*mined.result), reference_text)
+        << "parallelism=" << parallelism;
+
+    // A replay differing only in parallelism is a cache hit.
+    MiningRequest replay = ManifestRequest(2);
+    replay.options.shard_parallelism = parallelism == 4 ? 1 : 4;
+    MiningResponse cached = service.Mine(replay);
+    ASSERT_TRUE(cached.status.ok());
+    EXPECT_EQ(cached.source, ResponseSource::kCache);
+    EXPECT_EQ(cached.result.get(), mined.result.get());
+  }
+}
+
+TEST_F(ShardedMinerTest, FailingMineWakesAllCoalescedWaiters) {
+  // Identical concurrent requests coalesce onto one in-flight mine; if
+  // that mine fails (a shard file deleted mid-flight here), every
+  // waiter must wake with the error — a stranded waiter would hang this
+  // test forever.
+  const std::string dir = ::testing::TempDir();
+  StatusOr<std::vector<ShardRange>> plan = [&] {
+    ShardPlanOptions options;
+    options.num_shards = 2;
+    return PlanShards(*db_, options);
+  }();
+  ASSERT_TRUE(plan.ok());
+  StatusOr<ShardWriteResult> written =
+      WriteShardedSnapshots(*db_, *plan, dir, "sharded_waiters");
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  ASSERT_EQ(std::remove(written->shard_paths[1].c_str()), 0);
+
+  MiningService service;
+  MiningRequest request;
+  request.dataset_path = written->manifest_path;
+  request.options = BaseOptions();
+  request.options.shard_parallelism = 2;
+
+  constexpr int kCallers = 4;
+  std::vector<MiningResponse> responses(kCallers);
+  {
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (int i = 0; i < kCallers; ++i) {
+      callers.emplace_back([&service, &request, &responses, i] {
+        responses[static_cast<size_t>(i)] = service.Mine(request);
+      });
+    }
+    for (std::thread& caller : callers) caller.join();
+  }
+  for (const MiningResponse& response : responses) {
+    ASSERT_FALSE(response.status.ok());
+    EXPECT_EQ(response.status.code(), StatusCode::kNotFound)
+        << response.status.ToString();
+    EXPECT_EQ(response.source, ResponseSource::kFailed);
+  }
+  // The failed key left no stuck in-flight entry: a corrected manifest
+  // (shards restored) mines cleanly on the next call.
+  StatusOr<ShardWriteResult> rewritten =
+      WriteShardedSnapshots(*db_, *plan, dir, "sharded_waiters");
+  ASSERT_TRUE(rewritten.ok());
+  MiningResponse retried = service.Mine(request);
+  ASSERT_TRUE(retried.status.ok()) << retried.status.ToString();
+  StatusOr<ColossalMiningResult> reference =
+      MineColossal(*db_, BaseOptions());
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(Render(*retried.result), Render(*reference));
 }
 
 TEST_F(ShardedMinerTest, BatchGroupsShardedAndUnshardedEquivalents) {

@@ -27,8 +27,10 @@
 //       one snapshot per shard plus a manifest (DIR/NAME.manifest; NAME
 //       defaults to the input's basename) tying them together. The
 //       mining service admits the manifest directly: request lines with
-//       --in DIR/NAME.manifest [--shards exact|fuse] mine it shard by
-//       shard under the registry budget (see shard/sharded_miner.h).
+//       --in DIR/NAME.manifest [--shards exact|fuse]
+//       [--shard-parallelism N] mine it shard by shard under the
+//       registry budget, fanning phase 1 across shards up to what the
+//       budget admits (see shard/sharded_miner.h).
 //   evaluate  --mined FILE --reference FILE [--min-size N]
 //       Computes the paper's approximation error Δ(A_P^Q) of the mined
 //       set against a reference set (both in FIMI output format).
@@ -98,7 +100,9 @@ constexpr const char kShardUsage[] =
     "           (--shards N | --max-shard-mb N) [--name NAME]\n"
     "           [--format fimi|matrix|snapshot|auto]\n"
     "writes one snapshot per row-range shard plus DIR/NAME.manifest\n"
-    "(NAME defaults to the input's basename)\n";
+    "(NAME defaults to the input's basename); serve the manifest with\n"
+    "colossal_serve request lines: --in DIR/NAME.manifest\n"
+    "[--shards exact|fuse] [--shard-parallelism N]\n";
 constexpr const char kEvaluateUsage[] =
     "usage: colossal_cli evaluate --mined FILE --reference FILE "
     "[--min-size N]\n";

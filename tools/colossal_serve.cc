@@ -2,8 +2,8 @@
 //
 // Subcommands:
 //   batch   --requests FILE [--out-dir DIR] [--threads N]
-//           [--mining-threads N] [--cache-entries N] [--registry-mb N]
-//           [--csv]
+//           [--mining-threads N] [--shard-parallelism N]
+//           [--cache-entries N] [--registry-mb N] [--csv]
 //       Replays a file of request lines (one request per line, '#'
 //       comments and blank lines ignored), fans them across the service
 //       pool, and prints a per-request table (timing, cache source) plus
@@ -11,8 +11,8 @@
 //       DIR/response_<i>.txt in FIMI output format. --threads 1 makes
 //       replay order deterministic (duplicates hit the result cache
 //       instead of coalescing). Exits nonzero if any request failed.
-//   daemon  [--mining-threads N] [--cache-entries N] [--registry-mb N]
-//           [--no-patterns]
+//   daemon  [--mining-threads N] [--shard-parallelism N]
+//           [--cache-entries N] [--registry-mb N] [--no-patterns]
 //       Line-delimited request/response loop on stdin/stdout. Each input
 //       line is a request (same grammar as batch), or one of:
 //         stats   print registry/cache statistics
@@ -23,8 +23,8 @@
 //       followed (unless --no-patterns) by the patterns and a single '.'
 //       terminator line; errors print "error: <message>".
 //   listen  --port N [--host H] [--threads N] [--mining-threads N]
-//           [--cache-entries N] [--registry-mb N] [--no-patterns]
-//           [--max-connections N] [--max-line-kb N]
+//           [--shard-parallelism N] [--cache-entries N] [--registry-mb N]
+//           [--no-patterns] [--max-connections N] [--max-line-kb N]
 //       The same request grammar served over TCP (net/tcp_server.h).
 //       --port 0 picks a free port; the resolved one is printed as
 //         listening host=H port=N
@@ -48,6 +48,7 @@
 //   (--sigma F | --min-support N) [--tau F] [--k N] [--pool-size N]
 //   [--pool-miner apriori|eclat] [--max-iterations N] [--attempts N]
 //   [--retain N] [--seed S] [--threads N] [--shards exact|fuse]
+//   [--shard-parallelism N]
 //
 // Cache semantics: results are keyed by (dataset content fingerprint,
 // canonical options). Equivalent requests — e.g. --sigma 0.5 vs. the
@@ -59,7 +60,11 @@
 // the request mines shard by shard under the registry's memory budget.
 // --shards exact (the default) is byte-identical to unsharded mining of
 // the parent and shares its cache entries; --shards fuse runs the
-// approximate cross-shard fusion under its own cache key.
+// approximate cross-shard fusion under its own cache key. Phase-1
+// per-shard mining fans out across --shard-parallelism concurrent shard
+// jobs (request flag, or the service-level default set here; 0 = auto),
+// capped by the residency governor so concurrently resident shards
+// always fit --registry-mb; output is identical for any value.
 
 #include <csignal>
 #include <cstdio>
@@ -87,18 +92,20 @@ int Fail(const Status& status) {
 
 constexpr const char kUsage[] =
     "usage: colossal_serve batch --requests FILE [--out-dir DIR]\n"
-    "           [--threads N] [--mining-threads N] [--cache-entries N]\n"
-    "           [--registry-mb N] [--csv]\n"
-    "       colossal_serve daemon [--mining-threads N] [--cache-entries N]\n"
+    "           [--threads N] [--mining-threads N] [--shard-parallelism N]\n"
+    "           [--cache-entries N] [--registry-mb N] [--csv]\n"
+    "       colossal_serve daemon [--mining-threads N]\n"
+    "           [--shard-parallelism N] [--cache-entries N]\n"
     "           [--registry-mb N] [--no-patterns]\n"
     "       colossal_serve listen --port N [--host H] [--threads N]\n"
-    "           [--mining-threads N] [--cache-entries N] [--registry-mb N]\n"
+    "           [--mining-threads N] [--shard-parallelism N]\n"
+    "           [--cache-entries N] [--registry-mb N]\n"
     "           [--max-connections N] [--max-line-kb N] [--no-patterns]\n"
     "request lines: --in FILE (--sigma F | --min-support N) [--tau F]\n"
     "    [--k N] [--pool-size N] [--pool-miner apriori|eclat]\n"
     "    [--max-iterations N] [--attempts N] [--retain N] [--seed S]\n"
     "    [--threads N] [--format fimi|matrix|snapshot|manifest|auto]\n"
-    "    [--shards exact|fuse]   (when FILE is a shard manifest)\n"
+    "    [--shards exact|fuse] [--shard-parallelism N]   (shard manifests)\n"
     "see the header of tools/colossal_serve.cc for details\n";
 
 // Shared service knobs for both subcommands.
@@ -108,20 +115,24 @@ StatusOr<MiningServiceOptions> ServiceOptionsFromArgs(const Args& args) {
   if (!threads.ok()) return threads.status();
   StatusOr<int64_t> mining_threads = args.GetInt("mining-threads", 1);
   if (!mining_threads.ok()) return mining_threads.status();
+  StatusOr<int64_t> shard_parallelism = args.GetInt("shard-parallelism", 0);
+  if (!shard_parallelism.ok()) return shard_parallelism.status();
   StatusOr<int64_t> cache_entries = args.GetInt("cache-entries", 256);
   if (!cache_entries.ok()) return cache_entries.status();
   StatusOr<int64_t> registry_mb = args.GetInt("registry-mb", 1024);
   if (!registry_mb.ok()) return registry_mb.status();
   if (*threads < 0 || *threads > kMaxExplicitThreads || *mining_threads < 0 ||
-      *mining_threads > kMaxExplicitThreads || *cache_entries < 0 ||
+      *mining_threads > kMaxExplicitThreads || *shard_parallelism < 0 ||
+      *shard_parallelism > kMaxExplicitThreads || *cache_entries < 0 ||
       *registry_mb < 1) {
     return Status::InvalidArgument(
-        "--threads/--mining-threads must be in [0, " +
+        "--threads/--mining-threads/--shard-parallelism must be in [0, " +
         std::to_string(kMaxExplicitThreads) +
         "], --cache-entries >= 0, --registry-mb >= 1");
   }
   options.num_threads = static_cast<int>(*threads);
   options.mining_threads = static_cast<int>(*mining_threads);
+  options.shard_parallelism = static_cast<int>(*shard_parallelism);
   options.cache.max_entries = *cache_entries;
   options.registry.memory_budget_bytes = *registry_mb * (int64_t{1} << 20);
   return options;
@@ -129,8 +140,8 @@ StatusOr<MiningServiceOptions> ServiceOptionsFromArgs(const Args& args) {
 
 int RunBatch(const Args& args) {
   Status known = args.CheckKnown({"requests", "out-dir", "threads",
-                                  "mining-threads", "cache-entries",
-                                  "registry-mb", "csv"});
+                                  "mining-threads", "shard-parallelism",
+                                  "cache-entries", "registry-mb", "csv"});
   if (!known.ok()) return Fail(known);
   const std::string requests_path = args.GetString("requests");
   if (requests_path.empty()) {
@@ -221,8 +232,9 @@ int RunBatch(const Args& args) {
 }
 
 int RunDaemon(const Args& args) {
-  Status known = args.CheckKnown({"mining-threads", "cache-entries",
-                                  "registry-mb", "no-patterns"});
+  Status known = args.CheckKnown({"mining-threads", "shard-parallelism",
+                                  "cache-entries", "registry-mb",
+                                  "no-patterns"});
   if (!known.ok()) return Fail(known);
   StatusOr<MiningServiceOptions> service_options =
       ServiceOptionsFromArgs(args);
@@ -269,9 +281,10 @@ void HandleStopSignal(int) {
 
 int RunListen(const Args& args) {
   Status known = args.CheckKnown({"port", "host", "threads",
-                                  "mining-threads", "cache-entries",
-                                  "registry-mb", "no-patterns",
-                                  "max-connections", "max-line-kb"});
+                                  "mining-threads", "shard-parallelism",
+                                  "cache-entries", "registry-mb",
+                                  "no-patterns", "max-connections",
+                                  "max-line-kb"});
   if (!known.ok()) return Fail(known);
   StatusOr<MiningServiceOptions> service_options =
       ServiceOptionsFromArgs(args);
