@@ -9,7 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/bitvector.h"
+#include "common/bitvector_kernels.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/pattern.h"
@@ -149,6 +151,126 @@ void BM_ClosedMicroarray(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClosedMicroarray);
+
+// --- Bitvector kernels (scalar vs dispatched) -------------------------------
+//
+// Each benchmark takes Args({num_bits, force_scalar}): force_scalar 1
+// pins the portable backend, 0 uses whatever the host dispatches (AVX2
+// on the machines these baselines come from) — so the per-size speedup
+// is the scalar/dispatched ratio at equal Arg(0). Sizes mirror the
+// paper's datasets (38-row microarray, 4,395-row trace) plus a
+// 100k-row stress size where the vector loops dominate.
+
+void KernelSizes(benchmark::internal::Benchmark* bench) {
+  for (int64_t num_bits : {38, 4395, 100000}) {
+    bench->Args({num_bits, 0})->Args({num_bits, 1});
+  }
+}
+
+class ForceScalarGuard {
+ public:
+  explicit ForceScalarGuard(bool force) { SetBitvectorForceScalar(force); }
+  ~ForceScalarGuard() { SetBitvectorForceScalar(false); }
+};
+
+void BM_KernelAndCount(benchmark::State& state) {
+  ForceScalarGuard guard(state.range(1) != 0);
+  const int64_t num_bits = state.range(0);
+  const Bitvector a = RandomBits(num_bits, 0.4, 1);
+  const Bitvector b = RandomBits(num_bits, 0.4, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bitvector::AndCount(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * num_bits);
+}
+BENCHMARK(BM_KernelAndCount)->Apply(KernelSizes);
+
+void BM_KernelAndNone(benchmark::State& state) {
+  ForceScalarGuard guard(state.range(1) != 0);
+  const int64_t num_bits = state.range(0);
+  // Sparse operands with no shared bits: the worst case (full scan —
+  // any shared bit would early-exit).
+  Bitvector a(num_bits);
+  Bitvector b(num_bits);
+  for (int64_t i = 0; i < num_bits; i += 2) {
+    a.Set(i);
+    if (i + 1 < num_bits) b.Set(i + 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bitvector::AndNone(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * num_bits);
+}
+BENCHMARK(BM_KernelAndNone)->Apply(KernelSizes);
+
+void BM_KernelCount(benchmark::State& state) {
+  ForceScalarGuard guard(state.range(1) != 0);
+  const Bitvector a = RandomBits(state.range(0), 0.4, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KernelCount)->Apply(KernelSizes);
+
+void BM_KernelAndWith(benchmark::State& state) {
+  ForceScalarGuard guard(state.range(1) != 0);
+  const Bitvector a = RandomBits(state.range(0), 0.4, 1);
+  const Bitvector b = RandomBits(state.range(0), 0.4, 2);
+  Bitvector dst = a;
+  for (auto _ : state) {
+    dst.AndWith(b);
+    benchmark::DoNotOptimize(dst);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KernelAndWith)->Apply(KernelSizes);
+
+void BM_KernelOrWithShifted(benchmark::State& state) {
+  ForceScalarGuard guard(state.range(1) != 0);
+  const int64_t num_bits = state.range(0);
+  const Bitvector src = RandomBits(num_bits, 0.4, 1);
+  Bitvector dst(num_bits + 137);  // offset 37: word shift + carry path
+  for (auto _ : state) {
+    dst.OrWithShifted(src, 37);
+    benchmark::DoNotOptimize(dst);
+  }
+  state.SetItemsProcessed(state.iterations() * num_bits);
+}
+BENCHMARK(BM_KernelOrWithShifted)->Apply(KernelSizes);
+
+// --- Arena vs heap mine -----------------------------------------------------
+//
+// The whole pipeline with (Arg 1) and without (Arg 0) a request arena:
+// the delta is what replacing per-tidset heap allocations with bump
+// allocation buys end to end. Output is byte-identical either way (the
+// determinism tests hold the proof); arena_peak_kb reports the arena's
+// high-water mark.
+
+void BM_MineColossalArena(benchmark::State& state) {
+  const bool use_arena = state.range(0) != 0;
+  LabeledDatabase labeled = MakeMicroarrayLike(1);
+  ColossalMinerOptions options;
+  options.min_support_count = 30;
+  options.initial_pool_max_size = 2;
+  options.tau = 0.5;
+  options.k = 40;
+  options.seed = 19;
+  Arena arena;
+  for (auto _ : state) {
+    if (use_arena) {
+      arena.Reset();
+      benchmark::DoNotOptimize(MineColossal(labeled.db, options, &arena));
+    } else {
+      benchmark::DoNotOptimize(MineColossal(labeled.db, options));
+    }
+  }
+  if (use_arena) {
+    state.counters["arena_peak_kb"] =
+        static_cast<double>(arena.high_water_bytes()) / 1024.0;
+  }
+}
+BENCHMARK(BM_MineColossalArena)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // --- Thread scaling ---------------------------------------------------------
 // The fig10-style workload (microarray stand-in, pool bound 2, τ = 0.5,

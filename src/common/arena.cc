@@ -1,0 +1,123 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <new>
+
+#include "common/check.h"
+
+namespace colossal {
+
+namespace {
+
+// Chunks double for the first few allocations, then stay flat: a
+// colossal mine reaches tens of MiB in O(log) chunk allocations, while
+// the cap keeps the overshoot past a mine's true high water bounded.
+constexpr int64_t kMaxChunkBytes = 16 * 1024 * 1024;
+
+char* AllocateChunkBytes(int64_t capacity) {
+  return static_cast<char*>(::operator new(
+      static_cast<size_t>(capacity), std::align_val_t{Arena::kAlignment}));
+}
+
+void FreeChunkBytes(char* base) {
+  ::operator delete(base, std::align_val_t{Arena::kAlignment});
+}
+
+}  // namespace
+
+Arena::Arena(int64_t min_chunk_bytes)
+    : min_chunk_bytes_(std::max<int64_t>(min_chunk_bytes, kAlignment)) {}
+
+Arena::~Arena() {
+  for (const std::unique_ptr<Chunk>& chunk : chunks_) {
+    FreeChunkBytes(chunk->base);
+  }
+}
+
+void* Arena::Allocate(int64_t bytes) {
+  COLOSSAL_CHECK(bytes >= 0 && bytes <= INT64_MAX - kAlignment)
+      << "bytes=" << bytes;
+  // Round up to a positive multiple of kAlignment — bytes == 0 still
+  // carves a full line so every call returns a distinct pointer.
+  const int64_t rounded =
+      (std::max<int64_t>(bytes, 1) + kAlignment - 1) / kAlignment * kAlignment;
+  Chunk* chunk = current_.load(std::memory_order_acquire);
+  if (chunk != nullptr) {
+    // Optimistic carve. On overflow the offset is left past capacity —
+    // harmless (Reset rewinds it) and at most one chunk tail is wasted.
+    const int64_t offset =
+        chunk->used.fetch_add(rounded, std::memory_order_relaxed);
+    if (offset <= chunk->capacity - rounded) {
+      Account(rounded);
+      return chunk->base + offset;
+    }
+  }
+  return AllocateSlow(rounded);
+}
+
+void* Arena::AllocateSlow(int64_t rounded) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Advance through chunks that already exist (Reset keeps them). The
+  // carve must happen before the chunk is published as current so a
+  // racing fast path cannot take these bytes first.
+  while (current_index_ + 1 < chunks_.size()) {
+    Chunk* chunk = chunks_[++current_index_].get();
+    const int64_t offset =
+        chunk->used.fetch_add(rounded, std::memory_order_relaxed);
+    current_.store(chunk, std::memory_order_release);
+    if (offset <= chunk->capacity - rounded) {
+      Account(rounded);
+      return chunk->base + offset;
+    }
+  }
+
+  // Grow: geometric in the chunk count, but never smaller than the
+  // request.
+  int64_t capacity = min_chunk_bytes_;
+  for (size_t i = 0; i < chunks_.size() && capacity < kMaxChunkBytes; ++i) {
+    capacity *= 2;
+  }
+  capacity = std::max(std::min(capacity, kMaxChunkBytes), rounded);
+
+  auto chunk = std::make_unique<Chunk>();
+  chunk->base = AllocateChunkBytes(capacity);
+  chunk->capacity = capacity;
+  chunk->used.store(rounded, std::memory_order_relaxed);
+  Chunk* raw = chunk.get();
+  chunks_.push_back(std::move(chunk));
+  current_index_ = chunks_.size() - 1;
+  chunk_bytes_.fetch_add(capacity, std::memory_order_relaxed);
+  num_chunks_.fetch_add(1, std::memory_order_relaxed);
+  current_.store(raw, std::memory_order_release);
+  Account(rounded);
+  return raw->base;
+}
+
+void Arena::Account(int64_t rounded) {
+  const int64_t total =
+      allocated_bytes_.fetch_add(rounded, std::memory_order_relaxed) + rounded;
+  int64_t high = high_water_bytes_.load(std::memory_order_relaxed);
+  while (total > high && !high_water_bytes_.compare_exchange_weak(
+                             high, total, std::memory_order_relaxed)) {
+  }
+}
+
+void Arena::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Chunk>& chunk : chunks_) {
+    chunk->used.store(0, std::memory_order_relaxed);
+  }
+  current_index_ = 0;
+  current_.store(chunks_.empty() ? nullptr : chunks_.front().get(),
+                 std::memory_order_release);
+  allocated_bytes_.store(0, std::memory_order_relaxed);
+}
+
+void RaiseArenaPeak(std::atomic<int64_t>& peak, int64_t value) {
+  int64_t current = peak.load(std::memory_order_relaxed);
+  while (value > current && !peak.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace colossal

@@ -1,7 +1,11 @@
 #include "common/bitvector.h"
 
 #include <bit>
+#include <cstring>
+#include <new>
 
+#include "common/arena.h"
+#include "common/bitvector_kernels.h"
 #include "common/byte_io.h"
 #include "common/check.h"
 
@@ -13,14 +17,104 @@ constexpr int kWordBits = 64;
 int64_t WordCount(int64_t num_bits) {
   return (num_bits + kWordBits - 1) / kWordBits;
 }
+
+// Mask of the valid bits in the last word of a `num_bits` vector; all
+// ones when the length is word-aligned. The single source of truth for
+// trailing-bit canonicalization (ClearTrailingBits) and ParseFrom's
+// corrupt-padding rejection.
+uint64_t TailMask(int64_t num_bits) {
+  const int64_t tail = num_bits % kWordBits;
+  return tail == 0 ? ~uint64_t{0} : (uint64_t{1} << tail) - 1;
+}
+
+// One word buffer, 64-byte aligned, from the arena when given, else the
+// heap. Contents uninitialized.
+uint64_t* AllocateWords(int64_t num_words, Arena* arena) {
+  if (num_words == 0) return nullptr;
+  const int64_t bytes = num_words * int64_t{sizeof(uint64_t)};
+  if (arena != nullptr) {
+    return static_cast<uint64_t*>(arena->Allocate(bytes));
+  }
+  return static_cast<uint64_t*>(::operator new(
+      static_cast<size_t>(bytes), std::align_val_t{Arena::kAlignment}));
+}
+
+void FreeWords(uint64_t* words, Arena* arena) {
+  // Arena storage is reclaimed wholesale by Arena::Reset.
+  if (words != nullptr && arena == nullptr) {
+    ::operator delete(words, std::align_val_t{Arena::kAlignment});
+  }
+}
 }  // namespace
 
+int64_t Bitvector::num_words() const { return WordCount(num_bits_); }
+
 Bitvector::Bitvector(int64_t num_bits, bool value)
-    : num_bits_(num_bits),
-      words_(static_cast<size_t>(WordCount(num_bits)),
-             value ? ~uint64_t{0} : uint64_t{0}) {
+    : Bitvector(num_bits, nullptr, value) {}
+
+Bitvector::Bitvector(int64_t num_bits, Arena* arena, bool value)
+    : num_bits_(num_bits), arena_(arena) {
   COLOSSAL_CHECK(num_bits >= 0);
+  const int64_t n = WordCount(num_bits);
+  words_ = AllocateWords(n, arena);
+  if (n > 0) {
+    std::memset(words_, value ? 0xff : 0, static_cast<size_t>(n) * 8);
+  }
   if (value) ClearTrailingBits();
+}
+
+Bitvector::Bitvector(const Bitvector& other)
+    : Bitvector(other, nullptr) {}
+
+Bitvector::Bitvector(const Bitvector& other, Arena* arena)
+    : num_bits_(other.num_bits_), arena_(arena) {
+  const int64_t n = num_words();
+  words_ = AllocateWords(n, arena);
+  if (n > 0) std::memcpy(words_, other.words_, static_cast<size_t>(n) * 8);
+}
+
+Bitvector::Bitvector(Bitvector&& other) noexcept
+    : words_(other.words_), num_bits_(other.num_bits_), arena_(other.arena_) {
+  other.words_ = nullptr;
+  other.num_bits_ = 0;
+  other.arena_ = nullptr;
+}
+
+Bitvector& Bitvector::operator=(const Bitvector& other) {
+  if (this == &other) return *this;
+  const int64_t n = WordCount(other.num_bits_);
+  if (n != num_words()) {
+    // Reallocate on this vector's own backing (assignment changes the
+    // contents, never where they live).
+    FreeWords(words_, arena_);
+    words_ = AllocateWords(n, arena_);
+  }
+  num_bits_ = other.num_bits_;
+  if (n > 0) std::memcpy(words_, other.words_, static_cast<size_t>(n) * 8);
+  return *this;
+}
+
+Bitvector& Bitvector::operator=(Bitvector&& other) noexcept {
+  if (this == &other) return *this;
+  FreeWords(words_, arena_);
+  words_ = other.words_;
+  num_bits_ = other.num_bits_;
+  arena_ = other.arena_;
+  other.words_ = nullptr;
+  other.num_bits_ = 0;
+  other.arena_ = nullptr;
+  return *this;
+}
+
+Bitvector::~Bitvector() { FreeWords(words_, arena_); }
+
+void Bitvector::DetachFromArena() {
+  if (arena_ == nullptr) return;
+  const int64_t n = num_words();
+  uint64_t* heap_words = AllocateWords(n, nullptr);
+  if (n > 0) std::memcpy(heap_words, words_, static_cast<size_t>(n) * 8);
+  words_ = heap_words;
+  arena_ = nullptr;
 }
 
 Bitvector Bitvector::FromIndices(int64_t num_bits,
@@ -32,117 +126,89 @@ Bitvector Bitvector::FromIndices(int64_t num_bits,
 
 void Bitvector::Set(int64_t bit) {
   COLOSSAL_CHECK(bit >= 0 && bit < num_bits_) << "bit=" << bit;
-  words_[static_cast<size_t>(bit / kWordBits)] |= uint64_t{1}
-                                                  << (bit % kWordBits);
+  words_[bit / kWordBits] |= uint64_t{1} << (bit % kWordBits);
 }
 
 void Bitvector::Reset(int64_t bit) {
   COLOSSAL_CHECK(bit >= 0 && bit < num_bits_) << "bit=" << bit;
-  words_[static_cast<size_t>(bit / kWordBits)] &=
-      ~(uint64_t{1} << (bit % kWordBits));
+  words_[bit / kWordBits] &= ~(uint64_t{1} << (bit % kWordBits));
 }
 
 bool Bitvector::Test(int64_t bit) const {
   COLOSSAL_CHECK(bit >= 0 && bit < num_bits_) << "bit=" << bit;
-  return (words_[static_cast<size_t>(bit / kWordBits)] >>
-          (bit % kWordBits)) &
-         1;
+  return (words_[bit / kWordBits] >> (bit % kWordBits)) & 1;
 }
 
 int64_t Bitvector::Count() const {
-  int64_t total = 0;
-  for (uint64_t word : words_) total += std::popcount(word);
-  return total;
+  return ActiveBitvectorKernels().popcount_words(words_, num_words());
 }
 
 bool Bitvector::None() const {
-  for (uint64_t word : words_) {
-    if (word != 0) return false;
-  }
-  return true;
+  return ActiveBitvectorKernels().none_words(words_, num_words());
 }
 
 bool Bitvector::AndNone(const Bitvector& a, const Bitvector& b) {
-  return !Intersects(a, b);
+  COLOSSAL_CHECK(a.num_bits_ == b.num_bits_);
+  return ActiveBitvectorKernels().and_none_words(a.words_, b.words_,
+                                                 a.num_words());
 }
 
 void Bitvector::AndWith(const Bitvector& other) {
   COLOSSAL_CHECK(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  ActiveBitvectorKernels().and_words(words_, other.words_, num_words());
 }
 
 void Bitvector::OrWith(const Bitvector& other) {
   COLOSSAL_CHECK(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  ActiveBitvectorKernels().or_words(words_, other.words_, num_words());
 }
 
 void Bitvector::OrWithShifted(const Bitvector& other, int64_t offset) {
   COLOSSAL_CHECK(offset >= 0 && offset + other.num_bits_ <= num_bits_)
       << "offset=" << offset;
-  const size_t word_shift = static_cast<size_t>(offset / kWordBits);
-  const int bit_shift = static_cast<int>(offset % kWordBits);
-  for (size_t i = 0; i < other.words_.size(); ++i) {
-    const uint64_t word = other.words_[i];
-    if (word == 0) continue;
-    words_[i + word_shift] |= word << bit_shift;
-    if (bit_shift != 0) {
-      const uint64_t carry = word >> (kWordBits - bit_shift);
-      // A nonzero carry implies the destination word exists (the range
-      // check above bounds offset + other bits by our bit length).
-      if (carry != 0) words_[i + word_shift + 1] |= carry;
-    }
-  }
+  ActiveBitvectorKernels().or_shifted_words(
+      words_, other.words_, other.num_words(), offset / kWordBits,
+      static_cast<int>(offset % kWordBits));
 }
 
 void Bitvector::AndNotWith(const Bitvector& other) {
   COLOSSAL_CHECK(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  ActiveBitvectorKernels().andnot_words(words_, other.words_, num_words());
 }
 
-Bitvector Bitvector::And(const Bitvector& a, const Bitvector& b) {
-  Bitvector result = a;
+Bitvector Bitvector::And(const Bitvector& a, const Bitvector& b,
+                         Arena* arena) {
+  Bitvector result(a, arena);
   result.AndWith(b);
   return result;
 }
 
-Bitvector Bitvector::Or(const Bitvector& a, const Bitvector& b) {
-  Bitvector result = a;
+Bitvector Bitvector::Or(const Bitvector& a, const Bitvector& b, Arena* arena) {
+  Bitvector result(a, arena);
   result.OrWith(b);
   return result;
 }
 
 int64_t Bitvector::AndCount(const Bitvector& a, const Bitvector& b) {
   COLOSSAL_CHECK(a.num_bits_ == b.num_bits_);
-  int64_t total = 0;
-  for (size_t i = 0; i < a.words_.size(); ++i) {
-    total += std::popcount(a.words_[i] & b.words_[i]);
-  }
-  return total;
+  return ActiveBitvectorKernels().and_count_words(a.words_, b.words_,
+                                                  a.num_words());
 }
 
 int64_t Bitvector::OrCount(const Bitvector& a, const Bitvector& b) {
   COLOSSAL_CHECK(a.num_bits_ == b.num_bits_);
-  int64_t total = 0;
-  for (size_t i = 0; i < a.words_.size(); ++i) {
-    total += std::popcount(a.words_[i] | b.words_[i]);
-  }
-  return total;
+  return ActiveBitvectorKernels().or_count_words(a.words_, b.words_,
+                                                 a.num_words());
 }
 
 bool Bitvector::IsSubsetOf(const Bitvector& other) const {
   COLOSSAL_CHECK(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
-  }
-  return true;
+  return ActiveBitvectorKernels().subset_words(words_, other.words_,
+                                               num_words());
 }
 
 bool Bitvector::Intersects(const Bitvector& a, const Bitvector& b) {
-  COLOSSAL_CHECK(a.num_bits_ == b.num_bits_);
-  for (size_t i = 0; i < a.words_.size(); ++i) {
-    if ((a.words_[i] & b.words_[i]) != 0) return true;
-  }
-  return false;
+  return !AndNone(a, b);
 }
 
 double Bitvector::JaccardDistance(const Bitvector& a, const Bitvector& b) {
@@ -155,11 +221,12 @@ double Bitvector::JaccardDistance(const Bitvector& a, const Bitvector& b) {
 std::vector<int64_t> Bitvector::ToIndices() const {
   std::vector<int64_t> indices;
   indices.reserve(static_cast<size_t>(Count()));
-  for (size_t w = 0; w < words_.size(); ++w) {
+  const int64_t n = num_words();
+  for (int64_t w = 0; w < n; ++w) {
     uint64_t word = words_[w];
     while (word != 0) {
       const int bit = std::countr_zero(word);
-      indices.push_back(static_cast<int64_t>(w) * kWordBits + bit);
+      indices.push_back(w * kWordBits + bit);
       word &= word - 1;
     }
   }
@@ -177,16 +244,25 @@ uint64_t Bitvector::HashValue() const {
   // FNV-1a over words, seeded with the length so that equal prefixes of
   // different lengths do not collide trivially.
   uint64_t hash = 1469598103934665603ULL ^ static_cast<uint64_t>(num_bits_);
-  for (uint64_t word : words_) {
-    hash ^= word;
+  const int64_t n = num_words();
+  for (int64_t i = 0; i < n; ++i) {
+    hash ^= words_[i];
     hash *= 1099511628211ULL;
   }
   return hash;
 }
 
+bool operator==(const Bitvector& a, const Bitvector& b) {
+  if (a.num_bits_ != b.num_bits_) return false;
+  const int64_t n = a.num_words();
+  return n == 0 ||
+         std::memcmp(a.words_, b.words_, static_cast<size_t>(n) * 8) == 0;
+}
+
 void Bitvector::AppendTo(std::string* out) const {
   AppendLittleEndian64(static_cast<uint64_t>(num_bits_), out);
-  for (uint64_t word : words_) AppendLittleEndian64(word, out);
+  const int64_t n = num_words();
+  for (int64_t i = 0; i < n; ++i) AppendLittleEndian64(words_[i], out);
 }
 
 int64_t Bitvector::SerializedBytes(int64_t num_bits) {
@@ -211,14 +287,13 @@ StatusOr<Bitvector> Bitvector::ParseFrom(const std::string& data,
     return Status::InvalidArgument("bitvector: truncated words");
   }
   Bitvector result(num_bits);
-  for (size_t w = 0; w < result.words_.size(); ++w) {
+  const int64_t n = result.num_words();
+  for (int64_t w = 0; w < n; ++w) {
     if (!ReadLittleEndian64(data, pos, &result.words_[w])) {
       return Status::InvalidArgument("bitvector: truncated words");
     }
   }
-  const int64_t tail = num_bits % kWordBits;
-  if (tail != 0 &&
-      (result.words_.back() & ~((uint64_t{1} << tail) - 1)) != 0) {
+  if (n > 0 && (result.words_[n - 1] & ~TailMask(num_bits)) != 0) {
     return Status::InvalidArgument(
         "bitvector: set bits beyond declared length");
   }
@@ -226,10 +301,8 @@ StatusOr<Bitvector> Bitvector::ParseFrom(const std::string& data,
 }
 
 void Bitvector::ClearTrailingBits() {
-  const int64_t tail = num_bits_ % kWordBits;
-  if (tail != 0 && !words_.empty()) {
-    words_.back() &= (uint64_t{1} << tail) - 1;
-  }
+  const int64_t n = num_words();
+  if (n > 0) words_[n - 1] &= TailMask(num_bits_);
 }
 
 }  // namespace colossal

@@ -28,8 +28,9 @@ StatusOr<ColossalMinerOptions> CanonicalizeMinerOptions(
 
 StatusOr<ColossalMiningResult> FuseColossalFromPool(
     int64_t num_transactions, std::vector<Pattern> initial_pool,
-    const ColossalMinerOptions& options) {
+    const ColossalMinerOptions& options, Arena* arena) {
   PatternFusionOptions fusion_options;
+  fusion_options.arena = arena;
   fusion_options.min_support_count = options.min_support_count;
   fusion_options.tau = options.tau;
   fusion_options.k = options.k;
@@ -48,28 +49,36 @@ StatusOr<ColossalMiningResult> FuseColossalFromPool(
   if (!fusion.ok()) return fusion.status();
 
   result.patterns = std::move(fusion->patterns);
+  // The fusion engine already copies its answer onto the heap; this
+  // detach is the belt-and-suspenders guarantee that nothing escaping
+  // into results (or the service's result cache) references `arena`.
+  for (Pattern& pattern : result.patterns) {
+    pattern.support_set.DetachFromArena();
+  }
   result.iterations = static_cast<int>(fusion->iterations.size());
   result.converged = fusion->converged;
   result.iteration_stats = std::move(fusion->iterations);
   return result;
 }
 
-StatusOr<ColossalMiningResult> MineColossal(
-    const TransactionDatabase& db, const ColossalMinerOptions& options) {
+StatusOr<ColossalMiningResult> MineColossal(const TransactionDatabase& db,
+                                            const ColossalMinerOptions& options,
+                                            Arena* arena) {
   StatusOr<ColossalMinerOptions> canonical =
       CanonicalizeMinerOptions(db, options);
   if (!canonical.ok()) return canonical.status();
 
   StatusOr<std::vector<Pattern>> pool = BuildInitialPool(
       db, canonical->min_support_count, options.initial_pool_max_size,
-      options.pool_miner, options.num_threads);
+      options.pool_miner, options.num_threads, arena);
   if (!pool.ok()) return pool.status();
 
   // Execution options: canonical thresholds, the caller's thread count
   // (a pure performance knob that canonicalization zeroes).
   ColossalMinerOptions exec = *canonical;
   exec.num_threads = options.num_threads;
-  return FuseColossalFromPool(db.num_transactions(), *std::move(pool), exec);
+  return FuseColossalFromPool(db.num_transactions(), *std::move(pool), exec,
+                              arena);
 }
 
 }  // namespace colossal

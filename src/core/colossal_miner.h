@@ -109,8 +109,17 @@ struct ColossalMiningResult {
 };
 
 // Runs initial-pool mining + Pattern-Fusion end to end.
-StatusOr<ColossalMiningResult> MineColossal(const TransactionDatabase& db,
-                                            const ColossalMinerOptions& options);
+//
+// `arena`, when given, backs every mining temporary (initial-pool
+// support sets, fusion scratch) so the whole mine frees in one
+// Arena::Reset. It is a defaulted parameter — NOT a ColossalMinerOptions
+// field — because those options are hashed, compared, and canonicalized
+// as cache keys, and an execution-scoped pointer must never leak into
+// request identity. The returned patterns are always heap-backed;
+// output is byte-identical with or without an arena.
+StatusOr<ColossalMiningResult> MineColossal(
+    const TransactionDatabase& db, const ColossalMinerOptions& options,
+    Arena* arena = nullptr);
 
 // The fusion half of MineColossal, split out so callers that build the
 // initial pool some other way — notably the sharded miner, which
@@ -118,9 +127,12 @@ StatusOr<ColossalMiningResult> MineColossal(const TransactionDatabase& db,
 // pipeline from that point on. `options` must already carry an absolute
 // min_support_count (sigma resolved; options.sigma ignored), and the
 // pool patterns' support sets must span `num_transactions` bits.
+// `arena` backs fusion scratch exactly as in MineColossal; the pool may
+// itself be arena-backed. Result patterns are detached onto the heap
+// before returning, so they survive any later Arena::Reset.
 StatusOr<ColossalMiningResult> FuseColossalFromPool(
     int64_t num_transactions, std::vector<Pattern> initial_pool,
-    const ColossalMinerOptions& options);
+    const ColossalMinerOptions& options, Arena* arena = nullptr);
 
 }  // namespace colossal
 

@@ -4,20 +4,22 @@
 
 namespace colossal {
 
-Pattern MakePattern(const TransactionDatabase& db, Itemset items) {
+Pattern MakePattern(const TransactionDatabase& db, Itemset items,
+                    Arena* arena) {
   Pattern pattern;
-  pattern.support_set = db.SupportSet(items);
+  pattern.support_set = db.SupportSet(items, arena);
   pattern.support = pattern.support_set.Count();
   pattern.items = std::move(items);
   return pattern;
 }
 
 std::vector<Pattern> MakePatterns(const TransactionDatabase& db,
-                                  const std::vector<FrequentItemset>& mined) {
+                                  const std::vector<FrequentItemset>& mined,
+                                  Arena* arena) {
   std::vector<Pattern> patterns;
   patterns.reserve(mined.size());
   for (const FrequentItemset& entry : mined) {
-    patterns.push_back(MakePattern(db, entry.items));
+    patterns.push_back(MakePattern(db, entry.items, arena));
   }
   return patterns;
 }

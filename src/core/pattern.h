@@ -30,12 +30,16 @@ struct Pattern {
 };
 
 // Builds a Pattern by computing the support set of `items` against `db`.
-Pattern MakePattern(const TransactionDatabase& db, Itemset items);
+// With an arena, the support set is arena-backed (mining temporaries
+// only — the pattern must not outlive the arena).
+Pattern MakePattern(const TransactionDatabase& db, Itemset items,
+                    Arena* arena = nullptr);
 
 // Converts a complete-miner result into patterns with materialized
 // support sets (the form Pattern-Fusion's initial pool needs).
 std::vector<Pattern> MakePatterns(const TransactionDatabase& db,
-                                  const std::vector<FrequentItemset>& mined);
+                                  const std::vector<FrequentItemset>& mined,
+                                  Arena* arena = nullptr);
 
 // Drops the support sets again (for reporting through MiningResult-shaped
 // interfaces).

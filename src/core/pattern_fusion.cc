@@ -73,10 +73,12 @@ std::vector<FusionCandidate> SampleByWeight(
 FusionOutcome FuseOnce(const std::vector<Pattern>& pool,
                        const std::vector<int64_t>& ball_order,
                        int64_t seed_index, int64_t min_support_count,
-                       double tau, int max_merges) {
+                       double tau, int max_merges, Arena* arena) {
   const Pattern& seed = pool[static_cast<size_t>(seed_index)];
   FusionOutcome outcome;
-  outcome.fused = seed;
+  outcome.fused.items = seed.items;
+  outcome.fused.support_set = Bitvector(seed.support_set, arena);
+  outcome.fused.support = seed.support;
   outcome.merged_count = 1;
 
   // Invariant: every merged pattern β (including the seed) must be a
@@ -142,7 +144,8 @@ std::vector<FusionCandidate> FusionEngine::ProcessSeed(
     }
     FusionOutcome outcome =
         FuseOnce(pool.patterns(), ball, seed_index,
-                 options_.min_support_count, options_.tau, max_merges);
+                 options_.min_support_count, options_.tau, max_merges,
+                 options_.arena);
     bool duplicate = false;
     for (FusionCandidate& existing : candidates) {
       if (existing.pattern.items == outcome.fused.items) {
@@ -236,6 +239,9 @@ StatusOr<PatternFusionResult> FusionEngine::Run(
   }
   if (pool.size() <= options_.k) result.converged = true;
 
+  // Copies the final pool out; Bitvector's copy constructor always
+  // heap-allocates, so the returned patterns are independent of any
+  // options_.arena backing the intra-run pool used.
   result.patterns = pool.patterns();
   std::sort(result.patterns.begin(), result.patterns.end(),
             [](const Pattern& a, const Pattern& b) {
@@ -256,7 +262,8 @@ StatusOr<std::vector<Pattern>> BuildInitialPool(const TransactionDatabase& db,
                                                 int64_t min_support_count,
                                                 int max_pattern_size,
                                                 PoolMiner miner,
-                                                int num_threads) {
+                                                int num_threads,
+                                                Arena* arena) {
   if (max_pattern_size < 1) {
     return Status::InvalidArgument("max_pattern_size must be >= 1");
   }
@@ -264,6 +271,7 @@ StatusOr<std::vector<Pattern>> BuildInitialPool(const TransactionDatabase& db,
   miner_options.min_support_count = min_support_count;
   miner_options.max_pattern_size = max_pattern_size;
   miner_options.num_threads = num_threads;
+  miner_options.arena = arena;
   StatusOr<MiningResult> mined = miner == PoolMiner::kApriori
                                      ? MineApriori(db, miner_options)
                                      : MineEclat(db, miner_options);
@@ -280,7 +288,7 @@ StatusOr<std::vector<Pattern>> BuildInitialPool(const TransactionDatabase& db,
   // what lets the sharded miner recover a positionally identical pool
   // without ever seeing the unsharded enumeration.
   SortPatterns(&mined->patterns);
-  return MakePatterns(db, mined->patterns);
+  return MakePatterns(db, mined->patterns, arena);
 }
 
 }  // namespace colossal

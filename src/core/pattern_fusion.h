@@ -74,6 +74,14 @@ struct PatternFusionOptions {
   // result is bit-identical for every value, including 1: randomness is
   // derived per seed slot, and candidates merge in slot order.
   int num_threads = 0;
+
+  // Optional bump arena for the engine's intra-run support sets (fused
+  // candidates and the evolving pool). The arena must outlive the Run
+  // call; the returned PatternFusionResult is always heap-backed (the
+  // final pool is copied out, and copies detach by construction), so
+  // results never dangle when the arena resets. Purely a performance
+  // knob — output is byte-identical with or without it.
+  Arena* arena = nullptr;
 };
 
 // Pool trajectory of one fusion iteration, for benches/tests (e.g.,
@@ -162,10 +170,13 @@ enum class PoolMiner {
 // materialized, in (size, lexicographic) order regardless of the miner.
 // `num_threads` (0 = auto) parallelizes the underlying miner; the pool
 // is identical for any value.
+// With an arena, the pool's support sets are arena-backed (the pool
+// must then not outlive the arena; fusion copies its answer out, so
+// this is safe for the MineColossal pipeline).
 StatusOr<std::vector<Pattern>> BuildInitialPool(
     const TransactionDatabase& db, int64_t min_support_count,
     int max_pattern_size, PoolMiner miner = PoolMiner::kApriori,
-    int num_threads = 0);
+    int num_threads = 0, Arena* arena = nullptr);
 
 // One fusion of a seed with its CoreList (the Fusion(α.CoreList) routine
 // of Algorithm 2, one sampling pass): greedily merges ball members in the
@@ -180,10 +191,12 @@ struct FusionOutcome {
   Pattern fused;
   int merged_count = 0;
 };
+// With an arena, the fused pattern's support set is arena-backed.
 FusionOutcome FuseOnce(const std::vector<Pattern>& pool,
                        const std::vector<int64_t>& ball_order,
                        int64_t seed_index, int64_t min_support_count,
-                       double tau, int max_merges = 0);
+                       double tau, int max_merges = 0,
+                       Arena* arena = nullptr);
 
 }  // namespace colossal
 

@@ -126,9 +126,10 @@ const Bitvector& TransactionDatabase::item_tidset(ItemId item) const {
   return tidsets_[item];
 }
 
-Bitvector TransactionDatabase::SupportSet(const Itemset& itemset) const {
-  if (itemset.empty()) return Bitvector::AllSet(num_transactions());
-  Bitvector support = item_tidset(itemset[0]);
+Bitvector TransactionDatabase::SupportSet(const Itemset& itemset,
+                                          Arena* arena) const {
+  if (itemset.empty()) return Bitvector(num_transactions(), arena, true);
+  Bitvector support(item_tidset(itemset[0]), arena);
   for (int i = 1; i < itemset.size(); ++i) {
     support.AndWith(item_tidset(itemset[i]));
   }

@@ -71,7 +71,9 @@ class TransactionDatabase {
 
   // The support set D_α (paper §2.1): transactions containing every item
   // of `itemset`. The empty itemset is contained in every transaction.
-  Bitvector SupportSet(const Itemset& itemset) const;
+  // With an arena, the result is arena-backed (use for mining
+  // temporaries whose lifetime the arena's owner controls).
+  Bitvector SupportSet(const Itemset& itemset, Arena* arena = nullptr) const;
 
   // |D_α|. Equivalent to SupportSet(itemset).Count().
   int64_t Support(const Itemset& itemset) const;

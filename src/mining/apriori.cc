@@ -74,7 +74,7 @@ bool JoinRow(const std::vector<LevelEntry>& level, size_t a,
     if (support >= options.min_support_count) {
       out.push_back({std::move(candidate),
                      Bitvector::And(level[a].support_set,
-                                    level[b].support_set),
+                                    level[b].support_set, options.arena),
                      support});
     }
   }
@@ -115,7 +115,8 @@ StatusOr<MiningResult> MineApriori(const TransactionDatabase& db,
     const Bitvector& tidset = db.item_tidset(item);
     const int64_t support = tidset.Count();
     if (support >= options.min_support_count) {
-      level.push_back({Itemset::Single(item), tidset, support});
+      level.push_back(
+          {Itemset::Single(item), Bitvector(tidset, options.arena), support});
     }
   }
   if (max_size >= 1) {

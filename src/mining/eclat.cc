@@ -34,7 +34,8 @@ std::vector<std::pair<ItemId, Bitvector>> ExpandChild(
         options.min_support_count) {
       child_extensions.emplace_back(
           extensions[j].first,
-          Bitvector::And(extensions[i].second, extensions[j].second));
+          Bitvector::And(extensions[i].second, extensions[j].second,
+                         options.arena));
     }
   }
   return child_extensions;
@@ -91,7 +92,7 @@ StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
     }
     const Bitvector& tidset = db.item_tidset(item);
     if (tidset.Count() >= options.min_support_count) {
-      roots.emplace_back(item, tidset);
+      roots.emplace_back(item, Bitvector(tidset, options.arena));
     }
   }
 

@@ -11,6 +11,8 @@
 
 namespace colossal {
 
+class Arena;
+
 // Types shared by all complete miners (Apriori, Eclat, FP-growth, the
 // closed/maximal/top-k miners). These play two roles in the reproduction:
 // they are the baselines Pattern-Fusion is compared against in Figures 6
@@ -51,6 +53,15 @@ struct MinerOptions {
   // identical for any value. Budgeted runs (max_nodes != 0) fall back to
   // serial so the truncation point stays deterministic.
   int num_threads = 0;
+
+  // Optional bump arena for mining temporaries (candidate support sets
+  // and tidset intersections in MineApriori/MineEclat; the other miners
+  // ignore it). The caller owns lifetime: the arena must outlive the
+  // call, and nothing in a MiningResult references it (results carry no
+  // Bitvectors). Purely a performance knob — output is byte-identical
+  // with or without it — and deliberately not part of any request
+  // canonicalization or cache key.
+  Arena* arena = nullptr;
 };
 
 // Execution metadata reported with every mining run.

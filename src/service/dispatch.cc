@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/bitvector_kernels.h"
 #include "core/pattern.h"
 #include "mining/result_io.h"
 
@@ -87,7 +88,7 @@ std::string FormatStatsLine(const MiningService& service) {
       "cache_evictions=%lld dataset_loads=%lld dataset_hits=%lld "
       "dataset_evictions=%lld dataset_stale_reloads=%lld "
       "sniff_cache_hits=%lld admission_waits=%lld "
-      "resident_mb=%.1f peak_resident_mb=%.1f",
+      "resident_mb=%.1f peak_resident_mb=%.1f arena_peak_mb=%.1f simd=%s",
       static_cast<long long>(cache.hits),
       static_cast<long long>(cache.misses),
       static_cast<long long>(cache.entries),
@@ -99,7 +100,9 @@ std::string FormatStatsLine(const MiningService& service) {
       static_cast<long long>(registry.sniff_cache_hits),
       static_cast<long long>(registry.admission_waits),
       static_cast<double>(registry.resident_bytes) / (1 << 20),
-      static_cast<double>(registry.peak_resident_bytes) / (1 << 20));
+      static_cast<double>(registry.peak_resident_bytes) / (1 << 20),
+      static_cast<double>(service.arena_peak_bytes()) / (1 << 20),
+      ActiveBitvectorKernels().name);
   return buffer;
 }
 

@@ -3,6 +3,7 @@
 #include <exception>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/hash.h"
 #include "common/stopwatch.h"
 
@@ -15,6 +16,20 @@ namespace {
 // (or vice versa) — exact results alone are interchangeable with
 // unsharded mining.
 constexpr uint64_t kFuseModeSalt = 0x66757365u;  // "fuse"
+
+// Publishes an arena's high-water mark into a service counter on scope
+// exit, so every RunMine return path (success, Status, early bail)
+// still records what the request's arena actually reached.
+class ArenaPeakRecorder {
+ public:
+  ArenaPeakRecorder(std::atomic<int64_t>* sink, const Arena* arena)
+      : sink_(sink), arena_(arena) {}
+  ~ArenaPeakRecorder() { RaiseArenaPeak(*sink_, arena_->high_water_bytes()); }
+
+ private:
+  std::atomic<int64_t>* sink_;
+  const Arena* arena_;
+};
 
 }  // namespace
 
@@ -120,6 +135,13 @@ StatusOr<ColossalMiningResult> MiningService::RunMine(
   exec.shard_parallelism = request.options.shard_parallelism != 0
                                ? request.options.shard_parallelism
                                : options_.shard_parallelism;
+  // One arena per request: every mining temporary this request
+  // allocates frees when the arena goes out of scope, and its
+  // high-water mark feeds the stats line's arena_peak_mb. Results are
+  // detached onto the heap inside FuseColossalFromPool, so the cached
+  // shared_ptr never references this arena.
+  Arena request_arena;
+  ArenaPeakRecorder record_peak(&arena_peak_bytes_, &request_arena);
   if (!prep.sharded) {
     std::shared_ptr<const TransactionDatabase> db = prep.handle.db;
     if (db == nullptr) {
@@ -136,7 +158,7 @@ StatusOr<ColossalMiningResult> MiningService::RunMine(
       }
       db = fresh->db;
     }
-    return MineColossal(*db, exec);
+    return MineColossal(*db, exec, &request_arena);
   }
   // Shards load through the registry's concurrent-admission API:
   // GetPinned reserves the estimate before reading, so however many
@@ -145,6 +167,7 @@ StatusOr<ColossalMiningResult> MiningService::RunMine(
   // when the shard job drops it.
   ShardResidencyOptions residency;
   residency.budget_bytes = options_.registry.memory_budget_bytes;
+  residency.arena_peak_bytes = &arena_peak_bytes_;
   ShardedMiner miner(
       *prep.manifest,
       [this](const std::string& path,
@@ -156,7 +179,7 @@ StatusOr<ColossalMiningResult> MiningService::RunMine(
                            std::move(shard->pin)};
       },
       residency);
-  return miner.Mine(exec, prep.shard_mode);
+  return miner.Mine(exec, prep.shard_mode, &request_arena);
 }
 
 StatusOr<ColossalMiningResult> MiningService::RunMineNoThrow(

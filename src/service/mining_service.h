@@ -1,6 +1,7 @@
 #ifndef COLOSSAL_SERVICE_MINING_SERVICE_H_
 #define COLOSSAL_SERVICE_MINING_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -103,6 +104,13 @@ class MiningService {
   DatasetRegistryStats registry_stats() const { return registry_.stats(); }
   ResultCacheStats cache_stats() const { return cache_.stats(); }
 
+  // Largest arena high-water mark any mine has reached so far (bytes):
+  // the max over per-request arenas and every per-shard mining/re-count
+  // arena. What the stats line reports as arena_peak_mb.
+  int64_t arena_peak_bytes() const {
+    return arena_peak_bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   // One in-flight mining job; identical concurrent requests wait on it.
   // `canonical` (immutable after insertion) is verified by joiners so a
@@ -169,6 +177,8 @@ class MiningService {
   std::unordered_map<ResultCacheKey, std::shared_ptr<Inflight>,
                      ResultCacheKeyHash>
       inflight_;
+
+  std::atomic<int64_t> arena_peak_bytes_{0};
 };
 
 }  // namespace colossal

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "core/pattern.h"
@@ -26,13 +27,19 @@ namespace {
 // item does not occur in the shard at all (its id is outside the
 // shard's dense domain — the global pattern simply has no rows there).
 Bitvector ShardSupportSet(const TransactionDatabase& shard,
-                          const Itemset& items) {
+                          const Itemset& items, Arena* arena) {
   for (ItemId item : items) {
     if (item >= shard.num_items()) {
-      return Bitvector(shard.num_transactions());
+      return Bitvector(shard.num_transactions(), arena);
     }
   }
-  return shard.SupportSet(items);
+  return shard.SupportSet(items, arena);
+}
+
+// CAS-max a finished arena's high-water mark into the residency
+// options' stat sink (when one is wired).
+void RecordArenaPeak(std::atomic<int64_t>* sink, const Arena& arena) {
+  if (sink != nullptr) RaiseArenaPeak(*sink, arena.high_water_bytes());
 }
 
 // Whether `path` starts with the snapshot magic (one 8-byte read — the
@@ -123,6 +130,20 @@ int64_t EstimateShardResidentBytes(const ShardInfo& info, int64_t num_items) {
                   overhead);
 }
 
+int64_t EstimateShardArenaBytes(const ShardInfo& info, int64_t num_items) {
+  const auto saturate = [](__int128 value) {
+    const __int128 max64 = std::numeric_limits<int64_t>::max();
+    if (value > max64) return std::numeric_limits<int64_t>::max();
+    if (value < 0) return int64_t{0};
+    return static_cast<int64_t>(value);
+  };
+  const __int128 rows = info.rows();
+  const __int128 items = num_items;
+  // One rows-bit tidset per item of live candidate scratch, plus one
+  // default chunk so tiny shards still charge the arena's floor.
+  return saturate(items * ((rows + 7) / 8) + Arena::kDefaultChunkBytes);
+}
+
 int MaxConcurrentResidentShards(const std::vector<int64_t>& estimated_bytes,
                                 int64_t budget_bytes) {
   const int count = static_cast<int>(estimated_bytes.size());
@@ -207,7 +228,8 @@ StatusOr<LoadedShard> ShardedMiner::LoadShard(size_t index,
 }
 
 StatusOr<ColossalMiningResult> ShardedMiner::Mine(
-    const ColossalMinerOptions& options, ShardMergeMode mode) const {
+    const ColossalMinerOptions& options, ShardMergeMode mode,
+    Arena* arena) const {
   const int64_t total_rows = manifest_.num_transactions;
   StatusOr<ColossalMinerOptions> canonical =
       CanonicalizeMinerOptionsForSize(total_rows, options);
@@ -238,11 +260,18 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
   // identical across thread counts and parallelism too.
   const size_t num_shards = manifest_.shards.size();
   // One estimate per shard (one stat each), shared by the governor and
-  // every load below so both reason from the same numbers.
+  // every load below so both reason from the same numbers. Each shard
+  // is charged for its resident bytes plus its mining-arena scratch, so
+  // admission reserves what a shard job actually holds while mining.
   std::vector<int64_t> estimates;
   estimates.reserve(num_shards);
   for (const ShardInfo& info : manifest_.shards) {
-    estimates.push_back(EstimateShardResidentBytes(info, manifest_.num_items));
+    const int64_t resident =
+        EstimateShardResidentBytes(info, manifest_.num_items);
+    const int64_t scratch = EstimateShardArenaBytes(info, manifest_.num_items);
+    estimates.push_back(resident > std::numeric_limits<int64_t>::max() - scratch
+                            ? std::numeric_limits<int64_t>::max()
+                            : resident + scratch);
   }
   const int fan_out = ResolveFanOut(options, estimates);
   auto mine_shard = [&](int64_t index) -> StatusOr<std::vector<Itemset>> {
@@ -252,6 +281,11 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
     const int64_t local_min = ShardLocalMinSupport(
         min_support, manifest_.shards[i].rows(), total_rows);
 
+    // One arena per shard job: all of this mine's tidset temporaries
+    // free together when the job ends, and concurrent jobs never
+    // contend on each other's allocator. Only the itemsets escape, so
+    // nothing outlives the arena.
+    Arena shard_arena;
     std::vector<Itemset> mined_items;
     if (mode == ShardMergeMode::kExact) {
       // The complete bounded-size miner at the Partition-scaled
@@ -261,6 +295,7 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
       miner_options.min_support_count = local_min;
       miner_options.max_pattern_size = canonical->initial_pool_max_size;
       miner_options.num_threads = options.num_threads;
+      miner_options.arena = &shard_arena;
       StatusOr<MiningResult> mined =
           canonical->pool_miner == PoolMiner::kApriori
               ? MineApriori(*shard->db, miner_options)
@@ -277,13 +312,15 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
       local.sigma = -1.0;
       local.min_support_count = local_min;
       local.num_threads = options.num_threads;
-      StatusOr<ColossalMiningResult> mined = MineColossal(*shard->db, local);
+      StatusOr<ColossalMiningResult> mined =
+          MineColossal(*shard->db, local, &shard_arena);
       if (!mined.ok()) return mined.status();
       mined_items.reserve(mined->patterns.size());
       for (const Pattern& pattern : mined->patterns) {
         mined_items.push_back(pattern.items);
       }
     }
+    RecordArenaPeak(residency_.arena_peak_bytes, shard_arena);
     return mined_items;
   };
   std::unordered_set<Itemset, ItemsetHash, ItemsetEq> seen;
@@ -351,9 +388,13 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
   // into its exact global support set. Shards are again visited one at
   // a time; candidates shard across workers (each writes only its own
   // global bitvector, so the result is thread-count invariant).
+  // The stitched global sets live on the request arena (they flow into
+  // the pool and are detached when fusion returns its answer); the
+  // per-candidate local sets go to a scratch arena rewound after every
+  // shard, once its ParallelFor has joined.
   std::vector<Bitvector> global_support(candidates.size());
   for (Bitvector& support : global_support) {
-    support = Bitvector(total_rows);
+    support = Bitvector(total_rows, arena);
   }
   const int num_threads =
       ParallelPolicy{options.num_threads}.ResolvedThreads();
@@ -361,6 +402,7 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
   if (num_threads > 1 && candidates.size() > 1) {
     workers = std::make_unique<ThreadPool>(num_threads);
   }
+  Arena recount_scratch;
   for (size_t i = 0; i < manifest_.shards.size(); ++i) {
     StatusOr<LoadedShard> shard = LoadShard(i, estimates[i]);
     if (!shard.ok()) return shard.status();
@@ -368,12 +410,16 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
     const int64_t offset = manifest_.shards[i].row_begin;
     ParallelFor(workers.get(), static_cast<int64_t>(candidates.size()),
                 [&](int64_t c) {
-                  const Bitvector local = ShardSupportSet(
-                      shard_db, candidates[static_cast<size_t>(c)]);
+                  const Bitvector local =
+                      ShardSupportSet(shard_db,
+                                      candidates[static_cast<size_t>(c)],
+                                      &recount_scratch);
                   global_support[static_cast<size_t>(c)].OrWithShifted(
                       local, offset);
                 });
+    recount_scratch.Reset();
   }
+  RecordArenaPeak(residency_.arena_peak_bytes, recount_scratch);
 
   // Phase 3 — keep the globally frequent candidates and order them the
   // way the level-wise miners enumerate (size, then lexicographic), so
@@ -404,7 +450,7 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
   // patterns acting as core patterns.
   ColossalMinerOptions exec = *canonical;
   exec.num_threads = options.num_threads;
-  return FuseColossalFromPool(total_rows, std::move(pool), exec);
+  return FuseColossalFromPool(total_rows, std::move(pool), exec, arena);
 }
 
 }  // namespace colossal

@@ -1,0 +1,145 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace colossal {
+namespace {
+
+TEST(ArenaTest, ReturnsAlignedDistinctPointers) {
+  Arena arena;
+  std::set<void*> seen;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(i);  // includes bytes == 0
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % Arena::kAlignment, 0u)
+        << "allocation " << i << " misaligned";
+    EXPECT_TRUE(seen.insert(p).second) << "allocation " << i << " aliased";
+  }
+}
+
+TEST(ArenaTest, AllocationsDoNotOverlap) {
+  Arena arena(1024);  // small chunks force several chunk transitions
+  struct Span {
+    char* base;
+    int64_t bytes;
+  };
+  std::vector<Span> spans;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t bytes = 1 + (i * 37) % 300;
+    char* p = static_cast<char*>(arena.Allocate(bytes));
+    std::memset(p, i & 0xff, static_cast<size_t>(bytes));
+    spans.push_back({p, bytes});
+  }
+  // Every span still holds its fill pattern: no two overlapped.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    for (int64_t b = 0; b < spans[i].bytes; ++b) {
+      ASSERT_EQ(static_cast<unsigned char>(spans[i].base[b]), i & 0xff)
+          << "span " << i << " byte " << b << " clobbered";
+    }
+  }
+}
+
+TEST(ArenaTest, CountersTrackAllocations) {
+  Arena arena;
+  EXPECT_EQ(arena.allocated_bytes(), 0);
+  EXPECT_EQ(arena.high_water_bytes(), 0);
+  EXPECT_EQ(arena.num_chunks(), 0);
+
+  arena.Allocate(100);  // rounds to 128
+  EXPECT_EQ(arena.allocated_bytes(), 128);
+  EXPECT_EQ(arena.high_water_bytes(), 128);
+  EXPECT_EQ(arena.num_chunks(), 1);
+
+  arena.Allocate(64);
+  EXPECT_EQ(arena.allocated_bytes(), 192);
+  EXPECT_EQ(arena.high_water_bytes(), 192);
+}
+
+TEST(ArenaTest, ResetReusesChunksAndKeepsHighWater) {
+  Arena arena(1024);
+  for (int i = 0; i < 50; ++i) arena.Allocate(512);
+  const int64_t chunks_after_fill = arena.num_chunks();
+  const int64_t chunk_bytes_after_fill = arena.chunk_bytes();
+  const int64_t high_water = arena.high_water_bytes();
+  EXPECT_GT(chunks_after_fill, 1);
+  EXPECT_EQ(high_water, 50 * 512);
+
+  arena.Reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0);
+  // High water is monotone over the arena's lifetime.
+  EXPECT_EQ(arena.high_water_bytes(), high_water);
+
+  // A same-shaped second round carves from the kept chunks: the arena's
+  // own footprint must not grow.
+  for (int i = 0; i < 50; ++i) arena.Allocate(512);
+  EXPECT_EQ(arena.num_chunks(), chunks_after_fill);
+  EXPECT_EQ(arena.chunk_bytes(), chunk_bytes_after_fill);
+  EXPECT_EQ(arena.high_water_bytes(), high_water);
+
+  // A bigger round raises the mark.
+  arena.Reset();
+  for (int i = 0; i < 60; ++i) arena.Allocate(512);
+  EXPECT_EQ(arena.high_water_bytes(), 60 * 512);
+}
+
+TEST(ArenaTest, OversizedRequestGetsItsOwnChunk) {
+  Arena arena(1024);
+  void* p = arena.Allocate(1 << 20);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % Arena::kAlignment, 0u);
+  EXPECT_GE(arena.chunk_bytes(), 1 << 20);
+  std::memset(p, 0xab, 1 << 20);  // must all be writable
+}
+
+TEST(ArenaTest, ConcurrentAllocationsNeitherOverlapNorTear) {
+  Arena arena(4096);  // small chunks stress the slow path under contention
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::vector<char*>> pointers(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&arena, &pointers, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int64_t bytes = 64 + (i % 5) * 64;
+        char* p = static_cast<char*>(arena.Allocate(bytes));
+        std::memset(p, t + 1, static_cast<size_t>(bytes));
+        pointers[t].push_back(p);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Each thread's fills survived every other thread's writes.
+  for (int t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < pointers[t].size(); ++i) {
+      const int64_t bytes = 64 + (static_cast<int64_t>(i) % 5) * 64;
+      for (int64_t b = 0; b < bytes; ++b) {
+        ASSERT_EQ(pointers[t][i][b], t + 1)
+            << "thread " << t << " allocation " << i << " clobbered";
+      }
+    }
+  }
+  int64_t expected = 0;
+  for (int i = 0; i < kPerThread; ++i) expected += 64 + (i % 5) * 64;
+  EXPECT_EQ(arena.allocated_bytes(), kThreads * expected);
+  EXPECT_EQ(arena.high_water_bytes(), kThreads * expected);
+}
+
+TEST(ArenaTest, RaiseArenaPeakIsAMax) {
+  std::atomic<int64_t> peak{0};
+  RaiseArenaPeak(peak, 100);
+  EXPECT_EQ(peak.load(), 100);
+  RaiseArenaPeak(peak, 50);
+  EXPECT_EQ(peak.load(), 100);
+  RaiseArenaPeak(peak, 200);
+  EXPECT_EQ(peak.load(), 200);
+}
+
+}  // namespace
+}  // namespace colossal

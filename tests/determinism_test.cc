@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/arena.h"
+#include "common/bitvector_kernels.h"
 #include "core/colossal_miner.h"
 #include "core/pattern_fusion.h"
 #include "data/generators.h"
@@ -153,6 +155,75 @@ TEST(DeterminismTest, BuildInitialPoolIdenticalAcrossThreadCounts) {
     ASSERT_TRUE(pool.ok());
     ExpectSamePatterns(*pool, *reference, threads);
   }
+}
+
+// Arena backing is a pure allocation strategy: the mine must produce
+// bit-identical output with and without a request arena, and nothing in
+// the result may still point into the arena (it resets between
+// requests).
+TEST(DeterminismTest, MineColossalIdenticalWithAndWithoutArena) {
+  LabeledDatabase labeled = MakeDiagPlus(30, 15);
+  ColossalMinerOptions options;
+  options.min_support_count = labeled.min_support_count;
+  options.initial_pool_max_size = 2;
+  options.tau = 0.5;
+  options.k = 50;
+  options.seed = 7;
+
+  StatusOr<ColossalMiningResult> heap = MineColossal(labeled.db, options);
+  ASSERT_TRUE(heap.ok());
+
+  Arena arena;
+  StatusOr<ColossalMiningResult> arena_backed =
+      MineColossal(labeled.db, options, &arena);
+  ASSERT_TRUE(arena_backed.ok());
+  EXPECT_GT(arena.high_water_bytes(), 0) << "arena was never used";
+
+  EXPECT_EQ(arena_backed->initial_pool_size, heap->initial_pool_size);
+  EXPECT_EQ(arena_backed->iterations, heap->iterations);
+  EXPECT_EQ(arena_backed->converged, heap->converged);
+  ExpectSamePatterns(arena_backed->patterns, heap->patterns, 1);
+  for (const Pattern& pattern : arena_backed->patterns) {
+    EXPECT_FALSE(pattern.support_set.arena_backed())
+        << "result escaped with arena-backed storage";
+  }
+
+  // Reusing the arena (as the service does across a request loop)
+  // changes neither the answer nor the arena's footprint direction.
+  arena.Reset();
+  StatusOr<ColossalMiningResult> again =
+      MineColossal(labeled.db, options, &arena);
+  ASSERT_TRUE(again.ok());
+  ExpectSamePatterns(again->patterns, heap->patterns, 1);
+}
+
+// Backend dispatch is invisible in the output: the scalar kernels and
+// whatever backend the host resolves (AVX2 here when supported) must
+// mine bit-identical results. On a scalar-only host the two runs
+// coincide; CI's COLOSSAL_FORCE_SCALAR leg plus an AVX2 host cover both
+// sides.
+TEST(DeterminismTest, MineColossalIdenticalAcrossKernelBackends) {
+  LabeledDatabase labeled = MakeMicroarrayLike(5);
+  ColossalMinerOptions options;
+  options.min_support_count = 30;
+  options.initial_pool_max_size = 2;
+  options.tau = 0.5;
+  options.k = 40;
+  options.seed = 19;
+
+  SetBitvectorForceScalar(true);
+  StatusOr<ColossalMiningResult> scalar = MineColossal(labeled.db, options);
+  SetBitvectorForceScalar(false);
+  ASSERT_TRUE(scalar.ok());
+
+  StatusOr<ColossalMiningResult> dispatched =
+      MineColossal(labeled.db, options);
+  ASSERT_TRUE(dispatched.ok());
+
+  EXPECT_EQ(dispatched->initial_pool_size, scalar->initial_pool_size);
+  EXPECT_EQ(dispatched->iterations, scalar->iterations);
+  EXPECT_EQ(dispatched->converged, scalar->converged);
+  ExpectSamePatterns(dispatched->patterns, scalar->patterns, 1);
 }
 
 }  // namespace

@@ -56,7 +56,8 @@ TEST_F(ServeDispatchTest, ClassifiesControlLines) {
        {" cache_misses=", " cache_entries=", " cache_evictions=",
         " dataset_loads=", " dataset_hits=", " dataset_evictions=",
         " dataset_stale_reloads=", " sniff_cache_hits=",
-        " admission_waits=", " resident_mb=", " peak_resident_mb="}) {
+        " admission_waits=", " resident_mb=", " peak_resident_mb=",
+        " arena_peak_mb=", " simd="}) {
     EXPECT_NE(stats.stats_line.find(field), std::string::npos)
         << "missing " << field << " in: " << stats.stats_line;
   }

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/arena.h"
 #include "core/pattern.h"
 #include "data/dataset_io.h"
 #include "data/generators.h"
@@ -119,6 +120,46 @@ TEST_F(ShardedMinerTest, ExactIsByteIdenticalAcrossShardAndThreadCounts) {
       for (size_t i = 0; i < reference->patterns.size(); ++i) {
         EXPECT_TRUE(sharded->patterns[i] == reference->patterns[i]) << i;
       }
+    }
+  }
+}
+
+TEST_F(ShardedMinerTest, ArenaBackedMineIsByteIdenticalAndRecordsPeaks) {
+  StatusOr<ShardManifest> manifest =
+      ReadShardManifestFile((*manifest_paths_)[2]);  // 7 shards
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+
+  ShardedMiner plain(*manifest, DiskLoader());
+  StatusOr<ColossalMiningResult> reference =
+      plain.Mine(BaseOptions(), ShardMergeMode::kExact);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (ShardMergeMode mode : {ShardMergeMode::kExact, ShardMergeMode::kFuse}) {
+    std::atomic<int64_t> peak{0};
+    ShardResidencyOptions residency;
+    residency.arena_peak_bytes = &peak;
+    ShardedMiner miner(*manifest, DiskLoader(), residency);
+
+    StatusOr<ColossalMiningResult> heap = miner.Mine(BaseOptions(), mode);
+    ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+    // Per-shard mining/re-count arenas report even without a request
+    // arena.
+    EXPECT_GT(peak.load(), 0) << ShardMergeModeName(mode);
+
+    Arena request_arena;
+    StatusOr<ColossalMiningResult> arena_backed =
+        miner.Mine(BaseOptions(), mode, &request_arena);
+    ASSERT_TRUE(arena_backed.ok()) << arena_backed.status().ToString();
+    EXPECT_GT(request_arena.high_water_bytes(), 0);
+
+    EXPECT_EQ(Render(*arena_backed), Render(*heap)) << ShardMergeModeName(mode);
+    ASSERT_EQ(arena_backed->patterns.size(), heap->patterns.size());
+    for (size_t i = 0; i < heap->patterns.size(); ++i) {
+      EXPECT_TRUE(arena_backed->patterns[i] == heap->patterns[i]) << i;
+      EXPECT_FALSE(arena_backed->patterns[i].support_set.arena_backed()) << i;
+    }
+    if (mode == ShardMergeMode::kExact) {
+      EXPECT_EQ(Render(*heap), Render(*reference));
     }
   }
 }

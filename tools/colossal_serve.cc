@@ -75,6 +75,7 @@
 #include <vector>
 
 #include "common/args.h"
+#include "common/bitvector_kernels.h"
 #include "common/table_printer.h"
 #include "core/pattern.h"
 #include "mining/result_io.h"
@@ -106,6 +107,9 @@ constexpr const char kUsage[] =
     "    [--max-iterations N] [--attempts N] [--retain N] [--seed S]\n"
     "    [--threads N] [--format fimi|matrix|snapshot|manifest|auto]\n"
     "    [--shards exact|fuse] [--shard-parallelism N]   (shard manifests)\n"
+    "all subcommands take --force-scalar (pin the scalar Bitvector\n"
+    "    kernels; same as COLOSSAL_FORCE_SCALAR=1 — output is identical\n"
+    "    either way, this exists for byte-identity checks and benchmarks)\n"
     "see the header of tools/colossal_serve.cc for details\n";
 
 // Shared service knobs for both subcommands.
@@ -141,7 +145,8 @@ StatusOr<MiningServiceOptions> ServiceOptionsFromArgs(const Args& args) {
 int RunBatch(const Args& args) {
   Status known = args.CheckKnown({"requests", "out-dir", "threads",
                                   "mining-threads", "shard-parallelism",
-                                  "cache-entries", "registry-mb", "csv"});
+                                  "cache-entries", "registry-mb", "csv",
+                                  "force-scalar"});
   if (!known.ok()) return Fail(known);
   const std::string requests_path = args.GetString("requests");
   if (requests_path.empty()) {
@@ -234,7 +239,7 @@ int RunBatch(const Args& args) {
 int RunDaemon(const Args& args) {
   Status known = args.CheckKnown({"mining-threads", "shard-parallelism",
                                   "cache-entries", "registry-mb",
-                                  "no-patterns"});
+                                  "no-patterns", "force-scalar"});
   if (!known.ok()) return Fail(known);
   StatusOr<MiningServiceOptions> service_options =
       ServiceOptionsFromArgs(args);
@@ -284,7 +289,7 @@ int RunListen(const Args& args) {
                                   "mining-threads", "shard-parallelism",
                                   "cache-entries", "registry-mb",
                                   "no-patterns", "max-connections",
-                                  "max-line-kb"});
+                                  "max-line-kb", "force-scalar"});
   if (!known.ok()) return Fail(known);
   StatusOr<MiningServiceOptions> service_options =
       ServiceOptionsFromArgs(args);
@@ -354,12 +359,16 @@ int Main(int argc, char** argv) {
     std::fputs(kUsage, stdout);
     return 0;
   }
-  StatusOr<Args> args = Args::Parse(argc, argv, 2, {"csv", "no-patterns"});
+  StatusOr<Args> args =
+      Args::Parse(argc, argv, 2, {"csv", "no-patterns", "force-scalar"});
   if (!args.ok()) return Fail(args.status());
   if (args->HelpRequested()) {
     std::fputs(kUsage, stdout);
     return 0;
   }
+  // Kernel backend pin, for byte-identity smoke checks: the flag and
+  // the COLOSSAL_FORCE_SCALAR env var are equivalent.
+  if (args->Has("force-scalar")) SetBitvectorForceScalar(true);
   if (command == "batch") return RunBatch(*args);
   if (command == "daemon") return RunDaemon(*args);
   if (command == "listen") return RunListen(*args);
