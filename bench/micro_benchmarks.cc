@@ -24,6 +24,7 @@
 #include "mining/closed_miner.h"
 #include "mining/eclat.h"
 #include "mining/fpgrowth.h"
+#include "obs/metrics.h"
 #include "service/dataset_registry.h"
 #include "service/mining_service.h"
 #include "shard/shard_planner.h"
@@ -605,6 +606,56 @@ void BM_ShardedMineUnshardedReference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ShardedMineUnshardedReference)->Unit(benchmark::kMillisecond);
+
+// --- Metrics ----------------------------------------------------------------
+// The cost of always-on observability: one counter increment and one
+// histogram record are what every request pays per metric touched, so
+// the per-op overhead here bounds what tracing adds to the hot path.
+
+void BM_MetricsCounterIncrement(benchmark::State& state) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("bench_counter", "bench");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  benchmark::DoNotOptimize(counter->value());
+}
+BENCHMARK(BM_MetricsCounterIncrement);
+
+void BM_MetricsCounterIncrementContended(benchmark::State& state) {
+  static Counter counter;
+  for (auto _ : state) {
+    counter.Increment();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_MetricsCounterIncrementContended)->ThreadRange(1, 4);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("bench_seconds", "bench", 1e-9);
+  // A realistic spread of latencies so the bucket index path is not
+  // branch-predicted into a single bucket.
+  int64_t value = 1;
+  for (auto _ : state) {
+    histogram->Record(value);
+    value = value * 2862933555777941757LL + 3037000493LL;
+    value &= (int64_t{1} << 40) - 1;
+  }
+  benchmark::DoNotOptimize(histogram->TotalCount());
+}
+BENCHMARK(BM_MetricsHistogramRecord);
+
+void BM_MetricsRenderText(benchmark::State& state) {
+  // A registry shaped like the serving stack's: the full metric set the
+  // `metrics` word renders per scrape.
+  MiningService service;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.metrics().RenderText());
+  }
+}
+BENCHMARK(BM_MetricsRenderText);
 
 }  // namespace
 }  // namespace colossal

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 namespace colossal {
@@ -123,6 +124,42 @@ StatusOr<std::string> SocketReader::ReadExact(size_t n) {
     pos_ = 0;
   }
   return payload;
+}
+
+StatusOr<TcpFrame> ReadTcpFrame(SocketReader& reader) {
+  StatusOr<std::string> header = reader.ReadLine();
+  if (!header.ok()) return header.status();
+  TcpFrame frame;
+  frame.header = *std::move(header);
+
+  const size_t bytes_pos = frame.header.rfind(" bytes=");
+  if (bytes_pos == std::string::npos) {
+    return Status::Internal("response missing bytes= framing: '" +
+                            frame.header + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long payload_bytes =
+      std::strtoll(frame.header.c_str() + bytes_pos + 7, &end, 10);
+  if (end == nullptr || *end != '\0' || errno != 0 || payload_bytes < 0) {
+    return Status::Internal("bad bytes= count in '" + frame.header + "'");
+  }
+
+  frame.ok = frame.header.rfind("ok", 0) == 0 ||
+             frame.header.rfind("stats", 0) == 0 ||
+             frame.header.rfind("metrics", 0) == 0;
+  const size_t source_pos = frame.header.find("source=");
+  if (source_pos != std::string::npos) {
+    const size_t value = source_pos + 7;
+    frame.source =
+        frame.header.substr(value, frame.header.find(' ', value) - value);
+  }
+
+  StatusOr<std::string> payload =
+      reader.ReadExact(static_cast<size_t>(payload_bytes));
+  if (!payload.ok()) return payload.status();
+  frame.payload = *std::move(payload);
+  return frame;
 }
 
 bool SocketReader::AtEof() {

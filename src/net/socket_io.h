@@ -48,6 +48,21 @@ class SocketReader {
   bool eof_ = false;
 };
 
+// One parsed response frame of the counted wire protocol ("<header>
+// bytes=B\n" then exactly B payload bytes — see tools/colossal_serve.cc
+// for the full grammar).
+struct TcpFrame {
+  std::string header;   // full status line (without the newline)
+  std::string payload;  // exactly bytes=B bytes
+  bool ok = false;      // header starts with "ok", "stats" or "metrics"
+  std::string source;   // "mined" | "cache" | "coalesced" | "" (non-request)
+};
+
+// Reads and splits one frame. Shared by colossal_client and
+// colossal_loadgen so every client parses the protocol identically.
+// Fails kInternal on malformed framing or a connection closed mid-frame.
+StatusOr<TcpFrame> ReadTcpFrame(SocketReader& reader);
+
 }  // namespace colossal
 
 #endif  // COLOSSAL_NET_SOCKET_IO_H_

@@ -52,7 +52,24 @@ TcpServer::TcpServer(const TcpServerOptions& options, LineHandler handler,
       handler_(std::move(handler)),
       error_formatter_(error_formatter ? std::move(error_formatter)
                                        : DefaultErrorReply),
-      pool_(std::make_unique<ThreadPool>(options.num_threads)) {}
+      pool_(std::make_unique<ThreadPool>(options.num_threads)) {
+  MetricsRegistry* metrics = options_.metrics;
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  accepted_ = metrics->GetCounter("colossal_tcp_accepted_total",
+                                  "Connections accepted");
+  rejected_ = metrics->GetCounter("colossal_tcp_rejected_total",
+                                  "Connections rejected over the limit");
+  lines_dispatched_ = metrics->GetCounter("colossal_tcp_lines_dispatched_total",
+                                          "Request lines handed to handlers");
+  oversized_lines_ = metrics->GetCounter(
+      "colossal_tcp_oversized_lines_total",
+      "Request lines rejected for exceeding max_line_bytes");
+  active_connections_ = metrics->GetGauge("colossal_tcp_active_connections",
+                                          "Connections currently open");
+}
 
 TcpServer::~TcpServer() {
   Shutdown();
@@ -153,8 +170,13 @@ void TcpServer::Shutdown() {
 }
 
 TcpServerStats TcpServer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  TcpServerStats stats;
+  stats.accepted = accepted_->value();
+  stats.rejected = rejected_->value();
+  stats.lines_dispatched = lines_dispatched_->value();
+  stats.oversized_lines = oversized_lines_->value();
+  stats.active_connections = active_connections_->value();
+  return stats;
 }
 
 void TcpServer::WakeLoop() {
@@ -193,15 +215,12 @@ bool TcpServer::AcceptNewConnections() {
       conn.close_after_flush = true;
       conn.linger_on_close = false;
     }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (over_limit) {
-        ++stats_.rejected;
-      } else {
-        ++stats_.accepted;
-      }
-      stats_.active_connections = static_cast<int64_t>(connections_.size()) + 1;
+    if (over_limit) {
+      rejected_->Increment();
+    } else {
+      accepted_->Increment();
     }
+    active_connections_->Set(static_cast<int64_t>(connections_.size()) + 1);
     const uint64_t id = conn.id;
     connections_.emplace(id, std::move(conn));
     FlushConnection(connections_.at(id));
@@ -267,18 +286,14 @@ void TcpServer::MaybeDispatchLine(Connection& conn) {
     conn.inbuf.shrink_to_fit();
     conn.outbuf.append(reply.data);
     conn.close_after_flush = true;
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.oversized_lines;
+    oversized_lines_->Increment();
     return;
   }
   if (newline == std::string::npos) return;
   std::string line = conn.inbuf.substr(0, newline);
   conn.inbuf.erase(0, newline + 1);
   conn.busy = true;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.lines_dispatched;
-  }
+  lines_dispatched_->Increment();
   const uint64_t id = conn.id;
   pool_->Submit([this, id, line = std::move(line)]() {
     ServerReply reply = handler_(line);
@@ -295,8 +310,7 @@ void TcpServer::DestroyConnection(uint64_t id) {
   if (it == connections_.end()) return;
   ::close(it->second.fd);
   connections_.erase(it);
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.active_connections = static_cast<int64_t>(connections_.size());
+  active_connections_->Set(static_cast<int64_t>(connections_.size()));
 }
 
 void TcpServer::Loop() {

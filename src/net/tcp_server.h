@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace colossal {
 
@@ -57,6 +58,10 @@ struct TcpServerOptions {
   int64_t max_line_bytes = int64_t{1} << 20;
 
   int listen_backlog = 64;
+
+  // Registry the colossal_tcp_* metrics live in; the server owns a
+  // private one when null.
+  MetricsRegistry* metrics = nullptr;
 };
 
 // What a handler (or the error formatter) sends back for one line.
@@ -113,6 +118,8 @@ class TcpServer {
   // close.
   void Shutdown();
 
+  // Snapshot of the server's registry metrics (each field an atomic
+  // counter/gauge, so reading never contends with the event loop).
   TcpServerStats stats() const;
 
  private:
@@ -155,6 +162,13 @@ class TcpServer {
   const LineHandler handler_;
   const ErrorFormatter error_formatter_;
 
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // when options.metrics null
+  Counter* accepted_;
+  Counter* rejected_;
+  Counter* lines_dispatched_;
+  Counter* oversized_lines_;
+  Gauge* active_connections_;
+
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;
@@ -173,7 +187,6 @@ class TcpServer {
   // Shared between handler jobs and the loop.
   mutable std::mutex mutex_;
   std::vector<std::pair<uint64_t, ServerReply>> completions_;
-  TcpServerStats stats_;
 
   // Last: destroyed first, so handler jobs drain while the rest of the
   // server is still alive.

@@ -1,0 +1,207 @@
+#include "src/obs/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace colossal {
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value < kSubBuckets) {
+    return value < 0 ? 0 : static_cast<int>(value);
+  }
+  // Exponent of the containing power-of-two range, 5..62 for positive
+  // int64 values >= 32.
+  const int e = 63 - std::countl_zero(static_cast<uint64_t>(value));
+  const int sub = static_cast<int>((value >> (e - kSubBucketBits)) &
+                                   (kSubBuckets - 1));
+  return kSubBuckets + (e - kSubBucketBits) * kSubBuckets + sub;
+}
+
+int64_t Histogram::BucketLowerBound(int index) {
+  COLOSSAL_CHECK(index >= 0 && index < kNumBuckets) << "index=" << index;
+  if (index < kSubBuckets) return index;
+  const int j = index - kSubBuckets;
+  const int e = kSubBucketBits + j / kSubBuckets;
+  const int sub = j % kSubBuckets;
+  return (int64_t{1} << e) +
+         (static_cast<int64_t>(sub) << (e - kSubBucketBits));
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const int64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+int64_t Histogram::TotalCount() const {
+  int64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t Histogram::ValueAtPercentile(double p) const {
+  const int64_t total = TotalCount();
+  if (total == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the sample the percentile names: the smallest k such that
+  // at least p of the samples are <= the k-th smallest (1-based).
+  int64_t target = static_cast<int64_t>(p * static_cast<double>(total));
+  if (static_cast<double>(target) < p * static_cast<double>(total)) ++target;
+  if (target < 1) target = 1;
+  if (target > total) target = total;
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target) return BucketLowerBound(i);
+  }
+  return BucketLowerBound(kNumBuckets - 1);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    COLOSSAL_CHECK(it->second.type == MetricType::kCounter)
+        << "metric '" << name << "' already registered with another type";
+    return it->second.counter.get();
+  }
+  Entry entry;
+  entry.type = MetricType::kCounter;
+  entry.help = help;
+  entry.counter = std::make_unique<Counter>();
+  Counter* out = entry.counter.get();
+  metrics_.emplace(name, std::move(entry));
+  return out;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    COLOSSAL_CHECK(it->second.type == MetricType::kGauge)
+        << "metric '" << name << "' already registered with another type";
+    return it->second.gauge.get();
+  }
+  Entry entry;
+  entry.type = MetricType::kGauge;
+  entry.help = help;
+  entry.gauge = std::make_unique<Gauge>();
+  Gauge* out = entry.gauge.get();
+  metrics_.emplace(name, std::move(entry));
+  return out;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         double scale) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    COLOSSAL_CHECK(it->second.type == MetricType::kHistogram)
+        << "metric '" << name << "' already registered with another type";
+    return it->second.histogram.get();
+  }
+  Entry entry;
+  entry.type = MetricType::kHistogram;
+  entry.help = help;
+  entry.scale = scale;
+  entry.histogram = std::make_unique<Histogram>();
+  Histogram* out = entry.histogram.get();
+  metrics_.emplace(name, std::move(entry));
+  return out;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::FindEntry(
+    std::string_view name, MetricType type) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.type != type) return nullptr;
+  return &it->second;
+}
+
+int64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  const Entry* entry = FindEntry(name, MetricType::kCounter);
+  return entry == nullptr ? 0 : entry->counter->value();
+}
+
+int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
+  const Entry* entry = FindEntry(name, MetricType::kGauge);
+  return entry == nullptr ? 0 : entry->gauge->value();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  const Entry* entry = FindEntry(name, MetricType::kHistogram);
+  return entry == nullptr ? nullptr : entry->histogram.get();
+}
+
+namespace {
+
+void AppendLine(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  COLOSSAL_CHECK(n >= 0 && n < static_cast<int>(sizeof(buf)));
+  out->append(buf, static_cast<size_t>(n));
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, entry] : metrics_) {
+    const char* n = name.c_str();
+    AppendLine(&out, "# HELP %s %s\n", n, entry.help.c_str());
+    switch (entry.type) {
+      case MetricType::kCounter:
+        AppendLine(&out, "# TYPE %s counter\n", n);
+        AppendLine(&out, "%s %" PRId64 "\n", n, entry.counter->value());
+        break;
+      case MetricType::kGauge:
+        AppendLine(&out, "# TYPE %s gauge\n", n);
+        AppendLine(&out, "%s %" PRId64 "\n", n, entry.gauge->value());
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        AppendLine(&out, "# TYPE %s summary\n", n);
+        const double q50 =
+            static_cast<double>(h.ValueAtPercentile(0.50)) * entry.scale;
+        const double q95 =
+            static_cast<double>(h.ValueAtPercentile(0.95)) * entry.scale;
+        const double q99 =
+            static_cast<double>(h.ValueAtPercentile(0.99)) * entry.scale;
+        AppendLine(&out, "%s{quantile=\"0.5\"} %.9g\n", n, q50);
+        AppendLine(&out, "%s{quantile=\"0.95\"} %.9g\n", n, q95);
+        AppendLine(&out, "%s{quantile=\"0.99\"} %.9g\n", n, q99);
+        AppendLine(&out, "%s_sum %.9g\n", n,
+                   static_cast<double>(h.sum()) * entry.scale);
+        AppendLine(&out, "%s_count %" PRId64 "\n", n, h.TotalCount());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace colossal

@@ -43,6 +43,7 @@ class DatasetRegistry::ReservationGuard {
     if (registry_ == nullptr) return;
     std::lock_guard<std::mutex> lock(registry_->mutex_);
     registry_->reserved_bytes_ -= bytes_;
+    registry_->SyncGaugesLocked();
     registry_->admission_cv_.notify_all();
   }
 
@@ -73,7 +74,41 @@ FileSignature StatFileSignature(const std::string& path) {
 }
 
 DatasetRegistry::DatasetRegistry(const DatasetRegistryOptions& options)
-    : options_(options) {}
+    : options_(options) {
+  MetricsRegistry* metrics = options_.metrics;
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  loads_ = metrics->GetCounter("colossal_dataset_loads_total",
+                               "Datasets (incl. manifests) loaded from disk");
+  hits_ = metrics->GetCounter("colossal_dataset_hits_total",
+                              "Dataset lookups served from memory");
+  evictions_ = metrics->GetCounter("colossal_dataset_evictions_total",
+                                   "Datasets evicted by the registry LRU");
+  stale_reloads_ =
+      metrics->GetCounter("colossal_dataset_stale_reloads_total",
+                          "Hits invalidated by a changed file signature");
+  admission_waits_ =
+      metrics->GetCounter("colossal_admission_waits_total",
+                          "GetPinned admissions that waited for room");
+  sniff_cache_hits_ =
+      metrics->GetCounter("colossal_sniff_cache_hits_total",
+                          "Manifest-sniff verdicts served from cache");
+  resident_bytes_gauge_ = metrics->GetGauge(
+      "colossal_dataset_resident_bytes", "Bytes of datasets held resident");
+  peak_resident_bytes_gauge_ =
+      metrics->GetGauge("colossal_dataset_peak_resident_bytes",
+                        "High-water mark of resident dataset bytes");
+  reserved_bytes_gauge_ =
+      metrics->GetGauge("colossal_dataset_reserved_bytes",
+                        "Bytes reserved by in-flight pinned loads");
+  pinned_bytes_gauge_ =
+      metrics->GetGauge("colossal_dataset_pinned_bytes",
+                        "Resident bytes held unevictable by pins");
+  resident_datasets_gauge_ = metrics->GetGauge(
+      "colossal_dataset_resident_datasets", "Datasets currently resident");
+}
 
 StatusOr<DatasetHandle> DatasetRegistry::Get(const std::string& path,
                                              const std::string& format) {
@@ -87,7 +122,7 @@ StatusOr<DatasetHandle> DatasetRegistry::Get(const std::string& path,
     if (it != entries_.end()) {
       if (it->second.signature == signature) {
         lru_.splice(lru_.begin(), lru_, it->second.lru_position);
-        ++stats_.hits;
+        hits_->Increment();
         DatasetHandle handle;
         handle.db = it->second.db;
         handle.fingerprint = it->second.fingerprint;
@@ -96,7 +131,7 @@ StatusOr<DatasetHandle> DatasetRegistry::Get(const std::string& path,
       }
       // The file changed (or vanished) under the entry: drop it and fall
       // through to a fresh load. In-flight users keep their shared_ptr.
-      ++stats_.stale_reloads;
+      stale_reloads_->Increment();
       EraseEntryLocked(key);
     }
   }
@@ -145,7 +180,7 @@ StatusOr<PinnedDatasetHandle> DatasetRegistry::GetPinned(
         // Already resident: pinning adds no bytes, so no admission
         // wait — the entry's bytes merely move into the pinned set.
         lru_.splice(lru_.begin(), lru_, it->second.lru_position);
-        ++stats_.hits;
+        hits_->Increment();
         PinnedDatasetHandle pinned;
         pinned.handle.db = it->second.db;
         pinned.handle.fingerprint = it->second.fingerprint;
@@ -153,7 +188,7 @@ StatusOr<PinnedDatasetHandle> DatasetRegistry::GetPinned(
         pinned.pin = AddPinLocked(key);
         return pinned;
       }
-      ++stats_.stale_reloads;
+      stale_reloads_->Increment();
       EraseEntryLocked(key);
     }
     // Reserve-before-load: wait until the estimate fits alongside what
@@ -177,10 +212,11 @@ StatusOr<PinnedDatasetHandle> DatasetRegistry::GetPinned(
              static_cast<__int128>(options_.memory_budget_bytes);
     };
     if (!admissible()) {
-      ++stats_.admission_waits;
+      admission_waits_->Increment();
       admission_cv_.wait(lock, admissible);
     }
     reserved_bytes_ += estimated_bytes;
+    SyncGaugesLocked();
     ++admission_serving_ticket_;
     admission_cv_.notify_all();  // next ticket holder re-evaluates
     // Evict unpinned entries now so the in-flight load already has its
@@ -201,6 +237,7 @@ StatusOr<PinnedDatasetHandle> DatasetRegistry::GetPinned(
   // The reservation converts into the entry's actual byte accounting
   // (or vanishes, on a lost race against another loader of `key`).
   reserved_bytes_ -= reservation.TakeLocked();
+  SyncGaugesLocked();
   RegisterLoadedLocked(key, std::move(db), fingerprint, signature);
   PinnedDatasetHandle pinned;
   pinned.handle.db = entries_.at(key).db;
@@ -218,7 +255,7 @@ bool DatasetRegistry::SniffIsManifest(const std::string& path) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = sniffs_.find(path);
     if (it != sniffs_.end() && it->second.signature == signature) {
-      ++stats_.sniff_cache_hits;
+      sniff_cache_hits_->Increment();
       return it->second.is_manifest;
     }
   }
@@ -243,13 +280,13 @@ StatusOr<ShardManifestHandle> DatasetRegistry::GetManifest(
     auto it = manifests_.find(path);
     if (it != manifests_.end()) {
       if (it->second.signature == signature) {
-        ++stats_.hits;
+        hits_->Increment();
         ShardManifestHandle handle;
         handle.manifest = it->second.manifest;
         handle.registry_hit = true;
         return handle;
       }
-      ++stats_.stale_reloads;
+      stale_reloads_->Increment();
       manifests_.erase(it);
     }
   }
@@ -261,11 +298,11 @@ StatusOr<ShardManifestHandle> DatasetRegistry::GetManifest(
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = manifests_.find(path);
   if (it == manifests_.end()) {
-    ++stats_.loads;
+    loads_->Increment();
     manifests_.emplace(path, ManifestEntry{manifest, signature});
   } else {
     // Lost a race; serve the registered copy.
-    ++stats_.hits;
+    hits_->Increment();
     manifest = it->second.manifest;
   }
   ShardManifestHandle handle;
@@ -290,12 +327,21 @@ void DatasetRegistry::Invalidate(const std::string& path) {
 }
 
 DatasetRegistryStats DatasetRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  DatasetRegistryStats stats = stats_;
-  stats.resident_bytes = resident_bytes_;
-  stats.resident_datasets = static_cast<int64_t>(entries_.size());
-  stats.reserved_bytes = reserved_bytes_;
-  stats.pinned_bytes = pinned_bytes_;
+  DatasetRegistryStats stats;
+  stats.loads = loads_->value();
+  stats.hits = hits_->value();
+  stats.evictions = evictions_->value();
+  stats.stale_reloads = stale_reloads_->value();
+  stats.admission_waits = admission_waits_->value();
+  stats.sniff_cache_hits = sniff_cache_hits_->value();
+  stats.peak_resident_bytes = peak_resident_bytes_gauge_->value();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.resident_bytes = resident_bytes_;
+    stats.resident_datasets = static_cast<int64_t>(entries_.size());
+    stats.reserved_bytes = reserved_bytes_;
+    stats.pinned_bytes = pinned_bytes_;
+  }
   return stats;
 }
 
@@ -306,10 +352,10 @@ void DatasetRegistry::RegisterLoadedLocked(
   if (it != entries_.end()) {
     // Lost the race; serve the copy another loader registered.
     lru_.splice(lru_.begin(), lru_, it->second.lru_position);
-    ++stats_.hits;
+    hits_->Increment();
     return;
   }
-  ++stats_.loads;
+  loads_->Increment();
   Entry entry;
   entry.db = std::move(db);
   entry.fingerprint = fingerprint;
@@ -325,6 +371,7 @@ void DatasetRegistry::RegisterLoadedLocked(
   resident_bytes_ += entry.bytes;
   entries_.emplace(key, std::move(entry));
   NotePeakLocked();
+  SyncGaugesLocked();
 }
 
 void DatasetRegistry::EraseEntryLocked(const std::string& key) {
@@ -340,6 +387,7 @@ void DatasetRegistry::EraseEntryLocked(const std::string& key) {
   }
   lru_.erase(it->second.lru_position);
   entries_.erase(it);
+  SyncGaugesLocked();
 }
 
 void DatasetRegistry::MakeRoomLocked(int64_t incoming_bytes) {
@@ -362,7 +410,8 @@ void DatasetRegistry::MakeRoomLocked(int64_t incoming_bytes) {
     }
     resident_bytes_ -= it->second.bytes;
     entries_.erase(it);
-    ++stats_.evictions;
+    evictions_->Increment();
+    SyncGaugesLocked();
     const auto victim = pos;
     if (!at_front) --pos;
     lru_.erase(victim);
@@ -372,7 +421,10 @@ void DatasetRegistry::MakeRoomLocked(int64_t incoming_bytes) {
 
 std::shared_ptr<void> DatasetRegistry::AddPinLocked(const std::string& key) {
   Entry& entry = entries_.at(key);
-  if (entry.pin_count++ == 0) pinned_bytes_ += entry.bytes;
+  if (entry.pin_count++ == 0) {
+    pinned_bytes_ += entry.bytes;
+    SyncGaugesLocked();
+  }
   const uint64_t generation = entry.generation;
   DatasetRegistry* self = this;
   return std::shared_ptr<void>(new int(0),
@@ -391,14 +443,20 @@ void DatasetRegistry::ReleasePin(const std::string& key,
   COLOSSAL_CHECK(entry.pin_count > 0) << "unbalanced unpin for " << key;
   if (--entry.pin_count == 0) {
     pinned_bytes_ -= entry.bytes;
+    SyncGaugesLocked();
     admission_cv_.notify_all();
   }
 }
 
 void DatasetRegistry::NotePeakLocked() {
-  if (resident_bytes_ > stats_.peak_resident_bytes) {
-    stats_.peak_resident_bytes = resident_bytes_;
-  }
+  peak_resident_bytes_gauge_->RaiseTo(resident_bytes_);
+}
+
+void DatasetRegistry::SyncGaugesLocked() {
+  resident_bytes_gauge_->Set(resident_bytes_);
+  reserved_bytes_gauge_->Set(reserved_bytes_);
+  pinned_bytes_gauge_->Set(pinned_bytes_);
+  resident_datasets_gauge_->Set(static_cast<int64_t>(entries_.size()));
 }
 
 }  // namespace colossal

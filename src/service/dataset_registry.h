@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "data/transaction_database.h"
+#include "obs/metrics.h"
 #include "shard/shard_manifest.h"
 
 namespace colossal {
@@ -33,6 +34,9 @@ struct DatasetRegistryOptions {
   // recently used dataset is never evicted, so a single dataset larger
   // than the budget still loads (and simply owns the whole budget).
   int64_t memory_budget_bytes = int64_t{1} << 30;
+  // Registry the colossal_dataset_* metrics live in; the dataset
+  // registry owns a private one when null.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct DatasetRegistryStats {
@@ -162,6 +166,9 @@ class DatasetRegistry {
   // not trustworthy).
   void Invalidate(const std::string& path);
 
+  // Snapshot of the registry's metrics. Monotonic counters are atomic;
+  // the byte-accounting fields are copied under the registry mutex so
+  // resident/reserved/pinned are mutually consistent.
   DatasetRegistryStats stats() const;
 
  private:
@@ -226,12 +233,30 @@ class DatasetRegistry {
   std::shared_ptr<void> AddPinLocked(const std::string& key);
   void ReleasePin(const std::string& key, uint64_t generation);
 
-  // Updates stats_.peak_resident_bytes from resident_bytes_.
+  // Updates the peak-resident gauge from resident_bytes_.
   // Reservations are deliberately not counted (see the stats doc) —
   // they over-estimate, and their room was already evicted ahead.
   void NotePeakLocked();
 
+  // Mirrors the internal byte accounting (resident/reserved/pinned,
+  // entry count) onto the exported gauges; called at every mutation
+  // site under mutex_. The int64 fields stay authoritative for the
+  // admission arithmetic; the gauges exist for exposition.
+  void SyncGaugesLocked();
+
   const DatasetRegistryOptions options_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // when options.metrics null
+  Counter* loads_;
+  Counter* hits_;
+  Counter* evictions_;
+  Counter* stale_reloads_;
+  Counter* admission_waits_;
+  Counter* sniff_cache_hits_;
+  Gauge* resident_bytes_gauge_;
+  Gauge* peak_resident_bytes_gauge_;
+  Gauge* reserved_bytes_gauge_;
+  Gauge* pinned_bytes_gauge_;
+  Gauge* resident_datasets_gauge_;
   mutable std::mutex mutex_;
   // Admission waiters (GetPinned) blocked on pins/reservations draining.
   std::condition_variable admission_cv_;
@@ -250,7 +275,6 @@ class DatasetRegistry {
   uint64_t admission_next_ticket_ = 0;
   uint64_t admission_serving_ticket_ = 0;
   uint64_t next_generation_ = 1;
-  DatasetRegistryStats stats_;
 };
 
 }  // namespace colossal

@@ -4,8 +4,10 @@
 #include <fstream>
 
 #include "common/bitvector_kernels.h"
+#include "common/stopwatch.h"
 #include "core/pattern.h"
 #include "mining/result_io.h"
+#include "obs/trace.h"
 
 namespace colossal {
 
@@ -66,21 +68,48 @@ ServeOutcome DispatchServeLine(MiningService& service,
     outcome.stats_line = FormatStatsLine(service);
     return outcome;
   }
+  if (command == "metrics") {
+    outcome.kind = ServeOutcome::Kind::kMetrics;
+    outcome.metrics_text = service.metrics().RenderText();
+    return outcome;
+  }
 
   outcome.kind = ServeOutcome::Kind::kResponse;
+  // The request's trace starts here so grammar parsing counts toward
+  // the parse phase; Mine adds its phases into the same trace and
+  // flushes everything to the histograms when the response is final.
+  RequestTrace trace;
+  PhaseTimer parse_timer(&trace, TracePhase::kParse);
   StatusOr<MiningRequest> request = ParseRequestLine(line);
+  parse_timer.Stop();
   if (!request.ok()) {
     outcome.response.status = request.status();
     outcome.response.source = ResponseSource::kFailed;
+    service.NoteParseFailure();
+    service.RecordPhaseNanos(TracePhase::kParse,
+                             trace.nanos(TracePhase::kParse));
     return outcome;
   }
-  outcome.response = service.Mine(*request);
+  outcome.response = service.Mine(*request, &trace);
+  if (outcome.response.status.ok()) {
+    // Serialize once, here, for both transports; the render is the one
+    // phase that runs after Mine flushed the trace, so it reports
+    // directly.
+    Stopwatch serialize_watch;
+    outcome.patterns_payload = RenderPatternsPayload(outcome.response);
+    outcome.patterns_rendered = true;
+    service.RecordPhaseNanos(
+        TracePhase::kSerialize,
+        static_cast<int64_t>(serialize_watch.ElapsedSeconds() * 1e9));
+  }
   return outcome;
 }
 
 std::string FormatStatsLine(const MiningService& service) {
-  const ResultCacheStats cache = service.cache_stats();
-  const DatasetRegistryStats registry = service.registry_stats();
+  // The legacy field layout, rendered from the MetricsRegistry the
+  // whole stack now reports into — the `stats` line and the `metrics`
+  // exposition can never disagree on a value.
+  const MetricsRegistry& metrics = service.metrics();
   char buffer[512];
   std::snprintf(
       buffer, sizeof(buffer),
@@ -89,19 +118,33 @@ std::string FormatStatsLine(const MiningService& service) {
       "dataset_evictions=%lld dataset_stale_reloads=%lld "
       "sniff_cache_hits=%lld admission_waits=%lld "
       "resident_mb=%.1f peak_resident_mb=%.1f arena_peak_mb=%.1f simd=%s",
-      static_cast<long long>(cache.hits),
-      static_cast<long long>(cache.misses),
-      static_cast<long long>(cache.entries),
-      static_cast<long long>(cache.evictions),
-      static_cast<long long>(registry.loads),
-      static_cast<long long>(registry.hits),
-      static_cast<long long>(registry.evictions),
-      static_cast<long long>(registry.stale_reloads),
-      static_cast<long long>(registry.sniff_cache_hits),
-      static_cast<long long>(registry.admission_waits),
-      static_cast<double>(registry.resident_bytes) / (1 << 20),
-      static_cast<double>(registry.peak_resident_bytes) / (1 << 20),
-      static_cast<double>(service.arena_peak_bytes()) / (1 << 20),
+      static_cast<long long>(
+          metrics.CounterValue("colossal_result_cache_hits_total")),
+      static_cast<long long>(
+          metrics.CounterValue("colossal_result_cache_misses_total")),
+      static_cast<long long>(
+          metrics.GaugeValue("colossal_result_cache_entries")),
+      static_cast<long long>(
+          metrics.CounterValue("colossal_result_cache_evictions_total")),
+      static_cast<long long>(
+          metrics.CounterValue("colossal_dataset_loads_total")),
+      static_cast<long long>(
+          metrics.CounterValue("colossal_dataset_hits_total")),
+      static_cast<long long>(
+          metrics.CounterValue("colossal_dataset_evictions_total")),
+      static_cast<long long>(
+          metrics.CounterValue("colossal_dataset_stale_reloads_total")),
+      static_cast<long long>(
+          metrics.CounterValue("colossal_sniff_cache_hits_total")),
+      static_cast<long long>(
+          metrics.CounterValue("colossal_admission_waits_total")),
+      static_cast<double>(metrics.GaugeValue("colossal_dataset_resident_bytes")) /
+          (1 << 20),
+      static_cast<double>(
+          metrics.GaugeValue("colossal_dataset_peak_resident_bytes")) /
+          (1 << 20),
+      static_cast<double>(metrics.GaugeValue("colossal_arena_peak_bytes")) /
+          (1 << 20),
       ActiveBitvectorKernels().name);
   return buffer;
 }
@@ -141,6 +184,11 @@ ServerReply FrameTcpReply(const ServeOutcome& outcome, bool send_patterns) {
     case ServeOutcome::Kind::kStats:
       reply.data = outcome.stats_line + " bytes=0\n";
       break;
+    case ServeOutcome::Kind::kMetrics:
+      reply.data = "metrics bytes=" +
+                   std::to_string(outcome.metrics_text.size()) + "\n" +
+                   outcome.metrics_text;
+      break;
     case ServeOutcome::Kind::kResponse: {
       if (!outcome.response.status.ok()) {
         const std::string payload = outcome.response.status.message() + "\n";
@@ -151,8 +199,10 @@ ServerReply FrameTcpReply(const ServeOutcome& outcome, bool send_patterns) {
         break;
       }
       const std::string payload =
-          send_patterns ? RenderPatternsPayload(outcome.response)
-                        : std::string();
+          !send_patterns ? std::string()
+          : outcome.patterns_rendered
+              ? outcome.patterns_payload
+              : RenderPatternsPayload(outcome.response);
       reply.data = FormatResponseHeader(outcome.response) +
                    " bytes=" + std::to_string(payload.size()) + "\n" +
                    payload;

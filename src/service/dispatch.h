@@ -23,13 +23,24 @@ struct ServeOutcome {
     kShutdown,  // "shutdown": stop the whole front end (the TCP server;
                 // the stdin daemon treats it like quit)
     kStats,     // "stats": counters in stats_line
+    kMetrics,   // "metrics": full text exposition in metrics_text
     kResponse,  // a request line; see response (response.status may be
                 // an error from parsing or mining)
   };
 
   Kind kind = Kind::kEmpty;
   MiningResponse response;
-  std::string stats_line;  // set for kStats, already formatted
+  std::string stats_line;    // set for kStats, already formatted
+  std::string metrics_text;  // set for kMetrics: Prometheus-style text
+
+  // For kResponse with an ok status: the FIMI payload, rendered (and
+  // timed as the serialize trace phase) by DispatchServeLine so both
+  // transports ship identical bytes without rendering twice.
+  // patterns_rendered distinguishes "rendered, possibly empty" from
+  // outcomes built outside DispatchServeLine (FrameTcpReply falls back
+  // to rendering for those).
+  std::string patterns_payload;
+  bool patterns_rendered = false;
 };
 
 // One request line of a batch file, with its 1-based source line for
@@ -48,10 +59,13 @@ StatusOr<std::vector<RequestFileLine>> ReadRequestFile(
     const std::string& path);
 
 // Interprets one input line of the serve protocol against `service`:
-// strips leading whitespace, recognizes the control words, parses
-// request lines with ParseRequestLine, and mines synchronously. Parse
-// errors surface as kResponse with a failed status so callers have a
-// single error-rendering path.
+// strips leading whitespace, recognizes the control words ("stats",
+// "metrics", "quit"/"exit", "shutdown"), parses request lines with
+// ParseRequestLine, and mines synchronously. Parse errors surface as
+// kResponse with a failed status so callers have a single
+// error-rendering path. Every request line is traced: parse, mining
+// phases, and payload serialization land in the service's per-phase
+// latency histograms.
 ServeOutcome DispatchServeLine(MiningService& service,
                                const std::string& line);
 
@@ -60,7 +74,8 @@ ServeOutcome DispatchServeLine(MiningService& service,
 //  dataset_evictions=... dataset_stale_reloads=... resident_mb=...
 //  peak_resident_mb=..." (no trailing newline). The daemon and TCP
 // transports share this, so both report the full registry/cache
-// counters.
+// counters. Rendered from the service's MetricsRegistry — the same
+// values the `metrics` exposition reports, in the legacy field layout.
 std::string FormatStatsLine(const MiningService& service);
 
 // "ok source=... patterns=N iterations=I fingerprint=<16-hex> ms=F" (no
@@ -84,6 +99,8 @@ std::string RenderPatternsPayload(const MiningResponse& response);
 //   error code=<CODE> bytes=B
 //   <B bytes of error message>
 //   stats cache_hits=... ... bytes=0
+//   metrics bytes=B
+//   <B bytes of Prometheus-style exposition text>
 //   ok bye bytes=0                         (quit / shutdown)
 
 // Frames one dispatch outcome. kEmpty produces no bytes (comments and

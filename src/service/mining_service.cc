@@ -6,6 +6,7 @@
 #include "common/arena.h"
 #include "common/hash.h"
 #include "common/stopwatch.h"
+#include "core/pattern_fusion.h"
 
 namespace colossal {
 
@@ -31,6 +32,18 @@ class ArenaPeakRecorder {
   const Arena* arena_;
 };
 
+DatasetRegistryOptions WithMetrics(DatasetRegistryOptions options,
+                                   MetricsRegistry* metrics) {
+  if (options.metrics == nullptr) options.metrics = metrics;
+  return options;
+}
+
+ResultCacheOptions WithMetrics(ResultCacheOptions options,
+                               MetricsRegistry* metrics) {
+  if (options.metrics == nullptr) options.metrics = metrics;
+  return options;
+}
+
 }  // namespace
 
 const char* ResponseSourceName(ResponseSource source) {
@@ -49,20 +62,96 @@ const char* ResponseSourceName(ResponseSource source) {
 
 MiningService::MiningService(const MiningServiceOptions& options)
     : options_(options),
-      registry_(options.registry),
-      cache_(options.cache),
-      pool_(options.num_threads) {}
+      owned_metrics_(options.metrics == nullptr
+                         ? std::make_unique<MetricsRegistry>()
+                         : nullptr),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : owned_metrics_.get()),
+      requests_total_(metrics_->GetCounter(
+          "colossal_requests_total",
+          "Mining request lines received (parse failures included)")),
+      parse_failures_(metrics_->GetCounter(
+          "colossal_request_parse_failures_total",
+          "Request lines rejected by the parser")),
+      responses_mined_(metrics_->GetCounter(
+          "colossal_responses_mined_total",
+          "Responses produced by running Pattern-Fusion")),
+      responses_cache_(
+          metrics_->GetCounter("colossal_responses_cache_total",
+                               "Responses served from the result cache")),
+      responses_coalesced_(metrics_->GetCounter(
+          "colossal_responses_coalesced_total",
+          "Responses shared with an identical in-flight request")),
+      responses_failed_(metrics_->GetCounter(
+          "colossal_responses_failed_total",
+          "Responses that carried an error status")),
+      inflight_gauge_(metrics_->GetGauge("colossal_inflight_mines",
+                                         "Distinct mines currently running")),
+      arena_peak_gauge_(metrics_->GetGauge(
+          "colossal_arena_peak_bytes",
+          "Largest arena high-water mark any mine has reached")),
+      request_seconds_(metrics_->GetHistogram(
+          "colossal_request_seconds",
+          "End-to-end request latency (parse through mine)", 1e-9)),
+      registry_(WithMetrics(options.registry, metrics_)),
+      cache_(WithMetrics(options.cache, metrics_)),
+      pool_(options.num_threads) {
+  for (int i = 0; i < kNumTracePhases; ++i) {
+    const TracePhase phase = static_cast<TracePhase>(i);
+    phase_seconds_[i] = metrics_->GetHistogram(
+        std::string("colossal_phase_") + TracePhaseName(phase) + "_seconds",
+        std::string("Wall time spent in the ") + TracePhaseName(phase) +
+            " phase, per request",
+        1e-9);
+  }
+}
 
 MiningService::~MiningService() = default;
 
+void MiningService::NoteParseFailure() {
+  requests_total_->Increment();
+  parse_failures_->Increment();
+}
+
+void MiningService::RecordPhaseNanos(TracePhase phase, int64_t nanos) {
+  phase_seconds_[static_cast<int>(phase)]->Record(nanos);
+}
+
+void MiningService::NoteResponse(const MiningResponse& response) {
+  switch (response.source) {
+    case ResponseSource::kMined:
+      responses_mined_->Increment();
+      break;
+    case ResponseSource::kCache:
+      responses_cache_->Increment();
+      break;
+    case ResponseSource::kCoalesced:
+      responses_coalesced_->Increment();
+      break;
+    case ResponseSource::kFailed:
+      responses_failed_->Increment();
+      break;
+  }
+  request_seconds_->Record(static_cast<int64_t>(response.seconds * 1e9));
+}
+
+void MiningService::FlushTrace(const RequestTrace& trace) {
+  for (int i = 0; i < kNumTracePhases; ++i) {
+    const int64_t nanos = trace.nanos(static_cast<TracePhase>(i));
+    if (nanos > 0) phase_seconds_[i]->Record(nanos);
+  }
+}
+
 MiningService::Prepared MiningService::Prepare(const MiningRequest& request,
-                                               bool keep_dataset) {
+                                               bool keep_dataset,
+                                               RequestTrace* trace) {
   Prepared prep;
   bool is_manifest = request.format == "manifest";
   if (!is_manifest && request.format == "auto") {
     // Registry-side sniff cache keyed by the file's signature: a warm
     // auto-format request costs one stat here instead of an open+read
     // of the magic bytes, and a rewritten file re-sniffs automatically.
+    PhaseTimer timer(trace, TracePhase::kRegistry);
     is_manifest = registry_.SniffIsManifest(request.dataset_path);
   }
 
@@ -73,8 +162,10 @@ MiningService::Prepared MiningService::Prepare(const MiningRequest& request,
           request.dataset_path + " is not one");
       return prep;
     }
-    StatusOr<DatasetHandle> handle =
-        registry_.Get(request.dataset_path, request.format);
+    StatusOr<DatasetHandle> handle = [&] {
+      PhaseTimer timer(trace, TracePhase::kRegistry);
+      return registry_.Get(request.dataset_path, request.format);
+    }();
     if (!handle.ok()) {
       prep.status = handle.status();
       return prep;
@@ -82,8 +173,10 @@ MiningService::Prepared MiningService::Prepare(const MiningRequest& request,
     prep.handle = *std::move(handle);
     prep.registry_hit = prep.handle.registry_hit;
     prep.fingerprint = prep.handle.fingerprint;
+    PhaseTimer parse_timer(trace, TracePhase::kParse);
     StatusOr<CanonicalRequest> canonical =
         CanonicalizeRequest(*prep.handle.db, request.options);
+    parse_timer.Stop();
     if (!canonical.ok()) {
       prep.status = canonical.status();
       return prep;
@@ -96,8 +189,10 @@ MiningService::Prepared MiningService::Prepare(const MiningRequest& request,
 
   prep.sharded = true;
   prep.shard_mode = request.shard_mode;
-  StatusOr<ShardManifestHandle> handle =
-      registry_.GetManifest(request.dataset_path);
+  StatusOr<ShardManifestHandle> handle = [&] {
+    PhaseTimer timer(trace, TracePhase::kRegistry);
+    return registry_.GetManifest(request.dataset_path);
+  }();
   if (!handle.ok()) {
     prep.status = handle.status();
     return prep;
@@ -105,8 +200,10 @@ MiningService::Prepared MiningService::Prepare(const MiningRequest& request,
   prep.manifest = std::move(handle->manifest);
   prep.registry_hit = handle->registry_hit;
   prep.fingerprint = prep.manifest->parent_fingerprint;
+  PhaseTimer parse_timer(trace, TracePhase::kParse);
   StatusOr<ColossalMinerOptions> canonical = CanonicalizeMinerOptionsForSize(
       prep.manifest->num_transactions, request.options);
+  parse_timer.Stop();
   if (!canonical.ok()) {
     prep.status = canonical.status();
     return prep;
@@ -123,7 +220,7 @@ MiningService::Prepared MiningService::Prepare(const MiningRequest& request,
 }
 
 StatusOr<ColossalMiningResult> MiningService::RunMine(
-    const MiningRequest& request, const Prepared& prep) {
+    const MiningRequest& request, const Prepared& prep, RequestTrace* trace) {
   // Execution options: canonical, except the thread count and shard
   // parallelism — pure performance knobs with bit-identical output —
   // which are taken from the request (falling back to the service's
@@ -141,7 +238,7 @@ StatusOr<ColossalMiningResult> MiningService::RunMine(
   // detached onto the heap inside FuseColossalFromPool, so the cached
   // shared_ptr never references this arena.
   Arena request_arena;
-  ArenaPeakRecorder record_peak(&arena_peak_bytes_, &request_arena);
+  ArenaPeakRecorder record_peak(&arena_peak_gauge_->cell(), &request_arena);
   if (!prep.sharded) {
     std::shared_ptr<const TransactionDatabase> db = prep.handle.db;
     if (db == nullptr) {
@@ -149,8 +246,10 @@ StatusOr<ColossalMiningResult> MiningService::RunMine(
       // hit). A fingerprint that moved means the file was rewritten
       // after the key was computed — mining the new content would cache
       // it under the old content's key, so fail the request instead.
+      PhaseTimer timer(trace, TracePhase::kRegistry);
       StatusOr<DatasetHandle> fresh =
           registry_.Get(request.dataset_path, request.format);
+      timer.Stop();
       if (!fresh.ok()) return fresh.status();
       if (fresh->fingerprint != prep.fingerprint) {
         return Status::FailedPrecondition(
@@ -158,7 +257,23 @@ StatusOr<ColossalMiningResult> MiningService::RunMine(
       }
       db = fresh->db;
     }
-    return MineColossal(*db, exec, &request_arena);
+    // MineColossal's two halves called directly (same arguments, same
+    // order, so output is byte-identical to the one-call form) with a
+    // phase timer around each: initial pool mining vs. fusion.
+    StatusOr<ColossalMinerOptions> canonical =
+        CanonicalizeMinerOptions(*db, exec);
+    if (!canonical.ok()) return canonical.status();
+    PhaseTimer pool_timer(trace, TracePhase::kPoolMine);
+    StatusOr<std::vector<Pattern>> pool = BuildInitialPool(
+        *db, canonical->min_support_count, exec.initial_pool_max_size,
+        exec.pool_miner, exec.num_threads, &request_arena);
+    pool_timer.Stop();
+    if (!pool.ok()) return pool.status();
+    ColossalMinerOptions fuse_exec = *canonical;
+    fuse_exec.num_threads = exec.num_threads;
+    PhaseTimer fusion_timer(trace, TracePhase::kFusion);
+    return FuseColossalFromPool(db->num_transactions(), *std::move(pool),
+                                fuse_exec, &request_arena);
   }
   // Shards load through the registry's concurrent-admission API:
   // GetPinned reserves the estimate before reading, so however many
@@ -167,11 +282,15 @@ StatusOr<ColossalMiningResult> MiningService::RunMine(
   // when the shard job drops it.
   ShardResidencyOptions residency;
   residency.budget_bytes = options_.registry.memory_budget_bytes;
-  residency.arena_peak_bytes = &arena_peak_bytes_;
+  residency.arena_peak_bytes = &arena_peak_gauge_->cell();
+  residency.trace = trace;
   ShardedMiner miner(
       *prep.manifest,
-      [this](const std::string& path,
-             int64_t estimated_bytes) -> StatusOr<LoadedShard> {
+      [this, trace](const std::string& path,
+                    int64_t estimated_bytes) -> StatusOr<LoadedShard> {
+        // Timed from whichever fan-out thread runs the load — the trace
+        // accumulators are atomic for exactly this.
+        PhaseTimer timer(trace, TracePhase::kRegistry);
         StatusOr<PinnedDatasetHandle> shard =
             registry_.GetPinned(path, "auto", estimated_bytes);
         if (!shard.ok()) return shard.status();
@@ -183,9 +302,9 @@ StatusOr<ColossalMiningResult> MiningService::RunMine(
 }
 
 StatusOr<ColossalMiningResult> MiningService::RunMineNoThrow(
-    const MiningRequest& request, const Prepared& prep) {
+    const MiningRequest& request, const Prepared& prep, RequestTrace* trace) {
   try {
-    return RunMine(request, prep);
+    return RunMine(request, prep, trace);
   } catch (const std::exception& e) {
     return Status::Internal(std::string("mining threw: ") + e.what());
   } catch (...) {
@@ -194,7 +313,8 @@ StatusOr<ColossalMiningResult> MiningService::RunMineNoThrow(
 }
 
 MiningResponse MiningService::Execute(const MiningRequest& request,
-                                      const Prepared& prep) {
+                                      const Prepared& prep,
+                                      RequestTrace* trace) {
   Stopwatch stopwatch;
   MiningResponse response;
   if (!prep.status.ok()) {
@@ -209,8 +329,11 @@ MiningResponse MiningService::Execute(const MiningRequest& request,
     response.shards = static_cast<int>(prep.manifest->shards.size());
   }
 
-  if (std::shared_ptr<const ColossalMiningResult> cached =
-          cache_.Get(prep.key, prep.canonical.options)) {
+  PhaseTimer cache_timer(trace, TracePhase::kCacheLookup);
+  std::shared_ptr<const ColossalMiningResult> cached =
+      cache_.Get(prep.key, prep.canonical.options);
+  cache_timer.Stop();
+  if (cached != nullptr) {
     response.result = std::move(cached);
     response.source = ResponseSource::kCache;
     response.seconds = stopwatch.ElapsedSeconds();
@@ -230,6 +353,7 @@ MiningResponse MiningService::Execute(const MiningRequest& request,
       job = std::make_shared<Inflight>();
       job->canonical = prep.canonical.options;
       inflight_.emplace(prep.key, job);
+      inflight_gauge_->Set(static_cast<int64_t>(inflight_.size()));
       runner = true;
     } else if (it->second->canonical == prep.canonical.options) {
       job = it->second;
@@ -238,7 +362,7 @@ MiningResponse MiningService::Execute(const MiningRequest& request,
     }
   }
   if (standalone) {
-    StatusOr<ColossalMiningResult> mined = RunMineNoThrow(request, prep);
+    StatusOr<ColossalMiningResult> mined = RunMineNoThrow(request, prep, trace);
     response.status = mined.status();
     if (mined.ok()) {
       response.result =
@@ -261,7 +385,7 @@ MiningResponse MiningService::Execute(const MiningRequest& request,
     return response;
   }
 
-  StatusOr<ColossalMiningResult> mined = RunMineNoThrow(request, prep);
+  StatusOr<ColossalMiningResult> mined = RunMineNoThrow(request, prep, trace);
 
   std::shared_ptr<const ColossalMiningResult> result;
   if (mined.ok()) {
@@ -277,6 +401,7 @@ MiningResponse MiningService::Execute(const MiningRequest& request,
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
     inflight_.erase(prep.key);
+    inflight_gauge_->Set(static_cast<int64_t>(inflight_.size()));
   }
   if (mined.ok()) {
     cache_.Put(prep.key, prep.canonical.options, result);
@@ -291,10 +416,23 @@ MiningResponse MiningService::Execute(const MiningRequest& request,
 }
 
 MiningResponse MiningService::Mine(const MiningRequest& request) {
+  return Mine(request, nullptr);
+}
+
+MiningResponse MiningService::Mine(const MiningRequest& request,
+                                   RequestTrace* trace) {
+  // Untraced callers still feed the phase histograms through a local
+  // trace; callers with their own (the dispatch path) get the phase
+  // breakdown back as well.
+  RequestTrace local_trace;
+  if (trace == nullptr) trace = &local_trace;
+  requests_total_->Increment();
   Stopwatch stopwatch;
-  const Prepared prep = Prepare(request, /*keep_dataset=*/true);
-  MiningResponse response = Execute(request, prep);
+  const Prepared prep = Prepare(request, /*keep_dataset=*/true, trace);
+  MiningResponse response = Execute(request, prep, trace);
   response.seconds = stopwatch.ElapsedSeconds();
+  FlushTrace(*trace);
+  NoteResponse(response);
   return response;
 }
 
@@ -302,15 +440,20 @@ std::vector<MiningResponse> MiningService::MineBatch(
     const std::vector<MiningRequest>& requests) {
   const size_t n = requests.size();
   std::vector<MiningResponse> responses(n);
+  requests_total_->Increment(static_cast<int64_t>(n));
 
   // Phase 1: resolve every request to its cache key (dataset loads fan
-  // out across the pool, exactly as mining used to).
+  // out across the pool, exactly as mining used to). Per-request traces
+  // feed the same phase histograms as single mines; each request's
+  // accumulators are flushed once, after its response is final.
   std::vector<Prepared> prepared(n);
   std::vector<double> prep_seconds(n, 0.0);
+  std::vector<RequestTrace> traces(n);
   pool_.ParallelFor(static_cast<int64_t>(n), [&](int64_t i) {
     Stopwatch stopwatch;
     prepared[static_cast<size_t>(i)] =
-        Prepare(requests[static_cast<size_t>(i)], /*keep_dataset=*/false);
+        Prepare(requests[static_cast<size_t>(i)], /*keep_dataset=*/false,
+                &traces[static_cast<size_t>(i)]);
     prep_seconds[static_cast<size_t>(i)] = stopwatch.ElapsedSeconds();
   });
 
@@ -324,7 +467,8 @@ std::vector<MiningResponse> MiningService::MineBatch(
       groups_by_key;
   for (size_t i = 0; i < n; ++i) {
     if (!prepared[i].status.ok()) {
-      responses[i] = Execute(requests[i], prepared[i]);  // fail response
+      responses[i] =
+          Execute(requests[i], prepared[i], &traces[i]);  // fail response
       continue;
     }
     std::vector<size_t>& candidates = groups_by_key[prepared[i].key];
@@ -352,7 +496,7 @@ std::vector<MiningResponse> MiningService::MineBatch(
   pool_.ParallelFor(static_cast<int64_t>(groups.size()), [&](int64_t g) {
     const std::vector<size_t>& group = groups[static_cast<size_t>(g)];
     const size_t rep = group[0];
-    responses[rep] = Execute(requests[rep], prepared[rep]);
+    responses[rep] = Execute(requests[rep], prepared[rep], &traces[rep]);
     for (size_t j = 1; j < group.size(); ++j) {
       const size_t i = group[j];
       const Prepared& prep = prepared[i];
@@ -378,19 +522,24 @@ std::vector<MiningResponse> MiningService::MineBatch(
           response.status = responses[rep].status;
           response.source = ResponseSource::kFailed;
         } else {
-          responses[i] = Execute(requests[i], prepared[i]);
+          responses[i] = Execute(requests[i], prepared[i], &traces[i]);
         }
-      } else if (std::shared_ptr<const ColossalMiningResult> cached =
-                     cache_.Get(prep.key, prep.canonical.options)) {
-        response.status = Status::Ok();
-        response.result = std::move(cached);
-        response.source = ResponseSource::kCache;
       } else {
-        // Cache disabled (or the entry already evicted): share the
-        // representative's in-batch mine rather than repeating it.
-        response.status = Status::Ok();
-        response.result = responses[rep].result;
-        response.source = ResponseSource::kCoalesced;
+        PhaseTimer cache_timer(&traces[i], TracePhase::kCacheLookup);
+        std::shared_ptr<const ColossalMiningResult> cached =
+            cache_.Get(prep.key, prep.canonical.options);
+        cache_timer.Stop();
+        if (cached != nullptr) {
+          response.status = Status::Ok();
+          response.result = std::move(cached);
+          response.source = ResponseSource::kCache;
+        } else {
+          // Cache disabled (or the entry already evicted): share the
+          // representative's in-batch mine rather than repeating it.
+          response.status = Status::Ok();
+          response.result = responses[rep].result;
+          response.source = ResponseSource::kCoalesced;
+        }
       }
       response.seconds = stopwatch.ElapsedSeconds();
     }
@@ -398,6 +547,8 @@ std::vector<MiningResponse> MiningService::MineBatch(
 
   for (size_t i = 0; i < n; ++i) {
     responses[i].seconds += prep_seconds[i];
+    FlushTrace(traces[i]);
+    NoteResponse(responses[i]);
   }
   return responses;
 }

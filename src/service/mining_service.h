@@ -11,6 +11,8 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/dataset_registry.h"
 #include "service/request.h"
 #include "service/result_cache.h"
@@ -38,6 +40,12 @@ struct MiningServiceOptions {
 
   DatasetRegistryOptions registry;
   ResultCacheOptions cache;
+
+  // Registry every component's metrics land in. The service owns a
+  // private one when null, and threads it into the dataset registry and
+  // result cache (unless those sub-options name their own), so one
+  // RenderText covers the whole serving stack.
+  MetricsRegistry* metrics = nullptr;
 };
 
 // How a response was produced, for logging/stats.
@@ -80,6 +88,14 @@ struct MiningResponse {
 // entries (the manifest carries the parent's content fingerprint);
 // approximate fusion results are cached under a distinct key.
 //
+// Observability: the service (and the registry/cache/server around it)
+// report into one MetricsRegistry — counters per response source, an
+// end-to-end latency histogram, and one histogram per trace phase
+// (obs/trace.h), fed by the RequestTrace a caller passes to Mine (or a
+// service-local one when it passes null). Tracing is always on and adds
+// only steady_clock reads; mining output is byte-identical with or
+// without a trace attached.
+//
 // Thread-safe; Mine may be called concurrently from any thread.
 class MiningService {
  public:
@@ -89,8 +105,12 @@ class MiningService {
   MiningService(const MiningService&) = delete;
   MiningService& operator=(const MiningService&) = delete;
 
-  // Serves one request synchronously.
+  // Serves one request synchronously. The traced overload accumulates
+  // per-phase wall time into `trace` as well as into the service's
+  // phase histograms (pass the dispatch-owned trace so the serialize
+  // phase, timed by the caller, lands on the same request).
   MiningResponse Mine(const MiningRequest& request);
+  MiningResponse Mine(const MiningRequest& request, RequestTrace* trace);
 
   // Serves a batch, scheduling requests across the service pool.
   // Responses are positionally aligned with `requests`. The batch is
@@ -104,12 +124,25 @@ class MiningService {
   DatasetRegistryStats registry_stats() const { return registry_.stats(); }
   ResultCacheStats cache_stats() const { return cache_.stats(); }
 
+  // The registry all serving metrics live in (the service's own plus
+  // the dataset registry's and result cache's, unless their sub-options
+  // pointed elsewhere). What the `metrics` control word renders.
+  MetricsRegistry& metrics() { return *metrics_; }
+  const MetricsRegistry& metrics() const { return *metrics_; }
+
+  // Counts a request line that failed to parse — parse failures never
+  // reach Mine, so the dispatch layer reports them here to keep
+  // colossal_requests_total covering every line received.
+  void NoteParseFailure();
+
+  // Adds one sample to a phase histogram directly; used by the dispatch
+  // layer for the serialize phase, which runs after Mine returned.
+  void RecordPhaseNanos(TracePhase phase, int64_t nanos);
+
   // Largest arena high-water mark any mine has reached so far (bytes):
   // the max over per-request arenas and every per-shard mining/re-count
   // arena. What the stats line reports as arena_peak_mb.
-  int64_t arena_peak_bytes() const {
-    return arena_peak_bytes_.load(std::memory_order_relaxed);
-  }
+  int64_t arena_peak_bytes() const { return arena_peak_gauge_->value(); }
 
  private:
   // One in-flight mining job; identical concurrent requests wait on it.
@@ -147,17 +180,20 @@ class MiningService {
   // holding all their handles across the batch would defeat the
   // registry's memory budget; Execute re-resolves through the registry
   // (a hit in the common case) when it actually mines.
-  Prepared Prepare(const MiningRequest& request, bool keep_dataset);
+  Prepared Prepare(const MiningRequest& request, bool keep_dataset,
+                   RequestTrace* trace);
 
   // Serves a prepared request: result cache, in-flight dedup, then the
   // actual mine (sharded or not). Sets everything but leaves
   // response.seconds covering only this call.
-  MiningResponse Execute(const MiningRequest& request, const Prepared& prep);
+  MiningResponse Execute(const MiningRequest& request, const Prepared& prep,
+                         RequestTrace* trace);
 
   // The mine itself, with canonical options and the request's thread
   // count resolved.
   StatusOr<ColossalMiningResult> RunMine(const MiningRequest& request,
-                                         const Prepared& prep);
+                                         const Prepared& prep,
+                                         RequestTrace* trace);
 
   // RunMine with escaping exceptions (bad_alloc in a deep mining
   // allocation, say) converted to an Internal Status. Execute's runner
@@ -166,9 +202,34 @@ class MiningService {
   // in-flight entry and notify_all would otherwise leave those waiters
   // blocked forever (and the entry leaked).
   StatusOr<ColossalMiningResult> RunMineNoThrow(const MiningRequest& request,
-                                                const Prepared& prep);
+                                                const Prepared& prep,
+                                                RequestTrace* trace);
+
+  // Bumps the per-source response counters + the end-to-end latency
+  // histogram for one finished response; every response (Mine and each
+  // MineBatch member) passes through exactly once.
+  void NoteResponse(const MiningResponse& response);
+
+  // Flushes a finished request's nonzero phase accumulators into the
+  // phase histograms (one sample per touched phase per request).
+  void FlushTrace(const RequestTrace& trace);
 
   const MiningServiceOptions options_;
+  // Declared before the components that register metrics into it.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // when options.metrics null
+  MetricsRegistry* metrics_;
+
+  Counter* requests_total_;
+  Counter* parse_failures_;
+  Counter* responses_mined_;
+  Counter* responses_cache_;
+  Counter* responses_coalesced_;
+  Counter* responses_failed_;
+  Gauge* inflight_gauge_;
+  Gauge* arena_peak_gauge_;
+  Histogram* request_seconds_;
+  Histogram* phase_seconds_[kNumTracePhases];
+
   DatasetRegistry registry_;
   ResultCache cache_;
   ThreadPool pool_;
@@ -177,8 +238,6 @@ class MiningService {
   std::unordered_map<ResultCacheKey, std::shared_ptr<Inflight>,
                      ResultCacheKeyHash>
       inflight_;
-
-  std::atomic<int64_t> arena_peak_bytes_{0};
 };
 
 }  // namespace colossal

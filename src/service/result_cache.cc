@@ -5,18 +5,32 @@
 namespace colossal {
 
 ResultCache::ResultCache(const ResultCacheOptions& options)
-    : options_(options) {}
+    : options_(options) {
+  MetricsRegistry* metrics = options_.metrics;
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  hits_ = metrics->GetCounter("colossal_result_cache_hits_total",
+                              "Result-cache lookups served from cache");
+  misses_ = metrics->GetCounter("colossal_result_cache_misses_total",
+                                "Result-cache lookups that missed");
+  evictions_ = metrics->GetCounter("colossal_result_cache_evictions_total",
+                                   "Results evicted by the cache LRU");
+  entries_gauge_ = metrics->GetGauge("colossal_result_cache_entries",
+                                     "Results currently cached");
+}
 
 std::shared_ptr<const ColossalMiningResult> ResultCache::Get(
     const ResultCacheKey& key, const ColossalMinerOptions& canonical) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end() || !(it->second.canonical == canonical)) {
-    ++stats_.misses;
+    misses_->Increment();
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second.lru_position);
-  ++stats_.hits;
+  hits_->Increment();
   return it->second.result;
 }
 
@@ -41,14 +55,20 @@ void ResultCache::Put(const ResultCacheKey& key,
   while (static_cast<int64_t>(entries_.size()) > options_.max_entries) {
     entries_.erase(lru_.back());
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_->Increment();
   }
+  entries_gauge_->Set(static_cast<int64_t>(entries_.size()));
 }
 
 ResultCacheStats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ResultCacheStats stats = stats_;
-  stats.entries = static_cast<int64_t>(entries_.size());
+  ResultCacheStats stats;
+  stats.hits = hits_->value();
+  stats.misses = misses_->value();
+  stats.evictions = evictions_->value();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.entries = static_cast<int64_t>(entries_.size());
+  }
   return stats;
 }
 

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "core/colossal_miner.h"
+#include "obs/metrics.h"
 #include "service/request.h"
 
 namespace colossal {
@@ -16,6 +17,9 @@ struct ResultCacheOptions {
   // Maximum cached results; least-recently-used beyond that. 0 disables
   // caching entirely (every Get misses, Put is a no-op).
   int64_t max_entries = 256;
+  // Registry the cache's colossal_result_cache_* metrics live in; the
+  // cache owns a private one when null.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct ResultCacheStats {
@@ -49,6 +53,8 @@ class ResultCache {
   void Put(const ResultCacheKey& key, const ColossalMinerOptions& canonical,
            std::shared_ptr<const ColossalMiningResult> result);
 
+  // Snapshot of the cache's registry metrics. Counters are atomic, so
+  // the snapshot is per-field consistent even while workers mine.
   ResultCacheStats stats() const;
 
  private:
@@ -59,10 +65,14 @@ class ResultCache {
   };
 
   const ResultCacheOptions options_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // when options.metrics null
+  Counter* hits_;
+  Counter* misses_;
+  Counter* evictions_;
+  Gauge* entries_gauge_;
   mutable std::mutex mutex_;
   std::unordered_map<ResultCacheKey, Entry, ResultCacheKeyHash> entries_;
   std::list<ResultCacheKey> lru_;  // MRU first
-  ResultCacheStats stats_;
 };
 
 }  // namespace colossal

@@ -258,6 +258,11 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
   // options alone (each MineColossal call seeds its own RNG stream from
   // options.seed), never from scheduling, which keeps fuse mode
   // identical across thread counts and parallelism too.
+  // The phase-1 wall clock (kPoolMine) covers estimation, the fan-out
+  // and the candidate merge; loader-side registry/admission time is
+  // attributed to kRegistry by the loader itself and overlaps this span
+  // when the fan-out is parallel.
+  PhaseTimer pool_timer(residency_.trace, TracePhase::kPoolMine);
   const size_t num_shards = manifest_.shards.size();
   // One estimate per shard (one stat each), shared by the governor and
   // every load below so both reason from the same numbers. Each shard
@@ -378,11 +383,16 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
       merge_candidates(*mined);
     }
   }
+  pool_timer.Stop();
   if (candidates.empty()) {
     return Status::FailedPrecondition(
         "no frequent patterns at min_support_count " +
         std::to_string(min_support));
   }
+
+  // The stitch span (kStitch) covers the re-count pass and the
+  // filter/sort that rebuilds the global pool (phases 2 and 3).
+  PhaseTimer stitch_timer(residency_.trace, TracePhase::kStitch);
 
   // Phase 2 — re-count: stitch each candidate's per-shard support sets
   // into its exact global support set. Shards are again visited one at
@@ -443,6 +453,7 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
     if (a.size() != b.size()) return a.size() < b.size();
     return a.items < b.items;
   });
+  stitch_timer.Stop();
 
   // Phase 4 — the shared fusion pipeline. For kExact the pool is the
   // global initial pool, so the result is byte-identical to unsharded
@@ -450,6 +461,7 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
   // patterns acting as core patterns.
   ColossalMinerOptions exec = *canonical;
   exec.num_threads = options.num_threads;
+  PhaseTimer fusion_timer(residency_.trace, TracePhase::kFusion);
   return FuseColossalFromPool(total_rows, std::move(pool), exec, arena);
 }
 

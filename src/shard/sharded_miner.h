@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "core/colossal_miner.h"
 #include "data/transaction_database.h"
+#include "obs/trace.h"
 #include "shard/shard_manifest.h"
 
 namespace colossal {
@@ -144,6 +145,16 @@ struct ShardResidencyOptions {
   // (RaiseArenaPeak). The service points this at its arena_peak_bytes
   // counter so sharded mines show up in the stats line's arena_peak_mb.
   std::atomic<int64_t>* arena_peak_bytes = nullptr;
+
+  // Optional per-request trace: the miner accumulates phase-1 mining
+  // wall time into kPoolMine, the re-count + candidate filter into
+  // kStitch, and the final fusion into kFusion. Registry/admission time
+  // inside the loader is the *loader's* to attribute (the service times
+  // it as kRegistry from inside its loader lambda), so for a parallel
+  // fan-out it overlaps the kPoolMine wall span rather than being
+  // subtracted from it. Purely observational: mining output is
+  // byte-identical with or without a trace.
+  RequestTrace* trace = nullptr;
 };
 
 class ShardedMiner {

@@ -1,0 +1,241 @@
+// Unit coverage for the observability layer (obs/metrics.h): histogram
+// bucket math (boundary mapping, exact quantiles for known
+// distributions, merge == union, concurrent recording), registry
+// idempotency, and the text exposition format.
+
+#include "obs/metrics.h"
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace colossal {
+namespace {
+
+// --- Bucket math -----------------------------------------------------------
+
+TEST(HistogramBucketTest, SmallValuesAreExact) {
+  // 0..31 land in unit-width buckets: index == value, lower bound == value.
+  for (int64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), v);
+    EXPECT_EQ(Histogram::BucketLowerBound(static_cast<int>(v)), v);
+  }
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0);  // negatives clamp to 0
+}
+
+TEST(HistogramBucketTest, PowerOfTwoBoundaries) {
+  // Each range [2^e, 2^(e+1)) splits into 32 sub-buckets of width
+  // 2^(e-5); the range start and every sub-bucket start map to their own
+  // lower bound exactly.
+  for (int e = 5; e <= 62; ++e) {
+    const int64_t base = int64_t{1} << e;
+    const int first = Histogram::BucketIndex(base);
+    EXPECT_EQ(Histogram::BucketLowerBound(first), base) << "e=" << e;
+    // One below the range start belongs to the previous range.
+    EXPECT_EQ(Histogram::BucketIndex(base - 1), first - 1) << "e=" << e;
+    if (e < 62) {
+      const int64_t width = int64_t{1} << (e - 5);
+      for (int sub = 0; sub < 32; ++sub) {
+        const int64_t start = base + sub * width;
+        const int index = Histogram::BucketIndex(start);
+        EXPECT_EQ(Histogram::BucketLowerBound(index), start);
+        // The last value of the sub-bucket maps to the same bucket.
+        EXPECT_EQ(Histogram::BucketIndex(start + width - 1), index);
+      }
+    }
+  }
+  EXPECT_EQ(Histogram::BucketIndex(INT64_MAX), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramBucketTest, RelativeErrorIsBoundedByBucketWidth) {
+  // Any value reports a quantile within 1/32 below itself: the bucket
+  // lower bound is never more than width = 2^(e-5) under the sample.
+  for (int64_t v : {int64_t{33}, int64_t{100}, int64_t{12345},
+                    int64_t{1} << 40, (int64_t{1} << 40) + 999999}) {
+    const int64_t reported =
+        Histogram::BucketLowerBound(Histogram::BucketIndex(v));
+    EXPECT_LE(reported, v);
+    EXPECT_GT(reported, v - (v / 32) - 1) << v;
+  }
+}
+
+// --- Quantiles -------------------------------------------------------------
+
+TEST(HistogramTest, ExactPercentilesOnBucketBounds) {
+  // 100 samples at the exact values 0..99 is not bucket-exact above 31,
+  // so use small values where buckets are unit-width: percentiles are
+  // then exact order statistics.
+  Histogram h;
+  for (int64_t v = 1; v <= 20; ++v) h.Record(v);
+  EXPECT_EQ(h.TotalCount(), 20);
+  EXPECT_EQ(h.sum(), 210);
+  // ceil(p * 20)-th smallest of 1..20.
+  EXPECT_EQ(h.ValueAtPercentile(0.50), 10);
+  EXPECT_EQ(h.ValueAtPercentile(0.95), 19);
+  EXPECT_EQ(h.ValueAtPercentile(0.99), 20);
+  EXPECT_EQ(h.ValueAtPercentile(1.00), 20);
+  EXPECT_EQ(h.ValueAtPercentile(0.0499), 1);
+  EXPECT_EQ(h.ValueAtPercentile(0.0), 1);  // clamp: still the 1st sample
+}
+
+TEST(HistogramTest, SkewedDistributionPercentiles) {
+  // 99 fast samples in one bucket, one slow outlier: p50/p95 report the
+  // fast bucket, p99 and p100 the outlier's bucket lower bound.
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.Record(10);
+  const int64_t slow = int64_t{1} << 30;
+  h.Record(slow);
+  EXPECT_EQ(h.ValueAtPercentile(0.50), 10);
+  EXPECT_EQ(h.ValueAtPercentile(0.95), 10);
+  EXPECT_EQ(h.ValueAtPercentile(0.99), 10);  // ceil(0.99*100) = 99th
+  EXPECT_EQ(h.ValueAtPercentile(0.995), slow);
+  EXPECT_EQ(h.ValueAtPercentile(1.0), slow);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZero) {
+  Histogram h;
+  EXPECT_EQ(h.TotalCount(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.ValueAtPercentile(0.5), 0);
+  EXPECT_EQ(h.ValueAtPercentile(1.0), 0);
+}
+
+TEST(HistogramTest, MergeEqualsUnion) {
+  // Fixed buckets make merge lossless: histogram(A ∪ B) ==
+  // merge(histogram(A), histogram(B)), bucket for bucket.
+  std::vector<int64_t> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back((i * 2654435761u) % 100000);
+    b.push_back((i * 40503u + 17) % 3000000);
+  }
+  Histogram ha, hb, hu;
+  for (int64_t v : a) {
+    ha.Record(v);
+    hu.Record(v);
+  }
+  for (int64_t v : b) {
+    hb.Record(v);
+    hu.Record(v);
+  }
+  ha.MergeFrom(hb);
+  EXPECT_EQ(ha.TotalCount(), hu.TotalCount());
+  EXPECT_EQ(ha.sum(), hu.sum());
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    ASSERT_EQ(ha.bucket_count(i), hu.bucket_count(i)) << "bucket " << i;
+  }
+  for (double p : {0.5, 0.95, 0.99}) {
+    EXPECT_EQ(ha.ValueAtPercentile(p), hu.ValueAtPercentile(p));
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordLosesNoSamples) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(t * kPerThread + i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(h.TotalCount(), int64_t{kThreads} * kPerThread);
+  // Sum of 0 .. kThreads*kPerThread-1.
+  const int64_t n = int64_t{kThreads} * kPerThread;
+  EXPECT_EQ(h.sum(), n * (n - 1) / 2);
+}
+
+// --- Registry --------------------------------------------------------------
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("requests", "help");
+  Counter* c2 = registry.GetCounter("requests", "other help ignored");
+  EXPECT_EQ(c1, c2);
+  c1->Increment(3);
+  EXPECT_EQ(registry.CounterValue("requests"), 3);
+
+  Gauge* g = registry.GetGauge("resident", "h");
+  g->Set(41);
+  g->Add(1);
+  EXPECT_EQ(registry.GaugeValue("resident"), 42);
+  g->RaiseTo(40);  // below: no-op
+  EXPECT_EQ(registry.GaugeValue("resident"), 42);
+  g->RaiseTo(50);
+  EXPECT_EQ(registry.GaugeValue("resident"), 50);
+
+  Histogram* h1 = registry.GetHistogram("latency", "h", 1e-9);
+  Histogram* h2 = registry.GetHistogram("latency", "h", 1e-9);
+  EXPECT_EQ(h1, h2);
+
+  // Lookups of absent or differently-typed names are 0 / nullptr.
+  EXPECT_EQ(registry.CounterValue("no_such"), 0);
+  EXPECT_EQ(registry.GaugeValue("requests"), 0);
+  EXPECT_EQ(registry.FindHistogram("requests"), nullptr);
+}
+
+TEST(MetricsRegistryTest, RenderTextExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("zz_last", "sorts last")->Increment(7);
+  registry.GetGauge("aa_first", "sorts first")->Set(-3);
+  // 2048 is a bucket lower bound (a power of two), so the quantile is
+  // exact, and scale 1/1024 renders it as a clean 2.
+  Histogram* h = registry.GetHistogram("latency_seconds",
+                                       "recorded in ns, rendered scaled",
+                                       1.0 / 1024);
+  for (int i = 0; i < 100; ++i) h->Record(2048);
+
+  const std::string text = registry.RenderText();
+  // Sorted by name: the gauge block precedes the histogram block
+  // precedes the counter block.
+  EXPECT_LT(text.find("aa_first"), text.find("latency_seconds"));
+  EXPECT_LT(text.find("latency_seconds"), text.find("zz_last"));
+
+  EXPECT_NE(text.find("# HELP aa_first sorts first\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE aa_first gauge\naa_first -3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE zz_last counter\nzz_last 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_seconds summary\n"), std::string::npos);
+  // The scale multiplies quantiles and _sum; _count is never scaled.
+  EXPECT_NE(text.find("latency_seconds{quantile=\"0.5\"} 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("latency_seconds{quantile=\"0.99\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_sum 200\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 100\n"), std::string::npos);
+}
+
+// --- Tracing ---------------------------------------------------------------
+
+TEST(TraceTest, PhaseTimerAccumulatesAndTolerates) {
+  RequestTrace trace;
+  {
+    PhaseTimer timer(&trace, TracePhase::kParse);
+  }
+  {
+    PhaseTimer timer(&trace, TracePhase::kParse);
+    timer.Stop();
+    timer.Stop();  // idempotent: the second Stop adds nothing
+  }
+  EXPECT_GE(trace.nanos(TracePhase::kParse), 0);
+  EXPECT_EQ(trace.nanos(TracePhase::kFusion), 0);
+
+  // A null trace is a no-op, not a crash — callers time unconditionally.
+  PhaseTimer null_timer(nullptr, TracePhase::kStitch);
+  null_timer.Stop();
+
+  EXPECT_EQ(std::string(TracePhaseName(TracePhase::kPoolMine)), "pool_mine");
+  EXPECT_EQ(kNumTracePhases, 7);
+}
+
+}  // namespace
+}  // namespace colossal

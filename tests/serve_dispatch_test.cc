@@ -4,7 +4,10 @@
 
 #include "service/dispatch.h"
 
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -61,6 +64,91 @@ TEST_F(ServeDispatchTest, ClassifiesControlLines) {
     EXPECT_NE(stats.stats_line.find(field), std::string::npos)
         << "missing " << field << " in: " << stats.stats_line;
   }
+}
+
+TEST_F(ServeDispatchTest, MetricsWordRendersExposition) {
+  ServeOutcome outcome = DispatchServeLine(service_, "metrics");
+  EXPECT_EQ(outcome.kind, ServeOutcome::Kind::kMetrics);
+  EXPECT_NE(outcome.metrics_text.find("# TYPE colossal_requests_total counter"),
+            std::string::npos)
+      << outcome.metrics_text;
+  EXPECT_NE(outcome.metrics_text.find(
+                "# TYPE colossal_request_seconds summary"),
+            std::string::npos);
+  // Trailing whitespace is stripped like the other control words.
+  EXPECT_EQ(DispatchServeLine(service_, "  metrics\r").kind,
+            ServeOutcome::Kind::kMetrics);
+}
+
+TEST_F(ServeDispatchTest, RequestsPopulatePhaseHistograms) {
+  ServeOutcome outcome = DispatchServeLine(service_, RequestLine());
+  ASSERT_TRUE(outcome.response.status.ok());
+  // A second, cache-served request exercises the lookup phase twice.
+  DispatchServeLine(service_, RequestLine());
+
+  const MetricsRegistry& metrics = service_.metrics();
+  EXPECT_EQ(metrics.CounterValue("colossal_requests_total"), 2);
+  EXPECT_EQ(metrics.CounterValue("colossal_responses_mined_total"), 1);
+  EXPECT_EQ(metrics.CounterValue("colossal_responses_cache_total"), 1);
+  // Every phase an unsharded mine passes through recorded at least one
+  // sample (stitch is sharded-only).
+  for (const char* name :
+       {"colossal_phase_parse_seconds", "colossal_phase_cache_lookup_seconds",
+        "colossal_phase_registry_seconds", "colossal_phase_pool_mine_seconds",
+        "colossal_phase_fusion_seconds", "colossal_request_seconds"}) {
+    const Histogram* histogram = metrics.FindHistogram(name);
+    ASSERT_NE(histogram, nullptr) << name;
+    EXPECT_GT(histogram->TotalCount(), 0) << name;
+  }
+  // Both requests went through parse and the cache lookup.
+  EXPECT_EQ(
+      metrics.FindHistogram("colossal_phase_parse_seconds")->TotalCount(), 2);
+  EXPECT_EQ(metrics.FindHistogram("colossal_phase_cache_lookup_seconds")
+                ->TotalCount(),
+            2);
+}
+
+TEST_F(ServeDispatchTest, ParseFailuresCountAsRequests) {
+  DispatchServeLine(service_, "--nope 1");
+  const MetricsRegistry& metrics = service_.metrics();
+  EXPECT_EQ(metrics.CounterValue("colossal_requests_total"), 1);
+  EXPECT_EQ(metrics.CounterValue("colossal_request_parse_failures_total"), 1);
+  EXPECT_EQ(
+      metrics.FindHistogram("colossal_phase_parse_seconds")->TotalCount(), 1);
+}
+
+// The torn-read audit's hammer: readers render the stats line and the
+// full exposition nonstop while 8 writer threads mine (a cache-hit mix,
+// so the loop is fast) — under TSan this pins down that every exported
+// counter is either atomic or snapshotted under its owner's mutex.
+TEST_F(ServeDispatchTest, StatsReadersRaceMiningWriters) {
+  ASSERT_TRUE(DispatchServeLine(service_, RequestLine()).response.status.ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> miners;
+  for (int i = 0; i < 8; ++i) {
+    miners.emplace_back([this] {
+      for (int j = 0; j < 50; ++j) {
+        DispatchServeLine(service_, RequestLine());
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 2; ++i) {
+    readers.emplace_back([this, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string line = FormatStatsLine(service_);
+        EXPECT_EQ(line.rfind("stats ", 0), 0u);
+        EXPECT_FALSE(service_.metrics().RenderText().empty());
+      }
+    });
+  }
+  for (std::thread& miner : miners) miner.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(service_.metrics().CounterValue("colossal_requests_total"),
+            1 + 8 * 50);
 }
 
 TEST_F(ServeDispatchTest, ParseErrorsAreFailedResponses) {
@@ -135,6 +223,19 @@ TEST_F(ServeDispatchTest, TcpFramingForControlAndErrorOutcomes) {
       FrameTcpReply(DispatchServeLine(service_, "stats"), true);
   EXPECT_EQ(stats.data.rfind("stats cache_hits=", 0), 0u);
   EXPECT_NE(stats.data.find(" bytes=0\n"), std::string::npos);
+
+  ServerReply metrics =
+      FrameTcpReply(DispatchServeLine(service_, "metrics"), true);
+  EXPECT_EQ(metrics.data.rfind("metrics bytes=", 0), 0u) << metrics.data;
+  EXPECT_FALSE(metrics.close);
+  {
+    const size_t newline = metrics.data.find('\n');
+    ASSERT_NE(newline, std::string::npos);
+    EXPECT_EQ(std::stoull(metrics.data.substr(14, newline - 14)),
+              metrics.data.size() - newline - 1);
+    EXPECT_NE(metrics.data.find("colossal_requests_total"),
+              std::string::npos);
+  }
 
   ServerReply bad = FrameTcpReply(DispatchServeLine(service_, "--nope 1"),
                                   /*send_patterns=*/true);

@@ -2,7 +2,7 @@
 //
 // usage: colossal_client --port N [--host H]
 //            (--request 'LINE' | --requests FILE) [--out-dir DIR]
-//            [--stats] [--shutdown] [--quiet]
+//            [--stats] [--metrics] [--shutdown] [--quiet]
 //
 // Connects to a `colossal_serve listen` server and replays either one
 // request line (--request) or a batch file (--requests; same format as
@@ -16,8 +16,10 @@
 // batch mode — the same naming batch mode uses, so the CI net-smoke job
 // can diff the two byte-for-byte.
 //
-// After the requests, --stats fetches and prints server statistics and
-// --shutdown stops the server gracefully. Batch mode ends with
+// After the requests, --stats fetches and prints the one-line server
+// statistics, --metrics fetches and prints the full Prometheus-style
+// text exposition, and --shutdown stops the server gracefully. Batch
+// mode ends with
 //   client: N request(s) cache_hits=X coalesced=Y failed=Z
 // and the exit status is nonzero if any request failed or the server
 // broke framing.
@@ -42,57 +44,13 @@ namespace {
 constexpr const char kUsage[] =
     "usage: colossal_client --port N [--host H]\n"
     "           (--request 'LINE' | --requests FILE) [--out-dir DIR]\n"
-    "           [--stats] [--shutdown] [--quiet]\n"
+    "           [--stats] [--metrics] [--shutdown] [--quiet]\n"
     "replays request lines against a 'colossal_serve listen' server\n"
     "(see the header of tools/colossal_client.cc for details)\n";
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
-}
-
-// One parsed response frame.
-struct Frame {
-  std::string header;   // full status line (without the newline)
-  std::string payload;  // exactly bytes= bytes
-  bool ok = false;      // header starts with "ok" or "stats"
-  std::string source;   // "mined" | "cache" | "coalesced" | "" (non-request)
-};
-
-// Reads "<header> bytes=B\n<B payload bytes>" and splits the header.
-StatusOr<Frame> ReadFrame(SocketReader& reader) {
-  StatusOr<std::string> header = reader.ReadLine();
-  if (!header.ok()) return header.status();
-  Frame frame;
-  frame.header = *header;
-
-  const size_t bytes_pos = frame.header.rfind(" bytes=");
-  if (bytes_pos == std::string::npos) {
-    return Status::Internal("response missing bytes= framing: '" +
-                            frame.header + "'");
-  }
-  errno = 0;
-  char* end = nullptr;
-  const long long payload_bytes =
-      std::strtoll(frame.header.c_str() + bytes_pos + 7, &end, 10);
-  if (end == nullptr || *end != '\0' || errno != 0 || payload_bytes < 0) {
-    return Status::Internal("bad bytes= count in '" + frame.header + "'");
-  }
-
-  frame.ok = frame.header.rfind("ok", 0) == 0 ||
-             frame.header.rfind("stats", 0) == 0;
-  const size_t source_pos = frame.header.find("source=");
-  if (source_pos != std::string::npos) {
-    const size_t value = source_pos + 7;
-    frame.source = frame.header.substr(
-        value, frame.header.find(' ', value) - value);
-  }
-
-  StatusOr<std::string> payload =
-      reader.ReadExact(static_cast<size_t>(payload_bytes));
-  if (!payload.ok()) return payload.status();
-  frame.payload = *std::move(payload);
-  return frame;
 }
 
 Status WriteFile(const std::string& path, const std::string& data) {
@@ -105,15 +63,16 @@ Status WriteFile(const std::string& path, const std::string& data) {
 
 int Main(int argc, char** argv) {
   StatusOr<Args> parsed =
-      Args::Parse(argc, argv, 1, {"stats", "shutdown", "quiet"});
+      Args::Parse(argc, argv, 1, {"stats", "metrics", "shutdown", "quiet"});
   if (!parsed.ok()) return Fail(parsed.status());
   const Args& args = *parsed;
   if (args.HelpRequested()) {
     std::fputs(kUsage, stdout);
     return 0;
   }
-  Status known = args.CheckKnown({"port", "host", "request", "requests",
-                                  "out-dir", "stats", "shutdown", "quiet"});
+  Status known =
+      args.CheckKnown({"port", "host", "request", "requests", "out-dir",
+                       "stats", "metrics", "shutdown", "quiet"});
   if (!known.ok()) return Fail(known);
 
   StatusOr<int64_t> port = args.GetInt("port", 0);
@@ -129,10 +88,11 @@ int Main(int argc, char** argv) {
     return Fail(Status::InvalidArgument("--port must be in [1, 65535]"));
   }
   if (request.empty() == requests_path.empty() &&
-      !(request.empty() && (args.Has("stats") || args.Has("shutdown")))) {
+      !(request.empty() && (args.Has("stats") || args.Has("metrics") ||
+                            args.Has("shutdown")))) {
     return Fail(Status::InvalidArgument(
         "need exactly one of --request LINE or --requests FILE "
-        "(or only --stats/--shutdown)"));
+        "(or only --stats/--metrics/--shutdown)"));
   }
 
   std::vector<std::string> lines;
@@ -163,7 +123,7 @@ int Main(int argc, char** argv) {
       ::close(fd);
       return Fail(sent);
     }
-    StatusOr<Frame> frame = ReadFrame(reader);
+    StatusOr<TcpFrame> frame = ReadTcpFrame(reader);
     if (!frame.ok()) {
       ::close(fd);
       return Fail(frame.status());
@@ -193,8 +153,8 @@ int Main(int argc, char** argv) {
 
   if (args.Has("stats")) {
     Status sent = WriteAll(fd, "stats\n");
-    StatusOr<Frame> frame =
-        sent.ok() ? ReadFrame(reader) : StatusOr<Frame>(sent);
+    StatusOr<TcpFrame> frame =
+        sent.ok() ? ReadTcpFrame(reader) : StatusOr<TcpFrame>(sent);
     if (!frame.ok()) {
       ::close(fd);
       return Fail(frame.status());
@@ -202,10 +162,23 @@ int Main(int argc, char** argv) {
     std::printf("%s\n", frame->header.c_str());
   }
 
+  if (args.Has("metrics")) {
+    Status sent = WriteAll(fd, "metrics\n");
+    StatusOr<TcpFrame> frame =
+        sent.ok() ? ReadTcpFrame(reader) : StatusOr<TcpFrame>(sent);
+    if (!frame.ok()) {
+      ::close(fd);
+      return Fail(frame.status());
+    }
+    // The exposition text is the payload; the header only carries the
+    // byte count, so print the text itself.
+    std::fputs(frame->payload.c_str(), stdout);
+  }
+
   if (args.Has("shutdown")) {
     Status sent = WriteAll(fd, "shutdown\n");
-    StatusOr<Frame> frame =
-        sent.ok() ? ReadFrame(reader) : StatusOr<Frame>(sent);
+    StatusOr<TcpFrame> frame =
+        sent.ok() ? ReadTcpFrame(reader) : StatusOr<TcpFrame>(sent);
     if (!frame.ok()) {
       ::close(fd);
       return Fail(frame.status());

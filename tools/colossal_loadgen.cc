@@ -1,0 +1,289 @@
+// colossal_loadgen — concurrent load generator for colossal_serve's TCP
+// mode, the client half of the observability story: the server exports
+// its latency histograms through `metrics`, this tool measures the same
+// requests from the wire side, so the two views can be compared.
+//
+// usage: colossal_loadgen --port N [--host H] --requests FILE
+//            [--connections N] [--repeat N] [--warmup N] [--out FILE]
+//
+// Opens --connections independent TCP connections to a
+// `colossal_serve listen` server. Each connection replays the request
+// file (same format as `colossal_serve batch`) --warmup times untimed,
+// then — after every connection finishes warmup, so the timed window
+// has full concurrency from its first request — --repeat times timed.
+// Every timed request's wire latency (send to last payload byte) is
+// recorded into a per-connection obs Histogram in nanoseconds; the
+// per-connection histograms merge losslessly (fixed buckets) into the
+// report.
+//
+// The report is one JSON object on stdout (and in --out FILE when
+// given):
+//
+//   {"tool": "colossal_loadgen", "connections": C, "repeat": R,
+//    "warmup": W, "requests_per_pass": P, "requests_sent": C*R*P,
+//    "warmup_requests": C*W*P, "requests_failed": F,
+//    "wall_seconds": S, "qps": C*R*P/S,
+//    "latency_ms": {"p50": ..., "p95": ..., "p99": ...,
+//                   "mean": ..., "max": ...},
+//    "sources": {"mined": ..., "cache": ..., "coalesced": ...}}
+//
+// requests_sent counts only timed requests — with --warmup 0 it is
+// exactly the number of request lines the server saw, which is what the
+// CI metrics-smoke job asserts against colossal_requests_total.
+// Exit status is nonzero if any request failed or any connection broke.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <latch>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/args.h"
+#include "common/status.h"
+#include "net/socket_io.h"
+#include "obs/metrics.h"
+#include "service/dispatch.h"
+
+namespace colossal {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: colossal_loadgen --port N [--host H] --requests FILE\n"
+    "           [--connections N] [--repeat N] [--warmup N] [--out FILE]\n"
+    "replays a request file over N concurrent connections against a\n"
+    "'colossal_serve listen' server and reports QPS and client-side\n"
+    "latency percentiles as JSON\n"
+    "(see the header of tools/colossal_loadgen.cc for details)\n";
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Everything one connection's worker accumulates. The histogram records
+// wire latencies in nanoseconds; failures include protocol breaks (the
+// connection stops at the first one — error holds its Status).
+struct ConnectionResult {
+  Histogram latency_ns;
+  int64_t max_latency_ns = 0;
+  int64_t sent = 0;
+  int64_t failed = 0;
+  int64_t source_mined = 0;
+  int64_t source_cache = 0;
+  int64_t source_coalesced = 0;
+  Status error = Status::Ok();
+};
+
+// One connection's replay loop: warmup passes untimed, then wait on the
+// start latch, then timed passes.
+void RunConnection(const std::string& host, int port,
+                   const std::vector<std::string>& lines, int warmup,
+                   int repeat, std::latch* start, ConnectionResult* result) {
+  StatusOr<int> dial = DialTcp(host, port);
+  if (!dial.ok()) {
+    result->error = dial.status();
+    start->count_down();
+    return;
+  }
+  const int fd = *dial;
+  SocketReader reader(fd);
+
+  auto one_request = [&](const std::string& line, bool timed) {
+    const auto begin = std::chrono::steady_clock::now();
+    Status sent = WriteAll(fd, line + "\n");
+    StatusOr<TcpFrame> frame =
+        sent.ok() ? ReadTcpFrame(reader) : StatusOr<TcpFrame>(sent);
+    if (!frame.ok()) {
+      result->error = frame.status();
+      return false;
+    }
+    if (!timed) return true;
+    const int64_t nanos =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - begin)
+            .count();
+    result->latency_ns.Record(nanos);
+    if (nanos > result->max_latency_ns) result->max_latency_ns = nanos;
+    ++result->sent;
+    if (!frame->ok) {
+      ++result->failed;
+      std::fprintf(stderr, "request failed: %s\n%s", frame->header.c_str(),
+                   frame->payload.c_str());
+    } else if (frame->source == "mined") {
+      ++result->source_mined;
+    } else if (frame->source == "cache") {
+      ++result->source_cache;
+    } else if (frame->source == "coalesced") {
+      ++result->source_coalesced;
+    }
+    return true;
+  };
+
+  bool alive = true;
+  for (int pass = 0; alive && pass < warmup; ++pass) {
+    for (const std::string& line : lines) {
+      if (!(alive = one_request(line, /*timed=*/false))) break;
+    }
+  }
+  // Arrive even after a warmup failure: the latch must release the
+  // other connections either way.
+  start->arrive_and_wait();
+  for (int pass = 0; alive && pass < repeat; ++pass) {
+    for (const std::string& line : lines) {
+      if (!(alive = one_request(line, /*timed=*/true))) break;
+    }
+  }
+  ::close(fd);
+}
+
+void AppendJsonDouble(std::string* out, double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  out->append(buffer);
+}
+
+int Main(int argc, char** argv) {
+  StatusOr<Args> parsed = Args::Parse(argc, argv, 1, {});
+  if (!parsed.ok()) return Fail(parsed.status());
+  const Args& args = *parsed;
+  if (args.HelpRequested()) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  Status known = args.CheckKnown({"port", "host", "requests", "connections",
+                                  "repeat", "warmup", "out"});
+  if (!known.ok()) return Fail(known);
+
+  StatusOr<int64_t> port = args.GetInt("port", 0);
+  if (!port.ok()) return Fail(port.status());
+  StatusOr<int64_t> connections = args.GetInt("connections", 4);
+  if (!connections.ok()) return Fail(connections.status());
+  StatusOr<int64_t> repeat = args.GetInt("repeat", 1);
+  if (!repeat.ok()) return Fail(repeat.status());
+  StatusOr<int64_t> warmup = args.GetInt("warmup", 0);
+  if (!warmup.ok()) return Fail(warmup.status());
+  const std::string host = args.GetString("host", "127.0.0.1");
+  const std::string requests_path = args.GetString("requests");
+  const std::string out_path = args.GetString("out");
+
+  if (*port < 1 || *port > 65535 || requests_path.empty() ||
+      *connections < 1 || *connections > 1024 || *repeat < 1 ||
+      *warmup < 0) {
+    return Fail(Status::InvalidArgument(
+        "need --port in [1, 65535], --requests FILE, --connections in "
+        "[1, 1024], --repeat >= 1, --warmup >= 0"));
+  }
+
+  StatusOr<std::vector<RequestFileLine>> from_file =
+      ReadRequestFile(requests_path);
+  if (!from_file.ok()) return Fail(from_file.status());
+  std::vector<std::string> lines;
+  lines.reserve(from_file->size());
+  for (RequestFileLine& line : *from_file) {
+    lines.push_back(std::move(line.text));
+  }
+
+  const int num_connections = static_cast<int>(*connections);
+  std::vector<ConnectionResult> results(num_connections);
+  std::latch start(num_connections);
+  std::vector<std::thread> workers;
+  workers.reserve(num_connections);
+  // The wall clock starts when the workers are launched and warmup is
+  // amortized out by the latch: connections that finish warmup early
+  // wait, so the timed region overlaps fully. The clock read here is a
+  // slight over-estimate (it includes warmup when warmup > 0); with
+  // --warmup 0 — how CI runs it — it is the timed region exactly.
+  const auto wall_begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < num_connections; ++i) {
+    workers.emplace_back(RunConnection, host, static_cast<int>(*port),
+                         std::cref(lines), static_cast<int>(*warmup),
+                         static_cast<int>(*repeat), &start, &results[i]);
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - wall_begin)
+          .count();
+
+  Histogram merged;
+  int64_t max_latency_ns = 0;
+  int64_t sent = 0;
+  int64_t failed = 0;
+  int64_t mined = 0;
+  int64_t cache = 0;
+  int64_t coalesced = 0;
+  int broken_connections = 0;
+  for (const ConnectionResult& result : results) {
+    merged.MergeFrom(result.latency_ns);
+    if (result.max_latency_ns > max_latency_ns) {
+      max_latency_ns = result.max_latency_ns;
+    }
+    sent += result.sent;
+    failed += result.failed;
+    mined += result.source_mined;
+    cache += result.source_cache;
+    coalesced += result.source_coalesced;
+    if (!result.error.ok()) {
+      ++broken_connections;
+      std::fprintf(stderr, "connection error: %s\n",
+                   result.error.ToString().c_str());
+    }
+  }
+
+  const int64_t count = merged.TotalCount();
+  const double mean_ms =
+      count > 0 ? static_cast<double>(merged.sum()) / count / 1e6 : 0.0;
+  std::string json = "{\"tool\": \"colossal_loadgen\"";
+  json += ", \"connections\": " + std::to_string(num_connections);
+  json += ", \"repeat\": " + std::to_string(*repeat);
+  json += ", \"warmup\": " + std::to_string(*warmup);
+  json += ", \"requests_per_pass\": " + std::to_string(lines.size());
+  json += ", \"requests_sent\": " + std::to_string(sent);
+  json += ", \"warmup_requests\": " +
+          std::to_string(*warmup * num_connections *
+                         static_cast<int64_t>(lines.size()));
+  json += ", \"requests_failed\": " + std::to_string(failed);
+  json += ", \"wall_seconds\": ";
+  AppendJsonDouble(&json, wall_seconds);
+  json += ", \"qps\": ";
+  AppendJsonDouble(&json,
+                   wall_seconds > 0 ? static_cast<double>(sent) / wall_seconds
+                                    : 0.0);
+  json += ", \"latency_ms\": {\"p50\": ";
+  AppendJsonDouble(&json,
+                   static_cast<double>(merged.ValueAtPercentile(0.50)) / 1e6);
+  json += ", \"p95\": ";
+  AppendJsonDouble(&json,
+                   static_cast<double>(merged.ValueAtPercentile(0.95)) / 1e6);
+  json += ", \"p99\": ";
+  AppendJsonDouble(&json,
+                   static_cast<double>(merged.ValueAtPercentile(0.99)) / 1e6);
+  json += ", \"mean\": ";
+  AppendJsonDouble(&json, mean_ms);
+  json += ", \"max\": ";
+  AppendJsonDouble(&json, static_cast<double>(max_latency_ns) / 1e6);
+  json += "}, \"sources\": {\"mined\": " + std::to_string(mined);
+  json += ", \"cache\": " + std::to_string(cache);
+  json += ", \"coalesced\": " + std::to_string(coalesced);
+  json += "}}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (!out_path.empty()) {
+    std::FILE* out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      return Fail(Status::NotFound("cannot open for writing: " + out_path));
+    }
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+  }
+  return (failed == 0 && broken_connections == 0) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace colossal
+
+int main(int argc, char** argv) { return colossal::Main(argc, argv); }

@@ -15,8 +15,10 @@
 //           [--cache-entries N] [--registry-mb N] [--no-patterns]
 //       Line-delimited request/response loop on stdin/stdout. Each input
 //       line is a request (same grammar as batch), or one of:
-//         stats   print registry/cache statistics
-//         quit    exit
+//         stats    print registry/cache statistics (one line)
+//         metrics  print the full Prometheus-style text exposition,
+//                  terminated by a single '.' line
+//         quit     exit
 //       Responses are a header line
 //         ok source=<mined|cache|coalesced> patterns=N iterations=I \
 //            fingerprint=<hex> ms=<float>
@@ -36,8 +38,9 @@
 //                              --no-patterns)
 //         error code=<CODE> bytes=B   (B bytes of error message)
 //         stats ... bytes=0
-//       Control words: stats, quit/exit (close this connection),
-//       shutdown (gracefully stop the whole server). Use
+//         metrics bytes=B             (B bytes of exposition text)
+//       Control words: stats, metrics, quit/exit (close this
+//       connection), shutdown (gracefully stop the whole server). Use
 //       tools/colossal_client.cc as the reference client.
 //
 // Request dispatch for daemon and listen is one shared path
@@ -107,6 +110,8 @@ constexpr const char kUsage[] =
     "    [--max-iterations N] [--attempts N] [--retain N] [--seed S]\n"
     "    [--threads N] [--format fimi|matrix|snapshot|manifest|auto]\n"
     "    [--shards exact|fuse] [--shard-parallelism N]   (shard manifests)\n"
+    "daemon/listen control words: stats (one-line counters), metrics\n"
+    "    (Prometheus-style text exposition), quit/exit, shutdown\n"
     "all subcommands take --force-scalar (pin the scalar Bitvector\n"
     "    kernels; same as COLOSSAL_FORCE_SCALAR=1 — output is identical\n"
     "    either way, this exists for byte-identity checks and benchmarks)\n"
@@ -259,6 +264,12 @@ int RunDaemon(const Args& args) {
       case ServeOutcome::Kind::kStats:
         std::printf("%s\n", outcome.stats_line.c_str());
         break;
+      case ServeOutcome::Kind::kMetrics:
+        // Exposition text, then the same '.' terminator patterns use, so
+        // line-oriented consumers know where the block ends.
+        std::fputs(outcome.metrics_text.c_str(), stdout);
+        std::printf(".\n");
+        break;
       case ServeOutcome::Kind::kResponse:
         if (!outcome.response.status.ok()) {
           std::printf("error: %s\n",
@@ -267,7 +278,10 @@ int RunDaemon(const Args& args) {
         }
         std::printf("%s\n", FormatResponseHeader(outcome.response).c_str());
         if (print_patterns) {
-          std::fputs(RenderPatternsPayload(outcome.response).c_str(), stdout);
+          std::fputs(outcome.patterns_rendered
+                         ? outcome.patterns_payload.c_str()
+                         : RenderPatternsPayload(outcome.response).c_str(),
+                     stdout);
           std::printf(".\n");
         }
         break;
