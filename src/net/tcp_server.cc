@@ -44,6 +44,35 @@ ServerReply DefaultErrorReply(const Status& status) {
   return reply;
 }
 
+// The counted-line protocol's framer: one request per '\n'-terminated
+// line, capped at max_line_bytes.
+class LineFramer : public ConnectionFramer {
+ public:
+  explicit LineFramer(int64_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  Status Next(std::string* inbuf,
+              std::optional<std::string>* request) override {
+    const size_t newline = inbuf->find('\n');
+    // Reads overshoot the limit by up to one chunk, so a complete line
+    // can arrive alongside too many buffered bytes — enforce the limit
+    // on the line itself, not just on newline-less buffers.
+    if (newline == std::string::npos
+            ? static_cast<int64_t>(inbuf->size()) > max_line_bytes_
+            : static_cast<int64_t>(newline) > max_line_bytes_) {
+      return Status::OutOfRange("request line exceeds " +
+                                std::to_string(max_line_bytes_) + " bytes");
+    }
+    if (newline == std::string::npos) return Status::Ok();
+    request->emplace(inbuf->substr(0, newline));
+    inbuf->erase(0, newline + 1);
+    return Status::Ok();
+  }
+
+ private:
+  const int64_t max_line_bytes_;
+};
+
 }  // namespace
 
 TcpServer::TcpServer(const TcpServerOptions& options, LineHandler handler,
@@ -58,16 +87,17 @@ TcpServer::TcpServer(const TcpServerOptions& options, LineHandler handler,
     owned_metrics_ = std::make_unique<MetricsRegistry>();
     metrics = owned_metrics_.get();
   }
-  accepted_ = metrics->GetCounter("colossal_tcp_accepted_total",
-                                  "Connections accepted");
-  rejected_ = metrics->GetCounter("colossal_tcp_rejected_total",
+  const std::string& prefix = options_.metric_prefix;
+  accepted_ =
+      metrics->GetCounter(prefix + "_accepted_total", "Connections accepted");
+  rejected_ = metrics->GetCounter(prefix + "_rejected_total",
                                   "Connections rejected over the limit");
-  lines_dispatched_ = metrics->GetCounter("colossal_tcp_lines_dispatched_total",
-                                          "Request lines handed to handlers");
+  lines_dispatched_ = metrics->GetCounter(prefix + "_lines_dispatched_total",
+                                          "Requests handed to handlers");
   oversized_lines_ = metrics->GetCounter(
-      "colossal_tcp_oversized_lines_total",
-      "Request lines rejected for exceeding max_line_bytes");
-  active_connections_ = metrics->GetGauge("colossal_tcp_active_connections",
+      prefix + "_oversized_lines_total",
+      "Requests rejected by the framer (oversized or malformed)");
+  active_connections_ = metrics->GetGauge(prefix + "_active_connections",
                                           "Connections currently open");
 }
 
@@ -82,9 +112,10 @@ TcpServer::~TcpServer() {
 
 Status TcpServer::Start() {
   if (started_) return Status::FailedPrecondition("Start called twice");
-  if (options_.max_connections < 1 || options_.max_line_bytes < 1) {
+  if (options_.max_connections < 1 || options_.max_line_bytes < 1 ||
+      options_.max_pipeline < 1) {
     return Status::InvalidArgument(
-        "max_connections and max_line_bytes must be >= 1");
+        "max_connections, max_line_bytes and max_pipeline must be >= 1");
   }
 
   int pipe_fds[2];
@@ -205,6 +236,9 @@ bool TcpServer::AcceptNewConnections() {
     Connection conn;
     conn.id = next_connection_id_++;
     conn.fd = fd;
+    conn.framer = options_.framer_factory
+                      ? options_.framer_factory()
+                      : std::make_unique<LineFramer>(options_.max_line_bytes);
     const bool over_limit =
         static_cast<int>(connections_.size()) >= options_.max_connections;
     if (over_limit) {
@@ -270,39 +304,54 @@ bool TcpServer::FlushConnection(Connection& conn) {
   return true;
 }
 
-void TcpServer::MaybeDispatchLine(Connection& conn) {
-  if (conn.busy || conn.close_after_flush || stopping_) return;
-  const size_t newline = conn.inbuf.find('\n');
-  // Reads overshoot the limit by up to one chunk, so a complete line can
-  // arrive alongside too many buffered bytes — enforce the limit on the
-  // line itself, not just on newline-less buffers.
-  if (newline == std::string::npos
-          ? static_cast<int64_t>(conn.inbuf.size()) > options_.max_line_bytes
-          : static_cast<int64_t>(newline) > options_.max_line_bytes) {
-    ServerReply reply = error_formatter_(Status::OutOfRange(
-        "request line exceeds " + std::to_string(options_.max_line_bytes) +
-        " bytes"));
-    conn.inbuf.clear();
-    conn.inbuf.shrink_to_fit();
-    conn.outbuf.append(reply.data);
-    conn.close_after_flush = true;
-    oversized_lines_->Increment();
-    return;
-  }
-  if (newline == std::string::npos) return;
-  std::string line = conn.inbuf.substr(0, newline);
-  conn.inbuf.erase(0, newline + 1);
-  conn.busy = true;
-  lines_dispatched_->Increment();
-  const uint64_t id = conn.id;
-  pool_->Submit([this, id, line = std::move(line)]() {
-    ServerReply reply = handler_(line);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      completions_.emplace_back(id, std::move(reply));
+void TcpServer::MaybeDispatchRequests(Connection& conn) {
+  while (!conn.framing_dead && !conn.close_after_flush && !stopping_ &&
+         conn.inflight < options_.max_pipeline) {
+    std::optional<std::string> request;
+    Status status = conn.framer->Next(&conn.inbuf, &request);
+    if (!status.ok()) {
+      // Protocol fault: the formatted error becomes this request slot's
+      // reply, so replies to earlier pipelined requests still deliver
+      // in order before it; then the connection closes.
+      conn.inbuf.clear();
+      conn.inbuf.shrink_to_fit();
+      conn.framing_dead = true;
+      oversized_lines_->Increment();
+      ServerReply reply = error_formatter_(status);
+      reply.close = true;
+      ReleaseReady(conn, conn.next_dispatch_seq++, std::move(reply));
+      return;
     }
-    WakeLoop();
-  });
+    if (!request.has_value()) return;  // need more bytes
+    const uint64_t seq = conn.next_dispatch_seq++;
+    ++conn.inflight;
+    lines_dispatched_->Increment();
+    const uint64_t id = conn.id;
+    pool_->Submit([this, id, seq, line = std::move(*request)]() {
+      ServerReply reply = handler_(line);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        completions_.push_back(Completion{id, seq, std::move(reply)});
+      }
+      WakeLoop();
+    });
+  }
+}
+
+void TcpServer::ReleaseReady(Connection& conn, uint64_t seq,
+                             ServerReply reply) {
+  conn.ready.emplace(seq, std::move(reply));
+  auto it = conn.ready.begin();
+  while (it != conn.ready.end() && it->first == conn.next_reply_seq) {
+    ServerReply& next = it->second;
+    // Replies sequenced after one that closed the connection are
+    // dropped — the peer was told the stream ends — but their flags
+    // were already honored at completion time.
+    if (!conn.close_after_flush) conn.outbuf.append(next.data);
+    if (next.close) conn.close_after_flush = true;
+    ++conn.next_reply_seq;
+    it = conn.ready.erase(it);
+  }
 }
 
 void TcpServer::DestroyConnection(uint64_t id) {
@@ -334,7 +383,8 @@ void TcpServer::Loop() {
     if (stopping_) {
       bool busy_or_pending = false;
       for (const auto& [id, conn] : connections_) {
-        if (conn.busy || conn.out_pos < conn.outbuf.size()) {
+        if (conn.inflight > 0 || !conn.ready.empty() ||
+            conn.out_pos < conn.outbuf.size()) {
           busy_or_pending = true;
           break;
         }
@@ -360,17 +410,18 @@ void TcpServer::Loop() {
       if (conn.draining) any_draining = true;
       short events = 0;
       const bool want_read =
-          !conn.busy && !conn.peer_eof &&
+          conn.inflight < options_.max_pipeline && !conn.peer_eof &&
           (conn.draining ||
-           (!conn.close_after_flush &&
+           (!conn.close_after_flush && !conn.framing_dead &&
             static_cast<int64_t>(conn.inbuf.size()) <=
                 options_.max_line_bytes));
       if (want_read) events |= POLLIN;
       if (conn.out_pos < conn.outbuf.size()) events |= POLLOUT;
-      // A busy connection with nothing to write is deliberately left out
-      // of the poll set: poll reports POLLHUP regardless of `events`, so
-      // a peer that hangs up mid-mine would otherwise spin the loop until
-      // the handler finishes. Its death is caught at flush time instead.
+      // A pipeline-full connection with nothing to write is deliberately
+      // left out of the poll set: poll reports POLLHUP regardless of
+      // `events`, so a peer that hangs up mid-mine would otherwise spin
+      // the loop until the handler finishes. Its death is caught at
+      // flush time instead.
       if (events == 0) continue;
       fds.push_back({conn.fd, events, 0});
       ids.push_back(id);
@@ -390,22 +441,21 @@ void TcpServer::Loop() {
     }
 
     // Apply handler completions before anything else so freed
-    // connections can dispatch their next pipelined line this round.
-    std::vector<std::pair<uint64_t, ServerReply>> completions;
+    // connections can dispatch their next pipelined request this round.
+    std::vector<Completion> completions;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       completions.swap(completions_);
     }
-    for (auto& [id, reply] : completions) {
+    for (Completion& completion : completions) {
       // Honored even when the issuing connection died mid-handler —
       // a shutdown request must stop the server regardless.
-      if (reply.shutdown_server) stopping_ = true;
-      auto it = connections_.find(id);
+      if (completion.reply.shutdown_server) stopping_ = true;
+      auto it = connections_.find(completion.connection_id);
       if (it == connections_.end()) continue;  // died while mining
       Connection& conn = it->second;
-      conn.busy = false;
-      conn.outbuf.append(reply.data);
-      if (reply.close) conn.close_after_flush = true;
+      --conn.inflight;
+      ReleaseReady(conn, completion.seq, std::move(completion.reply));
     }
 
     if (listen_index >= 0 && listen_fd_ >= 0 &&
@@ -438,13 +488,13 @@ void TcpServer::Loop() {
     // Frame, dispatch, flush, and reap every connection.
     dead.clear();
     for (auto& [id, conn] : connections_) {
-      MaybeDispatchLine(conn);
+      MaybeDispatchRequests(conn);
       if (!FlushConnection(conn)) {
         dead.push_back(id);
         continue;
       }
       const bool flushed = conn.out_pos >= conn.outbuf.size();
-      if (conn.close_after_flush && flushed && !conn.busy) {
+      if (conn.close_after_flush && flushed && conn.inflight == 0) {
         if (!conn.linger_on_close) {
           dead.push_back(id);
           continue;
@@ -463,10 +513,12 @@ void TcpServer::Loop() {
         }
         continue;
       }
-      if (conn.peer_eof && flushed && !conn.busy &&
-          conn.inbuf.find('\n') == std::string::npos) {
-        // Clean disconnect, or an abrupt one mid-request: either way
-        // there is nothing left to answer.
+      if (conn.peer_eof && flushed && conn.inflight == 0 &&
+          conn.ready.empty()) {
+        // Clean disconnect, or an abrupt one mid-request: the dispatch
+        // attempt above framed everything complete, so whatever remains
+        // in inbuf is a partial request nobody will finish — there is
+        // nothing left to answer.
         dead.push_back(id);
       }
     }

@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -19,26 +20,52 @@
 
 namespace colossal {
 
-// A small poll(2)-based TCP front end for line-delimited protocols.
+// A small poll(2)-based TCP front end for framed request/reply
+// protocols.
 //
 // One event-loop thread owns every socket and does all reading, framing
-// and writing; complete input lines are handed to a LineHandler that
+// and writing; complete requests are handed to a RequestHandler that
 // runs on a ThreadPool, so a slow handler (a cold mine, say) never
 // blocks I/O on other connections. Handler results come back to the
 // loop through a completion queue + self-pipe wakeup, which keeps all
 // connection state single-threaded — no per-connection locks.
 //
-// Flow control is per connection: at most one handler job is in flight
-// per connection, and the loop stops polling a connection for input
-// while its job runs, so a pipelining client is throttled by TCP
-// backpressure instead of unbounded buffering. Responses are flushed
-// with partial-write handling (POLLOUT) so arbitrarily large payloads
-// stream without blocking the loop.
+// Framing is pluggable: a ConnectionFramer instance per connection
+// splits the byte stream into complete request payloads (the default is
+// the newline framer of the counted-line protocol; net/http_server.h
+// installs an HTTP/1.1 framer). Up to max_pipeline handler jobs run
+// concurrently per connection; replies are queued by request sequence
+// number and released strictly in request order, so a pipelining client
+// always reads responses in the order it sent requests, whatever order
+// the handlers finished in. Once the pipeline is full the loop stops
+// polling that connection for input, so a client that keeps pushing is
+// throttled by TCP backpressure instead of unbounded buffering.
+// Responses are flushed with partial-write handling (POLLOUT) so
+// arbitrarily large payloads stream without blocking the loop.
 //
-// The server is protocol-agnostic: the handler maps an input line to
-// reply bytes, and an error formatter maps server-detected faults
-// (oversized line, connection limit) to reply bytes, so the wire format
-// lives entirely with the caller (see tools/colossal_serve.cc).
+// The server is protocol-agnostic: the handler maps a request payload
+// to reply bytes, and an error formatter maps server-detected faults
+// (oversized/malformed framing, connection limit) to reply bytes, so
+// the wire format lives entirely with the caller (see
+// tools/colossal_serve.cc and net/http_server.cc).
+
+// Splits one connection's byte stream into complete request payloads.
+// One instance per connection, owned by the event loop, so stateful
+// protocols (HTTP head-then-body, say) carry parse state across reads
+// without locks.
+class ConnectionFramer {
+ public:
+  virtual ~ConnectionFramer() = default;
+
+  // Tries to extract the next complete request payload from `inbuf`,
+  // erasing the consumed bytes. On success either sets *request (one
+  // complete request) or leaves it empty (more bytes needed). A
+  // non-OK return is a protocol fault (oversized element, malformed
+  // framing): the server sends the formatted error, stops framing this
+  // connection, and closes it once earlier replies have flushed.
+  virtual Status Next(std::string* inbuf,
+                      std::optional<std::string>* request) = 0;
+};
 
 struct TcpServerOptions {
   std::string host = "127.0.0.1";
@@ -53,15 +80,33 @@ struct TcpServerOptions {
   // RESOURCE_EXHAUSTED error and closed after the flush.
   int max_connections = 64;
 
-  // Per-connection limit: an input line longer than this (no '\n' seen)
-  // gets the formatted OUT_OF_RANGE error and the connection is closed.
+  // Per-connection limit, two duties: the default newline framer
+  // rejects an input line longer than this (formatted OUT_OF_RANGE
+  // error, connection closed), and the loop stops reading a connection
+  // whose unframed buffer exceeds it (backpressure). A custom framer
+  // with its own element limits should set this to at least its largest
+  // admissible request so reads never stall before the framer can
+  // judge.
   int64_t max_line_bytes = int64_t{1} << 20;
+
+  // In-flight handler jobs per connection. 1 (the counted-line
+  // protocol's default) serializes a connection's requests; HTTP sets
+  // it higher for pipelining. Replies are always released in request
+  // order regardless.
+  int max_pipeline = 1;
+
+  // Builds the per-connection framer; null = the newline framer
+  // (requests are '\n'-terminated lines, capped at max_line_bytes).
+  std::function<std::unique_ptr<ConnectionFramer>()> framer_factory;
 
   int listen_backlog = 64;
 
-  // Registry the colossal_tcp_* metrics live in; the server owns a
-  // private one when null.
+  // Registry the server metrics live in; the server owns a private one
+  // when null. metric_prefix names the series ("colossal_tcp" →
+  // colossal_tcp_accepted_total, ...), so a TCP and an HTTP front end
+  // sharing one registry keep distinct counters.
   MetricsRegistry* metrics = nullptr;
+  std::string metric_prefix = "colossal_tcp";
 };
 
 // What a handler (or the error formatter) sends back for one line.
@@ -127,10 +172,21 @@ class TcpServer {
   struct Connection {
     uint64_t id = 0;
     int fd = -1;
-    std::string inbuf;       // bytes read, not yet framed into lines
+    std::string inbuf;       // bytes read, not yet framed into requests
     std::string outbuf;      // reply bytes not yet written
     size_t out_pos = 0;      // flushed prefix of outbuf
-    bool busy = false;       // a handler job is in flight
+    std::unique_ptr<ConnectionFramer> framer;
+    int inflight = 0;        // handler jobs in flight (≤ max_pipeline)
+    // Pipelining bookkeeping: requests are numbered as dispatched;
+    // finished replies park in `ready` until every lower-numbered reply
+    // has been appended to outbuf, so the client reads responses in
+    // request order whatever order the handlers finished in.
+    uint64_t next_dispatch_seq = 0;
+    uint64_t next_reply_seq = 0;
+    std::map<uint64_t, ServerReply> ready;
+    // The framer reported a protocol fault: its formatted error has
+    // been queued as the final reply and no further input is framed.
+    bool framing_dead = false;
     bool close_after_flush = false;
     bool peer_eof = false;   // read side saw EOF
     // Lingering close: after the final reply is flushed the write side
@@ -151,7 +207,10 @@ class TcpServer {
   // Returns false when the connection died (read error / reset).
   bool ReadFromConnection(Connection& conn);
   bool FlushConnection(Connection& conn);
-  void MaybeDispatchLine(Connection& conn);
+  void MaybeDispatchRequests(Connection& conn);
+  // Parks `reply` as request number `seq`'s response and appends to
+  // outbuf every reply that is now next in request order.
+  void ReleaseReady(Connection& conn, uint64_t seq, ServerReply reply);
   // Returns false on a hard accept failure (EMFILE and friends): the
   // caller backs off polling the listen fd briefly instead of spinning
   // on a perpetually-readable socket it cannot accept from.
@@ -185,8 +244,13 @@ class TcpServer {
   bool stopping_ = false;
 
   // Shared between handler jobs and the loop.
+  struct Completion {
+    uint64_t connection_id = 0;
+    uint64_t seq = 0;  // request number within the connection
+    ServerReply reply;
+  };
   mutable std::mutex mutex_;
-  std::vector<std::pair<uint64_t, ServerReply>> completions_;
+  std::vector<Completion> completions_;
 
   // Last: destroyed first, so handler jobs drain while the rest of the
   // server is still alive.

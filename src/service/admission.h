@@ -1,0 +1,81 @@
+#ifndef COLOSSAL_SERVICE_ADMISSION_H_
+#define COLOSSAL_SERVICE_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace colossal {
+
+// Admission control for the expensive path: a mine is admitted only
+// while both bounds hold, otherwise the request is rejected with
+// RESOURCE_EXHAUSTED — which the TCP framing reports as
+// `error code=RESOURCE_EXHAUSTED` and the HTTP front end as 429 with
+// Retry-After — so an overloaded server degrades to fast, explicit
+// rejections instead of queueing everyone into timeouts. Cache hits
+// and coalesced joiners never pass through the gate: they are cheap
+// and already bounded by what was admitted.
+//
+// The bytes bound is strict, not admit-at-least-one: a request whose
+// estimated dataset bytes alone exceed max_bytes is rejected even on
+// an idle server. That makes the operator's bound a hard promise (and
+// overload behavior deterministic, which CI leans on); a server meant
+// to mine a dataset must be given a budget that fits it.
+class AdmissionGate {
+ public:
+  // 0 = unlimited for either bound.
+  AdmissionGate(int max_inflight, int64_t max_bytes)
+      : max_inflight_(max_inflight), max_bytes_(max_bytes) {}
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  // Admits one mine of `bytes` estimated dataset bytes, or explains
+  // the rejection. Every Ok return must be paired with Release(bytes).
+  Status TryAdmit(int64_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (max_inflight_ > 0 && inflight_ >= max_inflight_) {
+      return Status::ResourceExhausted(
+          "admission: " + std::to_string(inflight_) +
+          " mines in flight (limit " + std::to_string(max_inflight_) +
+          "); retry shortly");
+    }
+    if (max_bytes_ > 0 && admitted_bytes_ + bytes > max_bytes_) {
+      return Status::ResourceExhausted(
+          "admission: " + std::to_string(bytes) + " estimated bytes over "
+          "the in-flight budget (" + std::to_string(admitted_bytes_) +
+          " of " + std::to_string(max_bytes_) + " in use); retry shortly");
+    }
+    ++inflight_;
+    admitted_bytes_ += bytes;
+    return Status::Ok();
+  }
+
+  void Release(int64_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --inflight_;
+    admitted_bytes_ -= bytes;
+  }
+
+  int inflight() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inflight_;
+  }
+  int64_t admitted_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return admitted_bytes_;
+  }
+
+ private:
+  const int max_inflight_;
+  const int64_t max_bytes_;
+  mutable std::mutex mutex_;
+  int inflight_ = 0;
+  int64_t admitted_bytes_ = 0;
+};
+
+}  // namespace colossal
+
+#endif  // COLOSSAL_SERVICE_ADMISSION_H_

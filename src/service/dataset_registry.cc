@@ -95,6 +95,12 @@ DatasetRegistry::DatasetRegistry(const DatasetRegistryOptions& options)
   sniff_cache_hits_ =
       metrics->GetCounter("colossal_sniff_cache_hits_total",
                           "Manifest-sniff verdicts served from cache");
+  reaps_ = metrics->GetCounter(
+      "colossal_dataset_reaps_total",
+      "Evicted datasets destroyed by the background reaper");
+  reap_pending_gauge_ =
+      metrics->GetGauge("colossal_dataset_reap_pending",
+                        "Evicted datasets queued for background destruction");
   resident_bytes_gauge_ = metrics->GetGauge(
       "colossal_dataset_resident_bytes", "Bytes of datasets held resident");
   peak_resident_bytes_gauge_ =
@@ -108,6 +114,50 @@ DatasetRegistry::DatasetRegistry(const DatasetRegistryOptions& options)
                         "Resident bytes held unevictable by pins");
   resident_datasets_gauge_ = metrics->GetGauge(
       "colossal_dataset_resident_datasets", "Datasets currently resident");
+}
+
+DatasetRegistry::~DatasetRegistry() {
+  {
+    std::lock_guard<std::mutex> lock(reap_mutex_);
+    reap_stop_ = true;
+  }
+  reap_cv_.notify_all();
+  if (reaper_.joinable()) reaper_.join();
+}
+
+void DatasetRegistry::DeferDestroy(
+    std::shared_ptr<const TransactionDatabase> db) {
+  if (db == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(reap_mutex_);
+    if (!reaper_started_) {
+      reaper_started_ = true;
+      reaper_ = std::thread(&DatasetRegistry::ReapLoop, this);
+    }
+    reap_queue_.push_back(std::move(db));
+    reap_pending_gauge_->Set(static_cast<int64_t>(reap_queue_.size()));
+  }
+  reap_cv_.notify_one();
+}
+
+void DatasetRegistry::ReapLoop() {
+  std::unique_lock<std::mutex> lock(reap_mutex_);
+  while (true) {
+    reap_cv_.wait(lock, [&] { return reap_stop_ || !reap_queue_.empty(); });
+    if (reap_queue_.empty()) return;  // only possible when stopping
+    std::vector<std::shared_ptr<const TransactionDatabase>> batch;
+    batch.swap(reap_queue_);
+    reap_pending_gauge_->Set(0);
+    lock.unlock();
+    const int64_t reaped = static_cast<int64_t>(batch.size());
+    // The point of the thread: if these were the last references, the
+    // frees land here, not under the registry mutex on a Get path. (A
+    // mine still holding the dataset keeps it alive past this drop —
+    // eviction never invalidates in-flight work.)
+    batch.clear();
+    reaps_->Increment(reaped);
+    lock.lock();
+  }
 }
 
 StatusOr<DatasetHandle> DatasetRegistry::Get(const std::string& path,
@@ -334,6 +384,8 @@ DatasetRegistryStats DatasetRegistry::stats() const {
   stats.stale_reloads = stale_reloads_->value();
   stats.admission_waits = admission_waits_->value();
   stats.sniff_cache_hits = sniff_cache_hits_->value();
+  stats.reaps = reaps_->value();
+  stats.reap_pending = reap_pending_gauge_->value();
   stats.peak_resident_bytes = peak_resident_bytes_gauge_->value();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -386,6 +438,7 @@ void DatasetRegistry::EraseEntryLocked(const std::string& key) {
     admission_cv_.notify_all();
   }
   lru_.erase(it->second.lru_position);
+  DeferDestroy(std::move(it->second.db));
   entries_.erase(it);
   SyncGaugesLocked();
 }
@@ -409,6 +462,7 @@ void DatasetRegistry::MakeRoomLocked(int64_t incoming_bytes) {
       continue;
     }
     resident_bytes_ -= it->second.bytes;
+    DeferDestroy(std::move(it->second.db));
     entries_.erase(it);
     evictions_->Increment();
     SyncGaugesLocked();

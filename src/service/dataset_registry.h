@@ -7,7 +7,9 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "data/transaction_database.h"
@@ -64,6 +66,13 @@ struct DatasetRegistryStats {
   // GetPinned admissions that had to wait for pins/reservations to
   // drain before their reservation fit the budget.
   int64_t admission_waits = 0;
+  // Evicted databases destroyed by the background reaper, and how many
+  // are queued for it right now (an eviction hands the evicted
+  // shared_ptr to a reaper thread, so the destruction — potentially
+  // hundreds of MB of frees — never runs on a Get path under the
+  // registry mutex; the byte accounting itself stays synchronous).
+  int64_t reaps = 0;
+  int64_t reap_pending = 0;
   // Manifest-sniff verdicts served from the signature-keyed cache
   // (a single stat instead of an open+read of the magic bytes).
   int64_t sniff_cache_hits = 0;
@@ -110,6 +119,9 @@ struct PinnedDatasetHandle {
 class DatasetRegistry {
  public:
   explicit DatasetRegistry(const DatasetRegistryOptions& options = {});
+  // Drains the eviction reaper (any queued databases are destroyed
+  // before the registry's members go away).
+  ~DatasetRegistry();
 
   DatasetRegistry(const DatasetRegistry&) = delete;
   DatasetRegistry& operator=(const DatasetRegistry&) = delete;
@@ -233,6 +245,14 @@ class DatasetRegistry {
   std::shared_ptr<void> AddPinLocked(const std::string& key);
   void ReleasePin(const std::string& key, uint64_t generation);
 
+  // Hands an evicted database to the reaper thread (started lazily on
+  // first eviction), so the last-reference destruction runs off the
+  // serving path instead of under mutex_. The entry's accounting is the
+  // caller's job and stays synchronous — deferred destruction never
+  // lets resident_bytes_ disagree with what eviction decided.
+  void DeferDestroy(std::shared_ptr<const TransactionDatabase> db);
+  void ReapLoop();
+
   // Updates the peak-resident gauge from resident_bytes_.
   // Reservations are deliberately not counted (see the stats doc) —
   // they over-estimate, and their room was already evicted ahead.
@@ -252,6 +272,8 @@ class DatasetRegistry {
   Counter* stale_reloads_;
   Counter* admission_waits_;
   Counter* sniff_cache_hits_;
+  Counter* reaps_;
+  Gauge* reap_pending_gauge_;
   Gauge* resident_bytes_gauge_;
   Gauge* peak_resident_bytes_gauge_;
   Gauge* reserved_bytes_gauge_;
@@ -275,6 +297,15 @@ class DatasetRegistry {
   uint64_t admission_next_ticket_ = 0;
   uint64_t admission_serving_ticket_ = 0;
   uint64_t next_generation_ = 1;
+
+  // Reaper state, under its own mutex (always acquired after mutex_
+  // when both are held, and ReapLoop never takes mutex_).
+  std::mutex reap_mutex_;
+  std::condition_variable reap_cv_;
+  std::vector<std::shared_ptr<const TransactionDatabase>> reap_queue_;
+  std::thread reaper_;
+  bool reaper_started_ = false;
+  bool reap_stop_ = false;
 };
 
 }  // namespace colossal

@@ -117,6 +117,7 @@ std::string FormatStatsLine(const MiningService& service) {
       "cache_evictions=%lld dataset_loads=%lld dataset_hits=%lld "
       "dataset_evictions=%lld dataset_stale_reloads=%lld "
       "sniff_cache_hits=%lld admission_waits=%lld "
+      "admission_rejected=%lld reap_pending=%lld "
       "resident_mb=%.1f peak_resident_mb=%.1f arena_peak_mb=%.1f simd=%s",
       static_cast<long long>(
           metrics.CounterValue("colossal_result_cache_hits_total")),
@@ -138,6 +139,10 @@ std::string FormatStatsLine(const MiningService& service) {
           metrics.CounterValue("colossal_sniff_cache_hits_total")),
       static_cast<long long>(
           metrics.CounterValue("colossal_admission_waits_total")),
+      static_cast<long long>(
+          metrics.CounterValue("colossal_admission_rejected_total")),
+      static_cast<long long>(
+          metrics.GaugeValue("colossal_dataset_reap_pending")),
       static_cast<double>(metrics.GaugeValue("colossal_dataset_resident_bytes")) /
           (1 << 20),
       static_cast<double>(
@@ -219,6 +224,141 @@ ServerReply FrameTcpError(const Status& status) {
                " bytes=" + std::to_string(payload.size()) + "\n" + payload;
   reply.close = true;
   return reply;
+}
+
+int HttpStatusFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+namespace {
+
+HttpResponse PlainText(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  response.headers.emplace_back("Content-Type", "text/plain");
+  return response;
+}
+
+// Renders a dispatch outcome as HTTP. The response body carries exactly
+// what the TCP framing's counted payload carries — for a mining result
+// the FIMI patterns, for an error the status message — and the TCP
+// header line rides in X-Colossal-Response, so TCP and HTTP replies to
+// the same request line are byte-comparable payload-for-payload.
+HttpResponse HttpFromOutcome(const ServeOutcome& outcome,
+                             bool send_patterns) {
+  switch (outcome.kind) {
+    case ServeOutcome::Kind::kEmpty:
+      // The line transports skip comments/blank lines silently; HTTP
+      // must answer every request.
+      return PlainText(400, "empty request\n");
+    case ServeOutcome::Kind::kQuit:
+    case ServeOutcome::Kind::kShutdown: {
+      HttpResponse response = PlainText(200, "");
+      response.headers.emplace_back("X-Colossal-Response", "ok bye");
+      response.close = true;
+      response.shutdown_server =
+          outcome.kind == ServeOutcome::Kind::kShutdown;
+      return response;
+    }
+    case ServeOutcome::Kind::kStats:
+      return PlainText(200, outcome.stats_line + "\n");
+    case ServeOutcome::Kind::kMetrics:
+      return PlainText(200, outcome.metrics_text);
+    case ServeOutcome::Kind::kResponse:
+      break;
+  }
+  const MiningResponse& mined = outcome.response;
+  if (!mined.status.ok()) {
+    HttpResponse response = PlainText(HttpStatusFromStatus(mined.status),
+                                      mined.status.message() + "\n");
+    response.headers.emplace_back(
+        "X-Colossal-Response",
+        std::string("error code=") + StatusCodeName(mined.status.code()));
+    if (response.status == 429) {
+      response.headers.emplace_back("Retry-After", "1");
+    }
+    return response;
+  }
+  HttpResponse response = PlainText(
+      200, !send_patterns          ? std::string()
+           : outcome.patterns_rendered ? outcome.patterns_payload
+                                       : RenderPatternsPayload(mined));
+  response.headers.emplace_back("X-Colossal-Response",
+                                FormatResponseHeader(mined));
+  return response;
+}
+
+}  // namespace
+
+HttpResponse HandleHttpRequest(MiningService& service,
+                               const HttpRequest& request,
+                               bool send_patterns) {
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+    HttpResponse response =
+        PlainText(505, "only HTTP/1.0 and HTTP/1.1 are supported\n");
+    response.close = true;
+    return response;
+  }
+  const bool get_like = request.method == "GET" || request.method == "HEAD";
+  if (request.target == "/mine") {
+    if (request.method != "POST") {
+      HttpResponse response =
+          PlainText(405, "use POST with the request line as the body\n");
+      response.headers.emplace_back("Allow", "POST");
+      return response;
+    }
+    // The body is one serve-grammar line; a trailing newline (curl
+    // --data-binary @file, printf '...\n') is tolerated, embedded ones
+    // are not — one request maps to one line, like the TCP framing.
+    std::string line = request.body;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.find('\n') != std::string::npos) {
+      return PlainText(400, "body must be a single request line\n");
+    }
+    return HttpFromOutcome(DispatchServeLine(service, line), send_patterns);
+  }
+  if (request.target == "/metrics" || request.target == "/stats") {
+    if (!get_like) {
+      HttpResponse response = PlainText(405, "use GET\n");
+      response.headers.emplace_back("Allow", "GET, HEAD");
+      return response;
+    }
+    // Through DispatchServeLine, not RenderText() directly, so both
+    // transports trace and render these the same way.
+    return HttpFromOutcome(
+        DispatchServeLine(service,
+                          request.target == "/metrics" ? "metrics" : "stats"),
+        send_patterns);
+  }
+  if (request.target == "/healthz") {
+    if (!get_like) {
+      HttpResponse response = PlainText(405, "use GET\n");
+      response.headers.emplace_back("Allow", "GET, HEAD");
+      return response;
+    }
+    return PlainText(200, "ok\n");
+  }
+  return PlainText(404,
+                   "no such endpoint; serving POST /mine, GET /metrics, "
+                   "GET /stats, GET /healthz\n");
 }
 
 }  // namespace colossal

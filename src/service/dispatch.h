@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "net/http_server.h"
 #include "net/tcp_server.h"
 #include "service/mining_service.h"
 
@@ -112,6 +113,36 @@ ServerReply FrameTcpReply(const ServeOutcome& outcome, bool send_patterns);
 // limit) exactly like request errors, so clients have one parse path.
 // Closes the connection after the flush.
 ServerReply FrameTcpError(const Status& status);
+
+// --- HTTP framing ----------------------------------------------------------
+//
+// The HTTP front end reuses DispatchServeLine verbatim — POST /mine
+// carries one serve-grammar line as the body — so a mining result's
+// response body is byte-identical to the TCP framing's counted payload
+// for the same request (the CI http-smoke job diffs the two). The
+// header line TCP clients parse moves into an X-Colossal-Response
+// header; GET /metrics serves the same RenderText() exposition the
+// `metrics` control word does.
+//
+//   POST /mine      body: one request line or control word
+//   GET  /metrics   Prometheus-style text exposition
+//   GET  /stats     the legacy stats line
+//   GET  /healthz   liveness probe, "ok"
+//
+// HEAD is accepted wherever GET is. Control words through POST /mine
+// keep their serve semantics ("shutdown" stops the front end).
+
+// Status code → HTTP status: OK→200, INVALID_ARGUMENT/OUT_OF_RANGE→400,
+// NOT_FOUND→404, FAILED_PRECONDITION→409, RESOURCE_EXHAUSTED→429
+// (admission control; answered with Retry-After), INTERNAL→500.
+int HttpStatusFromStatus(const Status& status);
+
+// Routes one parsed HTTP request. `send_patterns` false suppresses
+// mining payload bodies (the --no-patterns mode), exactly like
+// FrameTcpReply.
+HttpResponse HandleHttpRequest(MiningService& service,
+                               const HttpRequest& request,
+                               bool send_patterns);
 
 }  // namespace colossal
 

@@ -90,9 +90,19 @@ MiningService::MiningService(const MiningServiceOptions& options)
       arena_peak_gauge_(metrics_->GetGauge(
           "colossal_arena_peak_bytes",
           "Largest arena high-water mark any mine has reached")),
+      admission_rejected_(metrics_->GetCounter(
+          "colossal_admission_rejected_total",
+          "Mines rejected by the admission gate (RESOURCE_EXHAUSTED)")),
+      admitted_mines_gauge_(
+          metrics_->GetGauge("colossal_admitted_mines",
+                             "Mines currently holding an admission slot")),
+      admitted_bytes_gauge_(metrics_->GetGauge(
+          "colossal_admitted_mine_bytes",
+          "Estimated dataset bytes of currently admitted mines")),
       request_seconds_(metrics_->GetHistogram(
           "colossal_request_seconds",
           "End-to-end request latency (parse through mine)", 1e-9)),
+      admission_(options.max_inflight_mines, options.max_inflight_mine_bytes),
       registry_(WithMetrics(options.registry, metrics_)),
       cache_(WithMetrics(options.cache, metrics_)),
       pool_(options.num_threads) {
@@ -173,6 +183,7 @@ MiningService::Prepared MiningService::Prepare(const MiningRequest& request,
     prep.handle = *std::move(handle);
     prep.registry_hit = prep.handle.registry_hit;
     prep.fingerprint = prep.handle.fingerprint;
+    prep.admission_bytes = prep.handle.db->ApproxMemoryBytes();
     PhaseTimer parse_timer(trace, TracePhase::kParse);
     StatusOr<CanonicalRequest> canonical =
         CanonicalizeRequest(*prep.handle.db, request.options);
@@ -200,6 +211,14 @@ MiningService::Prepared MiningService::Prepare(const MiningRequest& request,
   prep.manifest = std::move(handle->manifest);
   prep.registry_hit = handle->registry_hit;
   prep.fingerprint = prep.manifest->parent_fingerprint;
+  // The whole dataset's estimated footprint, not one shard's: the
+  // admission gate bounds the work a request represents, while the
+  // residency governor separately bounds how much of it is ever
+  // resident at once.
+  for (const ShardInfo& shard : prep.manifest->shards) {
+    prep.admission_bytes +=
+        EstimateShardResidentBytes(shard, prep.manifest->num_items);
+  }
   PhaseTimer parse_timer(trace, TracePhase::kParse);
   StatusOr<ColossalMinerOptions> canonical = CanonicalizeMinerOptionsForSize(
       prep.manifest->num_transactions, request.options);
@@ -312,6 +331,22 @@ StatusOr<ColossalMiningResult> MiningService::RunMineNoThrow(
   }
 }
 
+StatusOr<ColossalMiningResult> MiningService::AdmitAndRunMine(
+    const MiningRequest& request, const Prepared& prep, RequestTrace* trace) {
+  Status admit = admission_.TryAdmit(prep.admission_bytes);
+  if (!admit.ok()) {
+    admission_rejected_->Increment();
+    return admit;
+  }
+  admitted_mines_gauge_->Set(admission_.inflight());
+  admitted_bytes_gauge_->Set(admission_.admitted_bytes());
+  StatusOr<ColossalMiningResult> mined = RunMineNoThrow(request, prep, trace);
+  admission_.Release(prep.admission_bytes);
+  admitted_mines_gauge_->Set(admission_.inflight());
+  admitted_bytes_gauge_->Set(admission_.admitted_bytes());
+  return mined;
+}
+
 MiningResponse MiningService::Execute(const MiningRequest& request,
                                       const Prepared& prep,
                                       RequestTrace* trace) {
@@ -362,7 +397,8 @@ MiningResponse MiningService::Execute(const MiningRequest& request,
     }
   }
   if (standalone) {
-    StatusOr<ColossalMiningResult> mined = RunMineNoThrow(request, prep, trace);
+    StatusOr<ColossalMiningResult> mined =
+        AdmitAndRunMine(request, prep, trace);
     response.status = mined.status();
     if (mined.ok()) {
       response.result =
@@ -385,7 +421,7 @@ MiningResponse MiningService::Execute(const MiningRequest& request,
     return response;
   }
 
-  StatusOr<ColossalMiningResult> mined = RunMineNoThrow(request, prep, trace);
+  StatusOr<ColossalMiningResult> mined = AdmitAndRunMine(request, prep, trace);
 
   std::shared_ptr<const ColossalMiningResult> result;
   if (mined.ok()) {

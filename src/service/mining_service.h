@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/admission.h"
 #include "service/dataset_registry.h"
 #include "service/request.h"
 #include "service/result_cache.h"
@@ -37,6 +38,14 @@ struct MiningServiceOptions {
   // resident shards fit the registry budget); 1 = the sequential walk.
   // Output is identical for any value.
   int shard_parallelism = 0;
+
+  // Admission control over actual mines (cache hits and coalesced
+  // joiners bypass the gate). 0 = unlimited. Over-limit requests fail
+  // RESOURCE_EXHAUSTED — 429 + Retry-After on the HTTP front end —
+  // instead of queueing; see service/admission.h for the exact
+  // semantics (the bytes bound is strict).
+  int max_inflight_mines = 0;
+  int64_t max_inflight_mine_bytes = 0;
 
   DatasetRegistryOptions registry;
   ResultCacheOptions cache;
@@ -169,6 +178,11 @@ class MiningService {
     DatasetHandle handle;                           // unsharded only
     bool registry_hit = false;
     uint64_t fingerprint = 0;
+    // Estimated dataset bytes this mine touches (the whole database,
+    // or the summed per-shard residency estimates), charged against
+    // the admission gate's bytes bound while the mine runs. Computed
+    // in Prepare, where the dataset identity is already resolved.
+    int64_t admission_bytes = 0;
     CanonicalRequest canonical;
     ResultCacheKey key;
   };
@@ -205,6 +219,14 @@ class MiningService {
                                                 const Prepared& prep,
                                                 RequestTrace* trace);
 
+  // RunMineNoThrow behind the admission gate: rejected mines return
+  // RESOURCE_EXHAUSTED without mining (joined waiters see the same
+  // status — had they run standalone they would have been rejected
+  // too). Every cold mine, runner or standalone, goes through here.
+  StatusOr<ColossalMiningResult> AdmitAndRunMine(const MiningRequest& request,
+                                                 const Prepared& prep,
+                                                 RequestTrace* trace);
+
   // Bumps the per-source response counters + the end-to-end latency
   // histogram for one finished response; every response (Mine and each
   // MineBatch member) passes through exactly once.
@@ -227,8 +249,13 @@ class MiningService {
   Counter* responses_failed_;
   Gauge* inflight_gauge_;
   Gauge* arena_peak_gauge_;
+  Counter* admission_rejected_;
+  Gauge* admitted_mines_gauge_;
+  Gauge* admitted_bytes_gauge_;
   Histogram* request_seconds_;
   Histogram* phase_seconds_[kNumTracePhases];
+
+  AdmissionGate admission_;
 
   DatasetRegistry registry_;
   ResultCache cache_;

@@ -253,5 +253,139 @@ TEST_F(ServeDispatchTest, TcpFramingForControlAndErrorOutcomes) {
   EXPECT_TRUE(transport.close);
 }
 
+// --- The HTTP routing layer over the same dispatch path ---------------------
+
+HttpRequest MakeHttpRequest(const std::string& method,
+                            const std::string& target,
+                            const std::string& body = "",
+                            const std::string& version = "HTTP/1.1") {
+  HttpRequest request;
+  request.method = method;
+  request.target = target;
+  request.body = body;
+  request.version = version;
+  return request;
+}
+
+const std::string* ResponseHeader(const HttpResponse& response,
+                                  const char* name) {
+  for (const auto& [header, value] : response.headers) {
+    if (header == name) return &value;
+  }
+  return nullptr;
+}
+
+TEST(HttpStatusFromStatusTest, MapsEveryStatusCode) {
+  EXPECT_EQ(HttpStatusFromStatus(Status::Ok()), 200);
+  EXPECT_EQ(HttpStatusFromStatus(Status::InvalidArgument("x")), 400);
+  EXPECT_EQ(HttpStatusFromStatus(Status::OutOfRange("x")), 400);
+  EXPECT_EQ(HttpStatusFromStatus(Status::NotFound("x")), 404);
+  EXPECT_EQ(HttpStatusFromStatus(Status::FailedPrecondition("x")), 409);
+  EXPECT_EQ(HttpStatusFromStatus(Status::ResourceExhausted("x")), 429);
+  EXPECT_EQ(HttpStatusFromStatus(Status::Internal("x")), 500);
+}
+
+TEST_F(ServeDispatchTest, HttpMinePayloadIsByteIdenticalToTcp) {
+  HttpResponse response = HandleHttpRequest(
+      service_, MakeHttpRequest("POST", "/mine", RequestLine() + "\n"),
+      /*send_patterns=*/true);
+  EXPECT_EQ(response.status, 200);
+  const std::string* colossal = ResponseHeader(response,
+                                               "X-Colossal-Response");
+  ASSERT_NE(colossal, nullptr);
+  EXPECT_EQ(colossal->rfind("ok source=", 0), 0u) << *colossal;
+
+  // The HTTP body is exactly the counted payload of the TCP framing
+  // for the same request — transports differ only in envelope.
+  ServerReply tcp =
+      FrameTcpReply(DispatchServeLine(service_, RequestLine()), true);
+  const size_t newline = tcp.data.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  EXPECT_EQ(response.body, tcp.data.substr(newline + 1));
+}
+
+TEST_F(ServeDispatchTest, HttpRoutesControlWordsAndEndpoints) {
+  // GET /metrics == the `metrics` control word's exposition text.
+  HttpResponse metrics =
+      HandleHttpRequest(service_, MakeHttpRequest("GET", "/metrics"), true);
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("colossal_requests_total"), std::string::npos);
+
+  HttpResponse stats =
+      HandleHttpRequest(service_, MakeHttpRequest("GET", "/stats"), true);
+  EXPECT_EQ(stats.status, 200);
+  EXPECT_EQ(stats.body.rfind("stats cache_hits=", 0), 0u) << stats.body;
+
+  HttpResponse health =
+      HandleHttpRequest(service_, MakeHttpRequest("GET", "/healthz"), true);
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  // HEAD is accepted wherever GET is.
+  EXPECT_EQ(HandleHttpRequest(service_, MakeHttpRequest("HEAD", "/metrics"),
+                              true)
+                .status,
+            200);
+
+  // `shutdown` through POST /mine keeps its serve semantics.
+  HttpResponse shutdown = HandleHttpRequest(
+      service_, MakeHttpRequest("POST", "/mine", "shutdown"), true);
+  EXPECT_EQ(shutdown.status, 200);
+  EXPECT_TRUE(shutdown.close);
+  EXPECT_TRUE(shutdown.shutdown_server);
+}
+
+TEST_F(ServeDispatchTest, HttpErrorsMapToStatusCodes) {
+  // Wrong method on /mine: 405 with Allow.
+  HttpResponse wrong_method =
+      HandleHttpRequest(service_, MakeHttpRequest("GET", "/mine"), true);
+  EXPECT_EQ(wrong_method.status, 405);
+  const std::string* allow = ResponseHeader(wrong_method, "Allow");
+  ASSERT_NE(allow, nullptr);
+  EXPECT_EQ(*allow, "POST");
+
+  // Wrong method on /metrics: GET/HEAD only.
+  EXPECT_EQ(HandleHttpRequest(service_, MakeHttpRequest("POST", "/metrics"),
+                              true)
+                .status,
+            405);
+
+  // Unknown target: 404 naming the endpoints.
+  HttpResponse not_found =
+      HandleHttpRequest(service_, MakeHttpRequest("GET", "/nope"), true);
+  EXPECT_EQ(not_found.status, 404);
+  EXPECT_NE(not_found.body.find("/mine"), std::string::npos);
+
+  // Unsupported version: 505.
+  EXPECT_EQ(HandleHttpRequest(
+                service_, MakeHttpRequest("GET", "/healthz", "", "HTTP/2.0"),
+                true)
+                .status,
+            505);
+
+  // A bad request line maps through HttpStatusFromStatus with the
+  // error code echoed in X-Colossal-Response.
+  HttpResponse bad = HandleHttpRequest(
+      service_, MakeHttpRequest("POST", "/mine", "--nope 1"), true);
+  EXPECT_EQ(bad.status, 400);
+  const std::string* header = ResponseHeader(bad, "X-Colossal-Response");
+  ASSERT_NE(header, nullptr);
+  EXPECT_EQ(header->rfind("error code=INVALID_ARGUMENT", 0), 0u) << *header;
+
+  // An embedded newline cannot smuggle a second request line.
+  EXPECT_EQ(HandleHttpRequest(
+                service_,
+                MakeHttpRequest("POST", "/mine", "stats\nshutdown"), true)
+                .status,
+            400);
+
+  // An empty body is the kEmpty outcome: 400, not a mine.
+  EXPECT_EQ(
+      HandleHttpRequest(service_, MakeHttpRequest("POST", "/mine", "\n"),
+                        true)
+          .status,
+      400);
+}
+
 }  // namespace
 }  // namespace colossal

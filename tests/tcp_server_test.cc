@@ -11,6 +11,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -67,6 +68,62 @@ TEST(TcpServerTest, EchoRoundTripAndPipelining) {
   ::close(*fd);
   server->Shutdown();
   EXPECT_EQ(server->stats().lines_dispatched, 4);
+}
+
+TEST(TcpServerTest, MaxPipelineReleasesRepliesInRequestOrder) {
+  // With max_pipeline > 1 both requests run concurrently; the first
+  // sleeps so its reply completes last, yet must be delivered first.
+  TcpServerOptions options;
+  options.max_pipeline = 4;
+  options.num_threads = 4;
+  options.host = "127.0.0.1";
+  options.port = 0;
+  TcpServer server(options, [](const std::string& line) {
+    if (line == "slow") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return EchoReply(line);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<int> fd = DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(WriteAll(*fd, "slow\nfast1\nfast2\n").ok());
+  SocketReader reader(*fd);
+  for (const char* expected : {"echo slow", "echo fast1", "echo fast2"}) {
+    StatusOr<std::string> line = reader.ReadLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    EXPECT_EQ(*line, expected);
+  }
+  ::close(*fd);
+  server.Shutdown();
+  EXPECT_EQ(server.stats().lines_dispatched, 3);
+}
+
+TEST(TcpServerTest, PipelinedFramingErrorStillDeliversEarlierReplies) {
+  // An oversized line behind two good pipelined requests: both good
+  // replies arrive in order, then the error frame, then the close.
+  TcpServerOptions options;
+  options.max_pipeline = 4;
+  options.num_threads = 2;
+  options.max_line_bytes = 64;
+  auto server = StartEchoServer(options);
+  StatusOr<int> fd = Connect(*server);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(
+      WriteAll(*fd, "a\nb\n" + std::string(200, 'x') + "\n").ok());
+  SocketReader reader(*fd);
+  for (const char* expected : {"echo a", "echo b"}) {
+    StatusOr<std::string> line = reader.ReadLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    EXPECT_EQ(*line, expected);
+  }
+  StatusOr<std::string> error_line = reader.ReadLine();
+  ASSERT_TRUE(error_line.ok()) << error_line.status().ToString();
+  EXPECT_NE(error_line->find("OUT_OF_RANGE"), std::string::npos)
+      << *error_line;
+  EXPECT_TRUE(reader.AtEof());
+  ::close(*fd);
+  EXPECT_EQ(server->stats().oversized_lines, 1);
 }
 
 TEST(TcpServerTest, PartialWritesAreReassembled) {

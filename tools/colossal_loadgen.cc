@@ -5,6 +5,7 @@
 //
 // usage: colossal_loadgen --port N [--host H] --requests FILE
 //            [--connections N] [--repeat N] [--warmup N] [--out FILE]
+//            [--http]
 //
 // Opens --connections independent TCP connections to a
 // `colossal_serve listen` server. Each connection replays the request
@@ -16,10 +17,17 @@
 // per-connection histograms merge losslessly (fixed buckets) into the
 // report.
 //
+// With --http, --port is the server's --http-port and each request is
+// a keep-alive `POST /mine` whose body is the request line; a request
+// counts as failed when the response status is not 200. The response
+// body carries the same payload bytes as the TCP framing, so the two
+// modes are load-equivalent.
+//
 // The report is one JSON object on stdout (and in --out FILE when
 // given):
 //
-//   {"tool": "colossal_loadgen", "connections": C, "repeat": R,
+//   {"tool": "colossal_loadgen", "mode": "tcp"|"http",
+//    "connections": C, "repeat": R,
 //    "warmup": W, "requests_per_pass": P, "requests_sent": C*R*P,
 //    "warmup_requests": C*W*P, "requests_failed": F,
 //    "wall_seconds": S, "qps": C*R*P/S,
@@ -30,13 +38,19 @@
 // requests_sent counts only timed requests — with --warmup 0 it is
 // exactly the number of request lines the server saw, which is what the
 // CI metrics-smoke job asserts against colossal_requests_total.
-// Exit status is nonzero if any request failed or any connection broke.
+// Exit status is nonzero if any request failed or any connection broke;
+// when that happens the report also carries a "first_failure" object
+// ({"request": <the request line>, "status": <server status line or
+// transport error>}) so the failing request is identifiable from the
+// JSON alone, not just from interleaved stderr.
 
 #include <unistd.h>
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <latch>
 #include <string>
 #include <thread>
@@ -54,9 +68,12 @@ namespace {
 constexpr const char kUsage[] =
     "usage: colossal_loadgen --port N [--host H] --requests FILE\n"
     "           [--connections N] [--repeat N] [--warmup N] [--out FILE]\n"
+    "           [--http]\n"
     "replays a request file over N concurrent connections against a\n"
     "'colossal_serve listen' server and reports QPS and client-side\n"
-    "latency percentiles as JSON\n"
+    "latency percentiles as JSON; --http sends each request line as a\n"
+    "keep-alive POST /mine against the server's --http-port instead of\n"
+    "the newline framing\n"
     "(see the header of tools/colossal_loadgen.cc for details)\n";
 
 int Fail(const Status& status) {
@@ -76,11 +93,70 @@ struct ConnectionResult {
   int64_t source_cache = 0;
   int64_t source_coalesced = 0;
   Status error = Status::Ok();
+  // First request this connection saw fail (server-reported error or
+  // transport break), for the report's "first_failure" object.
+  std::string first_fail_request;
+  std::string first_fail_status;
 };
+
+// One parsed HTTP response off the keep-alive connection. `status_line`
+// keeps the server's exact wording for failure reports.
+struct HttpReply {
+  int status = 0;
+  std::string status_line;
+  std::string colossal_header;  // X-Colossal-Response value (may be "")
+  std::string body;
+};
+
+// Reads status line + headers + exactly-Content-Length body. Headers
+// the report needs are picked out here; everything else is skipped.
+StatusOr<HttpReply> ReadHttpReply(SocketReader& reader) {
+  HttpReply reply;
+  StatusOr<std::string> status_line = reader.ReadLine();
+  if (!status_line.ok()) return status_line.status();
+  if (!status_line->empty() && status_line->back() == '\r') {
+    status_line->pop_back();
+  }
+  reply.status_line = *status_line;
+  // "HTTP/1.1 200 OK" — the code is the second token.
+  const size_t space = status_line->find(' ');
+  if (space == std::string::npos ||
+      status_line->compare(0, 5, "HTTP/") != 0) {
+    return Status::Internal("malformed HTTP status line: " + *status_line);
+  }
+  reply.status = std::atoi(status_line->c_str() + space + 1);
+  int64_t content_length = 0;
+  while (true) {
+    StatusOr<std::string> line = reader.ReadLine();
+    if (!line.ok()) return line.status();
+    if (!line->empty() && line->back() == '\r') line->pop_back();
+    if (line->empty()) break;
+    const size_t colon = line->find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line->substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(c));
+    size_t value_begin = colon + 1;
+    while (value_begin < line->size() && (*line)[value_begin] == ' ') {
+      ++value_begin;
+    }
+    if (name == "content-length") {
+      content_length = std::atoll(line->c_str() + value_begin);
+    } else if (name == "x-colossal-response") {
+      reply.colossal_header = line->substr(value_begin);
+    }
+  }
+  if (content_length > 0) {
+    StatusOr<std::string> body =
+        reader.ReadExact(static_cast<size_t>(content_length));
+    if (!body.ok()) return body.status();
+    reply.body = *std::move(body);
+  }
+  return reply;
+}
 
 // One connection's replay loop: warmup passes untimed, then wait on the
 // start latch, then timed passes.
-void RunConnection(const std::string& host, int port,
+void RunConnection(const std::string& host, int port, bool http,
                    const std::vector<std::string>& lines, int warmup,
                    int repeat, std::latch* start, ConnectionResult* result) {
   StatusOr<int> dial = DialTcp(host, port);
@@ -92,16 +168,71 @@ void RunConnection(const std::string& host, int port,
   const int fd = *dial;
   SocketReader reader(fd);
 
+  auto note_failure = [&](const std::string& line,
+                          const std::string& status) {
+    if (result->first_fail_request.empty()) {
+      result->first_fail_request = line;
+      result->first_fail_status = status;
+    }
+  };
+
+  auto tally_source = [&](const std::string& source) {
+    if (source == "mined") {
+      ++result->source_mined;
+    } else if (source == "cache") {
+      ++result->source_cache;
+    } else if (source == "coalesced") {
+      ++result->source_coalesced;
+    }
+  };
+
   auto one_request = [&](const std::string& line, bool timed) {
     const auto begin = std::chrono::steady_clock::now();
-    Status sent = WriteAll(fd, line + "\n");
-    StatusOr<TcpFrame> frame =
-        sent.ok() ? ReadTcpFrame(reader) : StatusOr<TcpFrame>(sent);
-    if (!frame.ok()) {
-      result->error = frame.status();
-      return false;
+    bool request_ok = false;
+    std::string status_text;
+    std::string source;
+    std::string error_payload;
+    if (http) {
+      std::string request = "POST /mine HTTP/1.1\r\nHost: " + host +
+                            "\r\nContent-Length: " +
+                            std::to_string(line.size()) + "\r\n\r\n" + line;
+      Status sent = WriteAll(fd, request);
+      StatusOr<HttpReply> reply =
+          sent.ok() ? ReadHttpReply(reader) : StatusOr<HttpReply>(sent);
+      if (!reply.ok()) {
+        result->error = reply.status();
+        note_failure(line, reply.status().ToString());
+        return false;
+      }
+      request_ok = reply->status == 200;
+      status_text = reply->status_line;
+      if (!request_ok) error_payload = reply->body;
+      // "ok source=mined patterns=..." rides in X-Colossal-Response.
+      const size_t at = reply->colossal_header.find("source=");
+      if (at != std::string::npos) {
+        const size_t end = reply->colossal_header.find(' ', at);
+        source = reply->colossal_header.substr(
+            at + 7, end == std::string::npos ? std::string::npos
+                                             : end - (at + 7));
+      }
+    } else {
+      Status sent = WriteAll(fd, line + "\n");
+      StatusOr<TcpFrame> frame =
+          sent.ok() ? ReadTcpFrame(reader) : StatusOr<TcpFrame>(sent);
+      if (!frame.ok()) {
+        result->error = frame.status();
+        note_failure(line, frame.status().ToString());
+        return false;
+      }
+      request_ok = frame->ok;
+      status_text = frame->header;
+      if (!request_ok) error_payload = frame->payload;
+      source = frame->source;
     }
-    if (!timed) return true;
+    if (!timed) {
+      if (!request_ok) note_failure(line, status_text);
+      return true;
+    }
     const int64_t nanos =
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - begin)
@@ -109,16 +240,13 @@ void RunConnection(const std::string& host, int port,
     result->latency_ns.Record(nanos);
     if (nanos > result->max_latency_ns) result->max_latency_ns = nanos;
     ++result->sent;
-    if (!frame->ok) {
+    if (!request_ok) {
       ++result->failed;
-      std::fprintf(stderr, "request failed: %s\n%s", frame->header.c_str(),
-                   frame->payload.c_str());
-    } else if (frame->source == "mined") {
-      ++result->source_mined;
-    } else if (frame->source == "cache") {
-      ++result->source_cache;
-    } else if (frame->source == "coalesced") {
-      ++result->source_coalesced;
+      note_failure(line, status_text);
+      std::fprintf(stderr, "request failed: %s\n%s", status_text.c_str(),
+                   error_payload.c_str());
+    } else {
+      tally_source(source);
     }
     return true;
   };
@@ -146,8 +274,33 @@ void AppendJsonDouble(std::string* out, double v) {
   out->append(buffer);
 }
 
+// Minimal JSON string escaping for the first_failure fields (request
+// lines and status lines are plain text, but a hostile request file
+// could hold anything).
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
 int Main(int argc, char** argv) {
-  StatusOr<Args> parsed = Args::Parse(argc, argv, 1, {});
+  StatusOr<Args> parsed = Args::Parse(argc, argv, 1, {"http"});
   if (!parsed.ok()) return Fail(parsed.status());
   const Args& args = *parsed;
   if (args.HelpRequested()) {
@@ -155,8 +308,9 @@ int Main(int argc, char** argv) {
     return 0;
   }
   Status known = args.CheckKnown({"port", "host", "requests", "connections",
-                                  "repeat", "warmup", "out"});
+                                  "repeat", "warmup", "out", "http"});
   if (!known.ok()) return Fail(known);
+  const bool http = args.Has("http");
 
   StatusOr<int64_t> port = args.GetInt("port", 0);
   if (!port.ok()) return Fail(port.status());
@@ -199,7 +353,7 @@ int Main(int argc, char** argv) {
   // --warmup 0 — how CI runs it — it is the timed region exactly.
   const auto wall_begin = std::chrono::steady_clock::now();
   for (int i = 0; i < num_connections; ++i) {
-    workers.emplace_back(RunConnection, host, static_cast<int>(*port),
+    workers.emplace_back(RunConnection, host, static_cast<int>(*port), http,
                          std::cref(lines), static_cast<int>(*warmup),
                          static_cast<int>(*repeat), &start, &results[i]);
   }
@@ -217,7 +371,13 @@ int Main(int argc, char** argv) {
   int64_t cache = 0;
   int64_t coalesced = 0;
   int broken_connections = 0;
+  const std::string* first_fail_request = nullptr;
+  const std::string* first_fail_status = nullptr;
   for (const ConnectionResult& result : results) {
+    if (first_fail_request == nullptr && !result.first_fail_request.empty()) {
+      first_fail_request = &result.first_fail_request;
+      first_fail_status = &result.first_fail_status;
+    }
     merged.MergeFrom(result.latency_ns);
     if (result.max_latency_ns > max_latency_ns) {
       max_latency_ns = result.max_latency_ns;
@@ -238,6 +398,9 @@ int Main(int argc, char** argv) {
   const double mean_ms =
       count > 0 ? static_cast<double>(merged.sum()) / count / 1e6 : 0.0;
   std::string json = "{\"tool\": \"colossal_loadgen\"";
+  json += ", \"mode\": \"";
+  json += http ? "http" : "tcp";
+  json += "\"";
   json += ", \"connections\": " + std::to_string(num_connections);
   json += ", \"repeat\": " + std::to_string(*repeat);
   json += ", \"warmup\": " + std::to_string(*warmup);
@@ -269,7 +432,15 @@ int Main(int argc, char** argv) {
   json += "}, \"sources\": {\"mined\": " + std::to_string(mined);
   json += ", \"cache\": " + std::to_string(cache);
   json += ", \"coalesced\": " + std::to_string(coalesced);
-  json += "}}\n";
+  json += "}";
+  if (first_fail_request != nullptr) {
+    json += ", \"first_failure\": {\"request\": ";
+    AppendJsonString(&json, *first_fail_request);
+    json += ", \"status\": ";
+    AppendJsonString(&json, *first_fail_status);
+    json += "}";
+  }
+  json += "}\n";
 
   std::fputs(json.c_str(), stdout);
   if (!out_path.empty()) {

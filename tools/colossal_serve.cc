@@ -27,9 +27,20 @@
 //   listen  --port N [--host H] [--threads N] [--mining-threads N]
 //           [--shard-parallelism N] [--cache-entries N] [--registry-mb N]
 //           [--no-patterns] [--max-connections N] [--max-line-kb N]
+//           [--http-port N] [--http-pipeline N]
+//           [--max-inflight-mines N] [--max-inflight-mine-kb N]
 //       The same request grammar served over TCP (net/tcp_server.h).
 //       --port 0 picks a free port; the resolved one is printed as
 //         listening host=H port=N
+//       With --http-port (0 = auto again), an HTTP/1.1 front end
+//       (net/http_server.h) serves alongside the TCP port over the same
+//       MiningService and dispatch path — POST /mine (request line as
+//       the body; the response body is byte-identical to the TCP
+//       payload), GET /metrics, GET /stats, GET /healthz — printed as
+//         listening http host=H port=N
+//       --max-inflight-mines / --max-inflight-mine-kb bound admission:
+//       over-limit mines fail RESOURCE_EXHAUSTED (HTTP 429 with
+//       Retry-After) instead of queueing; cache hits always serve.
 //       Responses use counted framing so clients can stream large
 //       results safely: every response is one status line ending in
 //       bytes=B, followed by exactly B payload bytes —
@@ -73,8 +84,10 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/args.h"
@@ -82,6 +95,7 @@
 #include "common/table_printer.h"
 #include "core/pattern.h"
 #include "mining/result_io.h"
+#include "net/http_server.h"
 #include "net/tcp_server.h"
 #include "service/dispatch.h"
 #include "service/mining_service.h"
@@ -105,6 +119,8 @@ constexpr const char kUsage[] =
     "           [--mining-threads N] [--shard-parallelism N]\n"
     "           [--cache-entries N] [--registry-mb N]\n"
     "           [--max-connections N] [--max-line-kb N] [--no-patterns]\n"
+    "           [--http-port N] [--http-pipeline N]\n"
+    "           [--max-inflight-mines N] [--max-inflight-mine-kb N]\n"
     "request lines: --in FILE (--sigma F | --min-support N) [--tau F]\n"
     "    [--k N] [--pool-size N] [--pool-miner apriori|eclat]\n"
     "    [--max-iterations N] [--attempts N] [--retain N] [--seed S]\n"
@@ -130,20 +146,29 @@ StatusOr<MiningServiceOptions> ServiceOptionsFromArgs(const Args& args) {
   if (!cache_entries.ok()) return cache_entries.status();
   StatusOr<int64_t> registry_mb = args.GetInt("registry-mb", 1024);
   if (!registry_mb.ok()) return registry_mb.status();
+  StatusOr<int64_t> max_inflight_mines = args.GetInt("max-inflight-mines", 0);
+  if (!max_inflight_mines.ok()) return max_inflight_mines.status();
+  StatusOr<int64_t> max_inflight_mine_kb =
+      args.GetInt("max-inflight-mine-kb", 0);
+  if (!max_inflight_mine_kb.ok()) return max_inflight_mine_kb.status();
   if (*threads < 0 || *threads > kMaxExplicitThreads || *mining_threads < 0 ||
       *mining_threads > kMaxExplicitThreads || *shard_parallelism < 0 ||
       *shard_parallelism > kMaxExplicitThreads || *cache_entries < 0 ||
-      *registry_mb < 1) {
+      *registry_mb < 1 || *max_inflight_mines < 0 ||
+      *max_inflight_mine_kb < 0) {
     return Status::InvalidArgument(
         "--threads/--mining-threads/--shard-parallelism must be in [0, " +
         std::to_string(kMaxExplicitThreads) +
-        "], --cache-entries >= 0, --registry-mb >= 1");
+        "], --cache-entries >= 0, --registry-mb >= 1, "
+        "--max-inflight-mines/--max-inflight-mine-kb >= 0");
   }
   options.num_threads = static_cast<int>(*threads);
   options.mining_threads = static_cast<int>(*mining_threads);
   options.shard_parallelism = static_cast<int>(*shard_parallelism);
   options.cache.max_entries = *cache_entries;
   options.registry.memory_budget_bytes = *registry_mb * (int64_t{1} << 20);
+  options.max_inflight_mines = static_cast<int>(*max_inflight_mines);
+  options.max_inflight_mine_bytes = *max_inflight_mine_kb * 1024;
   return options;
 }
 
@@ -244,7 +269,9 @@ int RunBatch(const Args& args) {
 int RunDaemon(const Args& args) {
   Status known = args.CheckKnown({"mining-threads", "shard-parallelism",
                                   "cache-entries", "registry-mb",
-                                  "no-patterns", "force-scalar"});
+                                  "no-patterns", "force-scalar",
+                                  "max-inflight-mines",
+                                  "max-inflight-mine-kb"});
   if (!known.ok()) return Fail(known);
   StatusOr<MiningServiceOptions> service_options =
       ServiceOptionsFromArgs(args);
@@ -293,9 +320,11 @@ int RunDaemon(const Args& args) {
 
 // SIGINT/SIGTERM → graceful stop (RequestStop is async-signal-safe).
 TcpServer* g_listen_server = nullptr;
+HttpServer* g_http_server = nullptr;
 
 void HandleStopSignal(int) {
   if (g_listen_server != nullptr) g_listen_server->RequestStop();
+  if (g_http_server != nullptr) g_http_server->RequestStop();
 }
 
 int RunListen(const Args& args) {
@@ -303,7 +332,10 @@ int RunListen(const Args& args) {
                                   "mining-threads", "shard-parallelism",
                                   "cache-entries", "registry-mb",
                                   "no-patterns", "max-connections",
-                                  "max-line-kb", "force-scalar"});
+                                  "max-line-kb", "force-scalar",
+                                  "http-port", "http-pipeline",
+                                  "max-inflight-mines",
+                                  "max-inflight-mine-kb"});
   if (!known.ok()) return Fail(known);
   StatusOr<MiningServiceOptions> service_options =
       ServiceOptionsFromArgs(args);
@@ -316,11 +348,19 @@ int RunListen(const Args& args) {
   if (!max_connections.ok()) return Fail(max_connections.status());
   StatusOr<int64_t> max_line_kb = args.GetInt("max-line-kb", 1024);
   if (!max_line_kb.ok()) return Fail(max_line_kb.status());
+  // --http-port absent → TCP only; present (0 = auto) → HTTP alongside.
+  const bool http_enabled = args.Has("http-port");
+  StatusOr<int64_t> http_port = args.GetInt("http-port", 0);
+  if (!http_port.ok()) return Fail(http_port.status());
+  StatusOr<int64_t> http_pipeline = args.GetInt("http-pipeline", 8);
+  if (!http_pipeline.ok()) return Fail(http_pipeline.status());
   if (*port < 0 || *port > 65535 || *max_connections < 1 ||
-      *max_line_kb < 1) {
+      *max_line_kb < 1 || *http_port < 0 || *http_port > 65535 ||
+      *http_pipeline < 1 || *http_pipeline > 256) {
     return Fail(Status::InvalidArgument(
-        "listen requires --port in [0, 65535] (0 = auto), "
-        "--max-connections >= 1, --max-line-kb >= 1"));
+        "listen requires --port/--http-port in [0, 65535] (0 = auto), "
+        "--max-connections >= 1, --max-line-kb >= 1, "
+        "--http-pipeline in [1, 256]"));
   }
 
   TcpServerOptions server_options;
@@ -333,6 +373,10 @@ int RunListen(const Args& args) {
   server_options.max_line_bytes = *max_line_kb * 1024;
 
   MiningService service(*service_options);
+  // Both front ends register their transport counters in the service
+  // registry so the `metrics` control word / GET /metrics exposition
+  // covers colossal_tcp_* and colossal_http_* alongside the service.
+  server_options.metrics = &service.metrics();
   TcpServer server(
       server_options,
       [&service, send_patterns](const std::string& line) {
@@ -340,17 +384,61 @@ int RunListen(const Args& args) {
       },
       FrameTcpError);
 
+  std::unique_ptr<HttpServer> http_server;
+  if (http_enabled) {
+    HttpServerOptions http_options;
+    http_options.host = server_options.host;
+    http_options.port = static_cast<int>(*http_port);
+    http_options.num_threads = service_options->num_threads;
+    http_options.max_connections = static_cast<int>(*max_connections);
+    http_options.max_pipeline = static_cast<int>(*http_pipeline);
+    http_options.metrics = &service.metrics();
+    http_server = std::make_unique<HttpServer>(
+        http_options,
+        [&service, send_patterns](const HttpRequest& request) {
+          return HandleHttpRequest(service, request, send_patterns);
+        });
+  }
+
   Status started = server.Start();
   if (!started.ok()) return Fail(started);
+  if (http_server != nullptr) {
+    Status http_started = http_server->Start();
+    if (!http_started.ok()) {
+      server.Shutdown();
+      return Fail(http_started);
+    }
+  }
 
   g_listen_server = &server;
+  g_http_server = http_server.get();
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
 
   std::printf("listening host=%s port=%d\n", server_options.host.c_str(),
               server.port());
+  if (http_server != nullptr) {
+    std::printf("listening http host=%s port=%d\n",
+                server_options.host.c_str(), http_server->port());
+  }
   std::fflush(stdout);
+
+  // A `shutdown` can arrive over either front end; whichever server
+  // stops first takes the other down with it.
+  std::thread http_waiter;
+  if (http_server != nullptr) {
+    HttpServer* http = http_server.get();
+    TcpServer* tcp = &server;
+    http_waiter = std::thread([http, tcp]() {
+      http->Wait();
+      tcp->RequestStop();
+    });
+  }
   server.Wait();
+  if (http_server != nullptr) {
+    http_server->RequestStop();
+    http_waiter.join();
+  }
 
   const TcpServerStats stats = server.stats();
   std::printf(
@@ -359,6 +447,17 @@ int RunListen(const Args& args) {
       static_cast<long long>(stats.rejected),
       static_cast<long long>(stats.lines_dispatched),
       static_cast<long long>(stats.oversized_lines));
+  if (http_server != nullptr) {
+    const TcpServerStats http_stats = http_server->stats();
+    std::printf(
+        "stopped http accepted=%lld rejected=%lld requests=%lld "
+        "framing_errors=%lld\n",
+        static_cast<long long>(http_stats.accepted),
+        static_cast<long long>(http_stats.rejected),
+        static_cast<long long>(http_stats.lines_dispatched),
+        static_cast<long long>(http_stats.oversized_lines));
+  }
+  g_http_server = nullptr;
   g_listen_server = nullptr;
   return 0;
 }
