@@ -657,6 +657,32 @@ void BM_MetricsRenderText(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsRenderText);
 
+void BM_MetricsFlightRecorderRecord(benchmark::State& state) {
+  // The always-on per-request cost of the flight recorder: one ring
+  // publish of a fully-populated record. Budget class: tens of ns, like
+  // Histogram::Record — this runs once per completed request. The
+  // recorder is shared across benchmark threads so the multi-threaded
+  // runs measure real cursor contention.
+  static FlightRecorder recorder;
+  FlightRecord record;
+  record.start_unix_nanos = 1722500000000000000LL;
+  record.dataset_fingerprint = 0x9e3779b97f4a7c15ull;
+  record.options_hash = 0x2545f4914f6cdd1dull;
+  record.response_bytes = 65536;
+  record.total_nanos = 12345678;
+  for (int p = 0; p < kNumTracePhases; ++p) record.phase_nanos[p] = 1000 * p;
+  SetFlightField(record.transport, "tcp");
+  SetFlightField(record.source, "mined");
+  SetFlightField(record.status, "OK");
+  SetFlightField(record.dataset, "/data/benchmarks/diag_plus_4096.fimi");
+  for (auto _ : state) {
+    record.id = recorder.MintId();
+    recorder.Record(record);
+  }
+  benchmark::DoNotOptimize(recorder.recorded());
+}
+BENCHMARK(BM_MetricsFlightRecorderRecord)->ThreadRange(1, 4);
+
 }  // namespace
 }  // namespace colossal
 

@@ -147,12 +147,25 @@ StatusOr<TcpFrame> ReadTcpFrame(SocketReader& reader) {
 
   frame.ok = frame.header.rfind("ok", 0) == 0 ||
              frame.header.rfind("stats", 0) == 0 ||
-             frame.header.rfind("metrics", 0) == 0;
+             frame.header.rfind("metrics", 0) == 0 ||
+             frame.header.rfind("recent", 0) == 0 ||
+             frame.header.rfind("trace", 0) == 0;
   const size_t source_pos = frame.header.find("source=");
   if (source_pos != std::string::npos) {
     const size_t value = source_pos + 7;
     frame.source =
         frame.header.substr(value, frame.header.find(' ', value) - value);
+  }
+  const size_t id_pos = frame.header.find(" id=");
+  if (id_pos != std::string::npos) {
+    errno = 0;
+    char* id_end = nullptr;
+    const unsigned long long id =
+        std::strtoull(frame.header.c_str() + id_pos + 4, &id_end, 10);
+    if (id_end != nullptr && (*id_end == '\0' || *id_end == ' ') &&
+        errno == 0) {
+      frame.request_id = id;
+    }
   }
 
   StatusOr<std::string> payload =

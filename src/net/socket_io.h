@@ -54,8 +54,11 @@ class SocketReader {
 struct TcpFrame {
   std::string header;   // full status line (without the newline)
   std::string payload;  // exactly bytes=B bytes
-  bool ok = false;      // header starts with "ok", "stats" or "metrics"
+  bool ok = false;      // header starts with "ok", "stats", "metrics",
+                        // "recent" or "trace"
   std::string source;   // "mined" | "cache" | "coalesced" | "" (non-request)
+  uint64_t request_id = 0;  // the header's id= token; 0 when absent
+                            // (control words, pre-id servers)
 };
 
 // Reads and splits one frame. Shared by colossal_client and

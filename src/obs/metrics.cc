@@ -129,6 +129,24 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return out;
 }
 
+void MetricsRegistry::SetInfo(const std::string& name,
+                              const std::string& help,
+                              const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    COLOSSAL_CHECK(it->second.type == MetricType::kInfo)
+        << "metric '" << name << "' already registered with another type";
+    it->second.info_labels = labels;
+    return;
+  }
+  Entry entry;
+  entry.type = MetricType::kInfo;
+  entry.help = help;
+  entry.info_labels = labels;
+  metrics_.emplace(name, std::move(entry));
+}
+
 const MetricsRegistry::Entry* MetricsRegistry::FindEntry(
     std::string_view name, MetricType type) const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -181,6 +199,14 @@ std::string MetricsRegistry::RenderText() const {
       case MetricType::kGauge:
         AppendLine(&out, "# TYPE %s gauge\n", n);
         AppendLine(&out, "%s %" PRId64 "\n", n, entry.gauge->value());
+        break;
+      case MetricType::kInfo:
+        AppendLine(&out, "# TYPE %s gauge\n", n);
+        // Labels can exceed AppendLine's buffer budget; append directly.
+        out.append(n);
+        out.push_back('{');
+        out.append(entry.info_labels);
+        out.append("} 1\n");
         break;
       case MetricType::kHistogram: {
         const Histogram& h = *entry.histogram;

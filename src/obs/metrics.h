@@ -117,6 +117,7 @@ enum class MetricType {
   kCounter,
   kGauge,
   kHistogram,
+  kInfo,
 };
 
 // Named metric registry + text exposition. Registration is idempotent:
@@ -140,6 +141,13 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name, const std::string& help,
                           double scale = 1.0);
 
+  // Constant info metric, Prometheus *_info style: renders as a gauge
+  // fixed at 1 whose labels carry the values — `name{labels} 1`.
+  // `labels` is the preformatted label body, e.g. `simd="avx2",
+  // compiler="gcc 12"`. Re-registering a name replaces its labels.
+  void SetInfo(const std::string& name, const std::string& help,
+               const std::string& labels);
+
   // Value lookups by name (0 / nullptr when absent or of another type);
   // what FormatStatsLine renders the legacy stats line from.
   int64_t CounterValue(std::string_view name) const;
@@ -157,6 +165,7 @@ class MetricsRegistry {
     MetricType type;
     std::string help;
     double scale = 1.0;
+    std::string info_labels;  // kInfo only
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;

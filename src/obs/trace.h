@@ -60,6 +60,14 @@ inline const char* TracePhaseName(TracePhase phase) {
 struct RequestTrace {
   std::atomic<int64_t> phase_nanos[kNumTracePhases] = {};
 
+  // Non-phase per-request observables, filled by whichever layer knows
+  // them (registry admission, RunMine) and read back by the flight
+  // recorder when the request completes. Atomic for the same reason the
+  // phase accumulators are: shard loader threads report concurrently.
+  std::atomic<int64_t> admission_wait_nanos{0};
+  std::atomic<int64_t> arena_peak_bytes{0};
+  std::atomic<int32_t> shard_parallelism{0};
+
   void AddNanos(TracePhase phase, int64_t nanos) {
     phase_nanos[static_cast<int>(phase)].fetch_add(
         nanos, std::memory_order_relaxed);
@@ -67,6 +75,9 @@ struct RequestTrace {
   int64_t nanos(TracePhase phase) const {
     return phase_nanos[static_cast<int>(phase)].load(
         std::memory_order_relaxed);
+  }
+  void AddAdmissionWaitNanos(int64_t nanos) {
+    admission_wait_nanos.fetch_add(nanos, std::memory_order_relaxed);
   }
 };
 

@@ -2,6 +2,7 @@
 
 #include <sys/stat.h>
 
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -222,6 +223,7 @@ StatusOr<PinnedDatasetHandle> DatasetRegistry::GetPinned(
   }
   const std::string key = EntryKey(path, format);
   const FileSignature signature = StatFileSignature(path);
+  int64_t admission_wait_nanos = 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     auto it = entries_.find(key);
@@ -263,7 +265,12 @@ StatusOr<PinnedDatasetHandle> DatasetRegistry::GetPinned(
     };
     if (!admissible()) {
       admission_waits_->Increment();
+      const auto wait_start = std::chrono::steady_clock::now();
       admission_cv_.wait(lock, admissible);
+      admission_wait_nanos =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - wait_start)
+              .count();
     }
     reserved_bytes_ += estimated_bytes;
     SyncGaugesLocked();
@@ -294,6 +301,7 @@ StatusOr<PinnedDatasetHandle> DatasetRegistry::GetPinned(
   pinned.handle.fingerprint = entries_.at(key).fingerprint;
   pinned.handle.registry_hit = false;
   pinned.handle.load_seconds = load_seconds;
+  pinned.admission_wait_nanos = admission_wait_nanos;
   pinned.pin = AddPinLocked(key);
   admission_cv_.notify_all();
   return pinned;

@@ -108,6 +108,10 @@ struct ShardManifestHandle {
 struct PinnedDatasetHandle {
   DatasetHandle handle;
   std::shared_ptr<void> pin;
+  // Wall nanos this admission spent blocked waiting for pins and
+  // reservations to drain (0 when admitted immediately); what the
+  // flight recorder reports as a request's admission_wait_ms.
+  int64_t admission_wait_nanos = 0;
 };
 
 // Loads each dataset once and shares it immutably across requests — the

@@ -1,12 +1,15 @@
 #include "service/dispatch.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "common/bitvector_kernels.h"
 #include "common/stopwatch.h"
 #include "core/pattern.h"
 #include "mining/result_io.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace colossal {
@@ -18,6 +21,81 @@ std::string HexFingerprint(uint64_t fingerprint) {
   std::snprintf(buffer, sizeof(buffer), "%016llx",
                 static_cast<unsigned long long>(fingerprint));
   return buffer;
+}
+
+int64_t NowUnixNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// Parses the single numeric argument of `recent`/`trace` control words.
+bool ParseControlNumber(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || errno != 0 ||
+      text[0] == '-') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+// "recent [n]": the n most recent flight records, newest first, as one
+// JSON object — also what GET /debug/requests serves.
+ServeOutcome DispatchRecent(MiningService& service, const std::string& arg) {
+  ServeOutcome outcome;
+  outcome.kind = ServeOutcome::Kind::kDebug;
+  outcome.debug_word = "recent";
+  uint64_t n = 32;
+  if (!arg.empty() && (!ParseControlNumber(arg, &n) || n == 0)) {
+    outcome.debug_status =
+        Status::InvalidArgument("usage: recent [n]  (n >= 1)");
+    return outcome;
+  }
+  const FlightRecorder& recorder = service.flight_recorder();
+  if (n > recorder.capacity()) n = recorder.capacity();
+  const std::vector<FlightRecord> records =
+      recorder.Recent(static_cast<size_t>(n));
+  std::string& out = outcome.debug_text;
+  out.reserve(64 + records.size() * 512);
+  out += "{\"recorded\":" + std::to_string(recorder.recorded());
+  out += ",\"dropped\":" + std::to_string(recorder.dropped());
+  out += ",\"capacity\":" + std::to_string(recorder.capacity());
+  out += ",\"requests\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i != 0) out += ',';
+    AppendFlightRecordJson(records[i], &out);
+  }
+  out += "]}\n";
+  return outcome;
+}
+
+// "trace <id>": one flight record by request id — also what
+// GET /debug/requests/<id> serves.
+ServeOutcome DispatchTrace(MiningService& service, const std::string& arg) {
+  ServeOutcome outcome;
+  outcome.kind = ServeOutcome::Kind::kDebug;
+  outcome.debug_word = "trace";
+  uint64_t id = 0;
+  if (!ParseControlNumber(arg, &id) || id == 0) {
+    outcome.debug_status =
+        Status::InvalidArgument("usage: trace <request id>");
+    return outcome;
+  }
+  FlightRecord record;
+  if (!service.flight_recorder().Find(id, &record)) {
+    outcome.debug_status = Status::NotFound(
+        "no flight record for request id " + std::to_string(id) +
+        " (the recorder keeps the last " +
+        std::to_string(service.flight_recorder().capacity()) + " requests)");
+    return outcome;
+  }
+  outcome.debug_text = FlightRecordJson(record);
+  outcome.debug_text += '\n';
+  return outcome;
 }
 
 }  // namespace
@@ -44,7 +122,8 @@ StatusOr<std::vector<RequestFileLine>> ReadRequestFile(
 }
 
 ServeOutcome DispatchServeLine(MiningService& service,
-                               const std::string& line) {
+                               const std::string& line,
+                               std::string_view transport) {
   ServeOutcome outcome;
   const size_t start = line.find_first_not_of(" \t\r");
   if (start == std::string::npos || line[start] == '#') {
@@ -70,11 +149,24 @@ ServeOutcome DispatchServeLine(MiningService& service,
   }
   if (command == "metrics") {
     outcome.kind = ServeOutcome::Kind::kMetrics;
-    outcome.metrics_text = service.metrics().RenderText();
+    outcome.metrics_text = service.RenderMetrics();
     return outcome;
+  }
+  if (command == "recent" || command.rfind("recent ", 0) == 0) {
+    return DispatchRecent(
+        service, command == "recent" ? std::string() : command.substr(7));
+  }
+  if (command.rfind("trace ", 0) == 0 || command == "trace") {
+    return DispatchTrace(
+        service, command == "trace" ? std::string() : command.substr(6));
   }
 
   outcome.kind = ServeOutcome::Kind::kResponse;
+  // Every request line gets a process-monotonic id and, when finished,
+  // one flight record — errors included, so failures are correlatable.
+  const int64_t start_unix_nanos = NowUnixNanos();
+  Stopwatch request_watch;
+  outcome.request_id = service.flight_recorder().MintId();
   // The request's trace starts here so grammar parsing counts toward
   // the parse phase; Mine adds its phases into the same trace and
   // flushes everything to the histograms when the response is final.
@@ -88,9 +180,17 @@ ServeOutcome DispatchServeLine(MiningService& service,
     service.NoteParseFailure();
     service.RecordPhaseNanos(TracePhase::kParse,
                              trace.nanos(TracePhase::kParse));
+    // The framed error payload is "<message>\n".
+    const int64_t error_bytes =
+        static_cast<int64_t>(request.status().message().size()) + 1;
+    service.RecordFlight(BuildFlightRecord(
+        outcome.request_id, start_unix_nanos, transport, nullptr,
+        outcome.response, trace, error_bytes,
+        static_cast<int64_t>(request_watch.ElapsedSeconds() * 1e9)));
     return outcome;
   }
   outcome.response = service.Mine(*request, &trace);
+  int64_t response_bytes = 0;
   if (outcome.response.status.ok()) {
     // Serialize once, here, for both transports; the render is the one
     // phase that runs after Mine flushed the trace, so it reports
@@ -98,10 +198,19 @@ ServeOutcome DispatchServeLine(MiningService& service,
     Stopwatch serialize_watch;
     outcome.patterns_payload = RenderPatternsPayload(outcome.response);
     outcome.patterns_rendered = true;
-    service.RecordPhaseNanos(
-        TracePhase::kSerialize,
-        static_cast<int64_t>(serialize_watch.ElapsedSeconds() * 1e9));
+    const int64_t serialize_nanos =
+        static_cast<int64_t>(serialize_watch.ElapsedSeconds() * 1e9);
+    service.RecordPhaseNanos(TracePhase::kSerialize, serialize_nanos);
+    trace.AddNanos(TracePhase::kSerialize, serialize_nanos);
+    response_bytes = static_cast<int64_t>(outcome.patterns_payload.size());
+  } else {
+    response_bytes =
+        static_cast<int64_t>(outcome.response.status.message().size()) + 1;
   }
+  service.RecordFlight(BuildFlightRecord(
+      outcome.request_id, start_unix_nanos, transport, &*request,
+      outcome.response, trace, response_bytes,
+      static_cast<int64_t>(request_watch.ElapsedSeconds() * 1e9)));
   return outcome;
 }
 
@@ -117,7 +226,7 @@ std::string FormatStatsLine(const MiningService& service) {
       "cache_evictions=%lld dataset_loads=%lld dataset_hits=%lld "
       "dataset_evictions=%lld dataset_stale_reloads=%lld "
       "sniff_cache_hits=%lld admission_waits=%lld "
-      "admission_rejected=%lld reap_pending=%lld "
+      "admission_rejected=%lld slow_requests=%lld reap_pending=%lld "
       "resident_mb=%.1f peak_resident_mb=%.1f arena_peak_mb=%.1f simd=%s",
       static_cast<long long>(
           metrics.CounterValue("colossal_result_cache_hits_total")),
@@ -142,6 +251,8 @@ std::string FormatStatsLine(const MiningService& service) {
       static_cast<long long>(
           metrics.CounterValue("colossal_admission_rejected_total")),
       static_cast<long long>(
+          metrics.CounterValue("colossal_slow_requests_total")),
+      static_cast<long long>(
           metrics.GaugeValue("colossal_dataset_reap_pending")),
       static_cast<double>(metrics.GaugeValue("colossal_dataset_resident_bytes")) /
           (1 << 20),
@@ -154,16 +265,23 @@ std::string FormatStatsLine(const MiningService& service) {
   return buffer;
 }
 
-std::string FormatResponseHeader(const MiningResponse& response) {
-  char buffer[192];
-  std::snprintf(buffer, sizeof(buffer),
-                "ok source=%s patterns=%zu iterations=%d fingerprint=%s "
-                "ms=%.3f",
-                ResponseSourceName(response.source),
-                response.result ? response.result->patterns.size() : 0,
-                response.result ? response.result->iterations : 0,
-                HexFingerprint(response.dataset_fingerprint).c_str(),
-                response.seconds * 1e3);
+std::string FormatResponseHeader(const MiningResponse& response,
+                                 uint64_t request_id) {
+  char buffer[224];
+  int n = std::snprintf(buffer, sizeof(buffer),
+                        "ok source=%s patterns=%zu iterations=%d "
+                        "fingerprint=%s ms=%.3f",
+                        ResponseSourceName(response.source),
+                        response.result ? response.result->patterns.size() : 0,
+                        response.result ? response.result->iterations : 0,
+                        HexFingerprint(response.dataset_fingerprint).c_str(),
+                        response.seconds * 1e3);
+  if (request_id != 0 && n > 0 && n < static_cast<int>(sizeof(buffer))) {
+    // The id rides the header, never the payload — responses stay
+    // byte-identical across transports and repeats.
+    std::snprintf(buffer + n, sizeof(buffer) - static_cast<size_t>(n),
+                  " id=%llu", static_cast<unsigned long long>(request_id));
+  }
   return buffer;
 }
 
@@ -194,13 +312,30 @@ ServerReply FrameTcpReply(const ServeOutcome& outcome, bool send_patterns) {
                    std::to_string(outcome.metrics_text.size()) + "\n" +
                    outcome.metrics_text;
       break;
+    case ServeOutcome::Kind::kDebug: {
+      if (!outcome.debug_status.ok()) {
+        const std::string payload = outcome.debug_status.message() + "\n";
+        reply.data = std::string("error code=") +
+                     StatusCodeName(outcome.debug_status.code()) +
+                     " bytes=" + std::to_string(payload.size()) + "\n" +
+                     payload;
+        break;
+      }
+      reply.data = outcome.debug_word +
+                   " bytes=" + std::to_string(outcome.debug_text.size()) +
+                   "\n" + outcome.debug_text;
+      break;
+    }
     case ServeOutcome::Kind::kResponse: {
       if (!outcome.response.status.ok()) {
         const std::string payload = outcome.response.status.message() + "\n";
         reply.data = std::string("error code=") +
-                     StatusCodeName(outcome.response.status.code()) +
-                     " bytes=" + std::to_string(payload.size()) + "\n" +
-                     payload;
+                     StatusCodeName(outcome.response.status.code());
+        if (outcome.request_id != 0) {
+          reply.data += " id=" + std::to_string(outcome.request_id);
+        }
+        reply.data +=
+            " bytes=" + std::to_string(payload.size()) + "\n" + payload;
         break;
       }
       const std::string payload =
@@ -208,7 +343,7 @@ ServerReply FrameTcpReply(const ServeOutcome& outcome, bool send_patterns) {
           : outcome.patterns_rendered
               ? outcome.patterns_payload
               : RenderPatternsPayload(outcome.response);
-      reply.data = FormatResponseHeader(outcome.response) +
+      reply.data = FormatResponseHeader(outcome.response, outcome.request_id) +
                    " bytes=" + std::to_string(payload.size()) + "\n" +
                    payload;
       break;
@@ -221,6 +356,26 @@ ServerReply FrameTcpError(const Status& status) {
   const std::string payload = status.message() + "\n";
   ServerReply reply;
   reply.data = std::string("error code=") + StatusCodeName(status.code()) +
+               " bytes=" + std::to_string(payload.size()) + "\n" + payload;
+  reply.close = true;
+  return reply;
+}
+
+ServerReply FrameTcpError(MiningService& service, const Status& status) {
+  const uint64_t id = service.flight_recorder().MintId();
+  FlightRecord record;
+  record.id = id;
+  record.start_unix_nanos = NowUnixNanos();
+  SetFlightField(record.transport, "tcp");
+  SetFlightField(record.source, "failed");
+  SetFlightField(record.status, StatusCodeName(status.code()));
+  record.response_bytes = static_cast<int64_t>(status.message().size()) + 1;
+  service.RecordFlight(record);
+
+  const std::string payload = status.message() + "\n";
+  ServerReply reply;
+  reply.data = std::string("error code=") + StatusCodeName(status.code()) +
+               " id=" + std::to_string(id) +
                " bytes=" + std::to_string(payload.size()) + "\n" + payload;
   reply.close = true;
   return reply;
@@ -280,6 +435,17 @@ HttpResponse HttpFromOutcome(const ServeOutcome& outcome,
       return PlainText(200, outcome.stats_line + "\n");
     case ServeOutcome::Kind::kMetrics:
       return PlainText(200, outcome.metrics_text);
+    case ServeOutcome::Kind::kDebug: {
+      if (!outcome.debug_status.ok()) {
+        return PlainText(HttpStatusFromStatus(outcome.debug_status),
+                         outcome.debug_status.message() + "\n");
+      }
+      HttpResponse response;
+      response.status = 200;
+      response.body = outcome.debug_text;
+      response.headers.emplace_back("Content-Type", "application/json");
+      return response;
+    }
     case ServeOutcome::Kind::kResponse:
       break;
   }
@@ -290,6 +456,10 @@ HttpResponse HttpFromOutcome(const ServeOutcome& outcome,
     response.headers.emplace_back(
         "X-Colossal-Response",
         std::string("error code=") + StatusCodeName(mined.status.code()));
+    if (outcome.request_id != 0) {
+      response.headers.emplace_back("X-Colossal-Request-Id",
+                                    std::to_string(outcome.request_id));
+    }
     if (response.status == 429) {
       response.headers.emplace_back("Retry-After", "1");
     }
@@ -299,8 +469,33 @@ HttpResponse HttpFromOutcome(const ServeOutcome& outcome,
       200, !send_patterns          ? std::string()
            : outcome.patterns_rendered ? outcome.patterns_payload
                                        : RenderPatternsPayload(mined));
-  response.headers.emplace_back("X-Colossal-Response",
-                                FormatResponseHeader(mined));
+  response.headers.emplace_back(
+      "X-Colossal-Response", FormatResponseHeader(mined, outcome.request_id));
+  if (outcome.request_id != 0) {
+    response.headers.emplace_back("X-Colossal-Request-Id",
+                                  std::to_string(outcome.request_id));
+  }
+  return response;
+}
+
+// Frames an HTTP-layer fault (bad route, wrong method, unsupported
+// version) with a minted request id, and lands it in the flight
+// recorder so transport-level failures are correlatable exactly like
+// request errors.
+HttpResponse HttpFault(MiningService& service, int status, std::string body,
+                       std::string_view status_name) {
+  const uint64_t id = service.flight_recorder().MintId();
+  FlightRecord record;
+  record.id = id;
+  record.start_unix_nanos = NowUnixNanos();
+  SetFlightField(record.transport, "http");
+  SetFlightField(record.source, "failed");
+  SetFlightField(record.status, status_name);
+  record.response_bytes = static_cast<int64_t>(body.size());
+  service.RecordFlight(record);
+
+  HttpResponse response = PlainText(status, std::move(body));
+  response.headers.emplace_back("X-Colossal-Request-Id", std::to_string(id));
   return response;
 }
 
@@ -311,15 +506,26 @@ HttpResponse HandleHttpRequest(MiningService& service,
                                bool send_patterns) {
   if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
     HttpResponse response =
-        PlainText(505, "only HTTP/1.0 and HTTP/1.1 are supported\n");
+        HttpFault(service, 505, "only HTTP/1.0 and HTTP/1.1 are supported\n",
+                  "INTERNAL");
     response.close = true;
     return response;
   }
+  // Split the query string off the target so /debug/requests?n=5 routes
+  // like /debug/requests.
+  std::string path = request.target;
+  std::string query;
+  const size_t query_pos = path.find('?');
+  if (query_pos != std::string::npos) {
+    query = path.substr(query_pos + 1);
+    path.resize(query_pos);
+  }
   const bool get_like = request.method == "GET" || request.method == "HEAD";
-  if (request.target == "/mine") {
+  if (path == "/mine") {
     if (request.method != "POST") {
-      HttpResponse response =
-          PlainText(405, "use POST with the request line as the body\n");
+      HttpResponse response = HttpFault(
+          service, 405, "use POST with the request line as the body\n",
+          "INVALID_ARGUMENT");
       response.headers.emplace_back("Allow", "POST");
       return response;
     }
@@ -331,34 +537,65 @@ HttpResponse HandleHttpRequest(MiningService& service,
       line.pop_back();
     }
     if (line.find('\n') != std::string::npos) {
-      return PlainText(400, "body must be a single request line\n");
+      return HttpFault(service, 400, "body must be a single request line\n",
+                       "INVALID_ARGUMENT");
     }
-    return HttpFromOutcome(DispatchServeLine(service, line), send_patterns);
+    return HttpFromOutcome(DispatchServeLine(service, line, "http"),
+                           send_patterns);
   }
-  if (request.target == "/metrics" || request.target == "/stats") {
+  if (path == "/metrics" || path == "/stats") {
     if (!get_like) {
-      HttpResponse response = PlainText(405, "use GET\n");
+      HttpResponse response =
+          HttpFault(service, 405, "use GET\n", "INVALID_ARGUMENT");
       response.headers.emplace_back("Allow", "GET, HEAD");
       return response;
     }
     // Through DispatchServeLine, not RenderText() directly, so both
     // transports trace and render these the same way.
     return HttpFromOutcome(
-        DispatchServeLine(service,
-                          request.target == "/metrics" ? "metrics" : "stats"),
+        DispatchServeLine(service, path == "/metrics" ? "metrics" : "stats",
+                          "http"),
         send_patterns);
   }
-  if (request.target == "/healthz") {
+  if (path == "/debug/requests" || path.rfind("/debug/requests/", 0) == 0) {
     if (!get_like) {
-      HttpResponse response = PlainText(405, "use GET\n");
+      HttpResponse response =
+          HttpFault(service, 405, "use GET\n", "INVALID_ARGUMENT");
+      response.headers.emplace_back("Allow", "GET, HEAD");
+      return response;
+    }
+    // Both routes are sugar over the control words, so the TCP and
+    // stdin transports expose the exact same JSON.
+    std::string control;
+    if (path == "/debug/requests") {
+      control = "recent";
+      if (!query.empty()) {
+        if (query.rfind("n=", 0) != 0) {
+          return HttpFault(service, 400, "unsupported query; use ?n=K\n",
+                           "INVALID_ARGUMENT");
+        }
+        control += " " + query.substr(2);
+      }
+    } else {
+      control =
+          "trace " + path.substr(std::string("/debug/requests/").size());
+    }
+    return HttpFromOutcome(DispatchServeLine(service, control, "http"),
+                           send_patterns);
+  }
+  if (path == "/healthz") {
+    if (!get_like) {
+      HttpResponse response =
+          HttpFault(service, 405, "use GET\n", "INVALID_ARGUMENT");
       response.headers.emplace_back("Allow", "GET, HEAD");
       return response;
     }
     return PlainText(200, "ok\n");
   }
-  return PlainText(404,
+  return HttpFault(service, 404,
                    "no such endpoint; serving POST /mine, GET /metrics, "
-                   "GET /stats, GET /healthz\n");
+                   "GET /stats, GET /healthz, GET /debug/requests\n",
+                   "NOT_FOUND");
 }
 
 }  // namespace colossal

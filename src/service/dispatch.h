@@ -2,6 +2,7 @@
 #define COLOSSAL_SERVICE_DISPATCH_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/http_server.h"
@@ -25,6 +26,8 @@ struct ServeOutcome {
                 // the stdin daemon treats it like quit)
     kStats,     // "stats": counters in stats_line
     kMetrics,   // "metrics": full text exposition in metrics_text
+    kDebug,     // "recent [n]" / "trace <id>": flight-recorder JSON in
+                // debug_text (or debug_status on a failed lookup)
     kResponse,  // a request line; see response (response.status may be
                 // an error from parsing or mining)
   };
@@ -33,6 +36,19 @@ struct ServeOutcome {
   MiningResponse response;
   std::string stats_line;    // set for kStats, already formatted
   std::string metrics_text;  // set for kMetrics: Prometheus-style text
+
+  // For kDebug: which control word ran (the TCP frame's header word),
+  // the JSON it produced, and the failure when the query itself failed
+  // (unknown id, bad argument).
+  std::string debug_word;
+  std::string debug_text;
+  Status debug_status;
+
+  // For kResponse: the process-monotonic request id minted for this
+  // line (surfaced as `id=N` on header lines and as the
+  // X-Colossal-Request-Id HTTP header — never inside the payload, so
+  // response payloads stay byte-identical). 0 for control words.
+  uint64_t request_id = 0;
 
   // For kResponse with an ok status: the FIMI payload, rendered (and
   // timed as the serialize trace phase) by DispatchServeLine so both
@@ -61,14 +77,18 @@ StatusOr<std::vector<RequestFileLine>> ReadRequestFile(
 
 // Interprets one input line of the serve protocol against `service`:
 // strips leading whitespace, recognizes the control words ("stats",
-// "metrics", "quit"/"exit", "shutdown"), parses request lines with
-// ParseRequestLine, and mines synchronously. Parse errors surface as
-// kResponse with a failed status so callers have a single
-// error-rendering path. Every request line is traced: parse, mining
-// phases, and payload serialization land in the service's per-phase
-// latency histograms.
+// "metrics", "recent [n]", "trace <id>", "quit"/"exit", "shutdown"),
+// parses request lines with ParseRequestLine, and mines synchronously.
+// Parse errors surface as kResponse with a failed status so callers
+// have a single error-rendering path. Every request line is traced
+// (parse, mining phases, and payload serialization land in the
+// service's per-phase latency histograms), minted a request id, and
+// recorded into the service's flight recorder — errors included.
+// `transport` names the front end for the flight record ("tcp",
+// "http", "stdin", ...).
 ServeOutcome DispatchServeLine(MiningService& service,
-                               const std::string& line);
+                               const std::string& line,
+                               std::string_view transport = "local");
 
 // "stats cache_hits=... cache_misses=... cache_entries=...
 //  cache_evictions=... dataset_loads=... dataset_hits=...
@@ -79,9 +99,12 @@ ServeOutcome DispatchServeLine(MiningService& service,
 // values the `metrics` exposition reports, in the legacy field layout.
 std::string FormatStatsLine(const MiningService& service);
 
-// "ok source=... patterns=N iterations=I fingerprint=<16-hex> ms=F" (no
-// trailing newline). Requires response.status.ok().
-std::string FormatResponseHeader(const MiningResponse& response);
+// "ok source=... patterns=N iterations=I fingerprint=<16-hex> ms=F
+// id=N" (no trailing newline). Requires response.status.ok().
+// `request_id` 0 omits the id= field (responses produced outside the
+// dispatch path have no id).
+std::string FormatResponseHeader(const MiningResponse& response,
+                                 uint64_t request_id = 0);
 
 // The FIMI-format pattern payload for a successful response ("" when the
 // result is null). Byte-identical to what batch mode's --out-dir writes
@@ -95,13 +118,15 @@ std::string RenderPatternsPayload(const MiningResponse& response);
 // never have to scan payload content for a terminator, so arbitrarily
 // large FIMI results stream safely.
 //
-//   ok source=... patterns=N iterations=I fingerprint=... ms=F bytes=B
+//   ok source=... patterns=N iterations=I fingerprint=... ms=F id=N bytes=B
 //   <B bytes of patterns>                  (B = 0 with --no-patterns)
-//   error code=<CODE> bytes=B
+//   error code=<CODE> id=N bytes=B
 //   <B bytes of error message>
 //   stats cache_hits=... ... bytes=0
 //   metrics bytes=B
 //   <B bytes of Prometheus-style exposition text>
+//   recent bytes=B / trace bytes=B
+//   <B bytes of flight-recorder JSON>
 //   ok bye bytes=0                         (quit / shutdown)
 
 // Frames one dispatch outcome. kEmpty produces no bytes (comments and
@@ -111,8 +136,12 @@ ServerReply FrameTcpReply(const ServeOutcome& outcome, bool send_patterns);
 
 // Frames transport-detected faults (oversized request line, connection
 // limit) exactly like request errors, so clients have one parse path.
-// Closes the connection after the flush.
+// Closes the connection after the flush. The service overload mints a
+// request id for the fault, surfaces it on the error header, and lands
+// the fault in the flight recorder — transport errors are correlatable
+// like request errors.
 ServerReply FrameTcpError(const Status& status);
+ServerReply FrameTcpError(MiningService& service, const Status& status);
 
 // --- HTTP framing ----------------------------------------------------------
 //
@@ -124,13 +153,17 @@ ServerReply FrameTcpError(const Status& status);
 // header; GET /metrics serves the same RenderText() exposition the
 // `metrics` control word does.
 //
-//   POST /mine      body: one request line or control word
-//   GET  /metrics   Prometheus-style text exposition
-//   GET  /stats     the legacy stats line
-//   GET  /healthz   liveness probe, "ok"
+//   POST /mine                 body: one request line or control word
+//   GET  /metrics              Prometheus-style text exposition
+//   GET  /stats                the legacy stats line
+//   GET  /healthz              liveness probe, "ok"
+//   GET  /debug/requests?n=K   the K most recent flight records (JSON)
+//   GET  /debug/requests/<id>  one flight record by request id (JSON)
 //
 // HEAD is accepted wherever GET is. Control words through POST /mine
-// keep their serve semantics ("shutdown" stops the front end).
+// keep their serve semantics ("shutdown" stops the front end). Every
+// reply that went through the dispatch request path (and every 4xx/5xx
+// fault) carries an X-Colossal-Request-Id header.
 
 // Status code → HTTP status: OK→200, INVALID_ARGUMENT/OUT_OF_RANGE→400,
 // NOT_FOUND→404, FAILED_PRECONDITION→409, RESOURCE_EXHAUSTED→429

@@ -1,9 +1,11 @@
 #include "service/mining_service.h"
 
+#include <chrono>
 #include <exception>
 #include <utility>
 
 #include "common/arena.h"
+#include "common/bitvector_kernels.h"
 #include "common/hash.h"
 #include "common/stopwatch.h"
 #include "core/pattern_fusion.h"
@@ -11,6 +13,21 @@
 namespace colossal {
 
 namespace {
+
+// Compiler identity for colossal_build_info, fixed at build time.
+#if defined(__clang__)
+#define COLOSSAL_COMPILER_INFO "clang " __clang_version__
+#elif defined(__GNUC__)
+#define COLOSSAL_COMPILER_INFO "gcc " __VERSION__
+#else
+#define COLOSSAL_COMPILER_INFO "unknown"
+#endif
+
+// Slow-request log token bucket: at most kSlowLogBurst lines back to
+// back, refilled at kSlowLogPerSecond — a pathological workload where
+// every request is slow degrades to a sample, not a stderr flood.
+constexpr double kSlowLogBurst = 10.0;
+constexpr double kSlowLogPerSecond = 10.0;
 
 // Folded into the cache key's options hash for approximate-fusion
 // requests, so a fuse result can never be served for an exact request
@@ -99,9 +116,19 @@ MiningService::MiningService(const MiningServiceOptions& options)
       admitted_bytes_gauge_(metrics_->GetGauge(
           "colossal_admitted_mine_bytes",
           "Estimated dataset bytes of currently admitted mines")),
+      slow_requests_total_(metrics_->GetCounter(
+          "colossal_slow_requests_total",
+          "Requests whose end-to-end time reached --slow-request-ms")),
+      uptime_gauge_(metrics_->GetGauge(
+          "colossal_uptime_seconds",
+          "Seconds since this service was constructed")),
       request_seconds_(metrics_->GetHistogram(
           "colossal_request_seconds",
           "End-to-end request latency (parse through mine)", 1e-9)),
+      recorder_(options.flight_recorder_capacity),
+      start_time_(std::chrono::steady_clock::now()),
+      slow_log_tokens_(kSlowLogBurst),
+      slow_log_refill_(start_time_),
       admission_(options.max_inflight_mines, options.max_inflight_mine_bytes),
       registry_(WithMetrics(options.registry, metrics_)),
       cache_(WithMetrics(options.cache, metrics_)),
@@ -114,9 +141,99 @@ MiningService::MiningService(const MiningServiceOptions& options)
             " phase, per request",
         1e-9);
   }
+  metrics_->SetInfo(
+      "colossal_build_info",
+      "Build and runtime identity of this serving process",
+      std::string("simd=\"") + ActiveBitvectorKernels().name +
+          "\",compiler=\"" COLOSSAL_COMPILER_INFO "\"");
+  if (options_.slow_request_ms >= 0) {
+    if (options_.slow_log_path.empty()) {
+      slow_log_ = stderr;
+    } else {
+      slow_log_ = std::fopen(options_.slow_log_path.c_str(), "a");
+      if (slow_log_ == nullptr) {
+        std::fprintf(stderr,
+                     "warning: cannot open --slow-log-file %s; "
+                     "slow requests go to stderr\n",
+                     options_.slow_log_path.c_str());
+        slow_log_ = stderr;
+      } else {
+        owns_slow_log_ = true;
+      }
+    }
+  }
 }
 
-MiningService::~MiningService() = default;
+MiningService::~MiningService() {
+  if (owns_slow_log_ && slow_log_ != nullptr) std::fclose(slow_log_);
+}
+
+std::string MiningService::RenderMetrics() {
+  uptime_gauge_->Set(std::chrono::duration_cast<std::chrono::seconds>(
+                         std::chrono::steady_clock::now() - start_time_)
+                         .count());
+  return metrics_->RenderText();
+}
+
+void MiningService::RecordFlight(const FlightRecord& record) {
+  recorder_.Record(record);
+  if (options_.slow_request_ms < 0 ||
+      record.total_nanos < options_.slow_request_ms * 1000000) {
+    return;
+  }
+  slow_requests_total_->Increment();
+  if (slow_log_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(slow_log_mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    slow_log_tokens_ +=
+        std::chrono::duration<double>(now - slow_log_refill_).count() *
+        kSlowLogPerSecond;
+    if (slow_log_tokens_ > kSlowLogBurst) slow_log_tokens_ = kSlowLogBurst;
+    slow_log_refill_ = now;
+    if (slow_log_tokens_ < 1.0) return;  // rate limited; counter still bumped
+    slow_log_tokens_ -= 1.0;
+    std::string line;
+    line.reserve(512);
+    line += "{\"slow_request\":";
+    AppendFlightRecordJson(record, &line);
+    line += "}\n";
+    std::fputs(line.c_str(), slow_log_);
+    std::fflush(slow_log_);
+  }
+}
+
+FlightRecord BuildFlightRecord(uint64_t id, int64_t start_unix_nanos,
+                               std::string_view transport,
+                               const MiningRequest* request,
+                               const MiningResponse& response,
+                               const RequestTrace& trace,
+                               int64_t response_bytes, int64_t total_nanos) {
+  FlightRecord record;
+  record.id = id;
+  record.start_unix_nanos = start_unix_nanos;
+  SetFlightField(record.transport, transport);
+  if (request != nullptr) {
+    SetFlightField(record.dataset, request->dataset_path);
+  }
+  record.dataset_fingerprint = response.dataset_fingerprint;
+  record.options_hash = response.options_hash;
+  SetFlightField(record.source, ResponseSourceName(response.source));
+  SetFlightField(record.status, StatusCodeName(response.status.code()));
+  record.response_bytes = response_bytes;
+  record.total_nanos = total_nanos;
+  for (int i = 0; i < kNumTracePhases; ++i) {
+    record.phase_nanos[i] = trace.nanos(static_cast<TracePhase>(i));
+  }
+  record.admission_wait_nanos =
+      trace.admission_wait_nanos.load(std::memory_order_relaxed);
+  record.arena_peak_bytes =
+      trace.arena_peak_bytes.load(std::memory_order_relaxed);
+  record.shards = response.shards;
+  record.shard_parallelism =
+      trace.shard_parallelism.load(std::memory_order_relaxed);
+  return record;
+}
 
 void MiningService::NoteParseFailure() {
   requests_total_->Increment();
@@ -239,7 +356,8 @@ MiningService::Prepared MiningService::Prepare(const MiningRequest& request,
 }
 
 StatusOr<ColossalMiningResult> MiningService::RunMine(
-    const MiningRequest& request, const Prepared& prep, RequestTrace* trace) {
+    const MiningRequest& request, const Prepared& prep, RequestTrace* trace,
+    std::atomic<int64_t>* arena_peak) {
   // Execution options: canonical, except the thread count and shard
   // parallelism — pure performance knobs with bit-identical output —
   // which are taken from the request (falling back to the service's
@@ -251,13 +369,19 @@ StatusOr<ColossalMiningResult> MiningService::RunMine(
   exec.shard_parallelism = request.options.shard_parallelism != 0
                                ? request.options.shard_parallelism
                                : options_.shard_parallelism;
+  if (trace != nullptr && prep.sharded) {
+    trace->shard_parallelism.store(exec.shard_parallelism,
+                                   std::memory_order_relaxed);
+  }
   // One arena per request: every mining temporary this request
   // allocates frees when the arena goes out of scope, and its
   // high-water mark feeds the stats line's arena_peak_mb. Results are
   // detached onto the heap inside FuseColossalFromPool, so the cached
-  // shared_ptr never references this arena.
+  // shared_ptr never references this arena. The peak lands in the
+  // caller's per-request sink; RunMineNoThrow folds it into the global
+  // gauge and the request's flight record.
   Arena request_arena;
-  ArenaPeakRecorder record_peak(&arena_peak_gauge_->cell(), &request_arena);
+  ArenaPeakRecorder record_peak(arena_peak, &request_arena);
   if (!prep.sharded) {
     std::shared_ptr<const TransactionDatabase> db = prep.handle.db;
     if (db == nullptr) {
@@ -301,7 +425,7 @@ StatusOr<ColossalMiningResult> MiningService::RunMine(
   // when the shard job drops it.
   ShardResidencyOptions residency;
   residency.budget_bytes = options_.registry.memory_budget_bytes;
-  residency.arena_peak_bytes = &arena_peak_gauge_->cell();
+  residency.arena_peak_bytes = arena_peak;
   residency.trace = trace;
   ShardedMiner miner(
       *prep.manifest,
@@ -313,6 +437,9 @@ StatusOr<ColossalMiningResult> MiningService::RunMine(
         StatusOr<PinnedDatasetHandle> shard =
             registry_.GetPinned(path, "auto", estimated_bytes);
         if (!shard.ok()) return shard.status();
+        if (trace != nullptr && shard->admission_wait_nanos > 0) {
+          trace->AddAdmissionWaitNanos(shard->admission_wait_nanos);
+        }
         return LoadedShard{shard->handle.db, shard->handle.fingerprint,
                            std::move(shard->pin)};
       },
@@ -322,13 +449,27 @@ StatusOr<ColossalMiningResult> MiningService::RunMine(
 
 StatusOr<ColossalMiningResult> MiningService::RunMineNoThrow(
     const MiningRequest& request, const Prepared& prep, RequestTrace* trace) {
-  try {
-    return RunMine(request, prep, trace);
-  } catch (const std::exception& e) {
-    return Status::Internal(std::string("mining threw: ") + e.what());
-  } catch (...) {
-    return Status::Internal("mining threw a non-standard exception");
+  // Per-request arena-peak sink: RunMine's arenas (and the sharded
+  // fan-out's) raise it, and it folds into the process-wide gauge here
+  // so arena_peak_mb still reports the global high-water mark while the
+  // flight record gets this request's own.
+  std::atomic<int64_t> arena_peak{0};
+  StatusOr<ColossalMiningResult> mined =
+      [&]() -> StatusOr<ColossalMiningResult> {
+    try {
+      return RunMine(request, prep, trace, &arena_peak);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("mining threw: ") + e.what());
+    } catch (...) {
+      return Status::Internal("mining threw a non-standard exception");
+    }
+  }();
+  const int64_t peak = arena_peak.load(std::memory_order_relaxed);
+  RaiseArenaPeak(arena_peak_gauge_->cell(), peak);
+  if (trace != nullptr && peak > 0) {
+    trace->arena_peak_bytes.store(peak, std::memory_order_relaxed);
   }
+  return mined;
 }
 
 StatusOr<ColossalMiningResult> MiningService::AdmitAndRunMine(
@@ -581,10 +722,23 @@ std::vector<MiningResponse> MiningService::MineBatch(
     }
   });
 
+  // Batch requests fly recorded too (transport "batch"): payload bytes
+  // are whatever the caller renders, so 0 here, and per-request start
+  // is reconstructed from the shared completion instant.
+  const int64_t end_unix_nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
   for (size_t i = 0; i < n; ++i) {
     responses[i].seconds += prep_seconds[i];
     FlushTrace(traces[i]);
     NoteResponse(responses[i]);
+    const int64_t total_nanos =
+        static_cast<int64_t>(responses[i].seconds * 1e9);
+    RecordFlight(BuildFlightRecord(recorder_.MintId(),
+                                   end_unix_nanos - total_nanos, "batch",
+                                   &requests[i], responses[i], traces[i],
+                                   /*response_bytes=*/0, total_nanos));
   }
   return responses;
 }

@@ -2,15 +2,19 @@
 #define COLOSSAL_SERVICE_MINING_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/admission.h"
@@ -46,6 +50,18 @@ struct MiningServiceOptions {
   // semantics (the bytes bound is strict).
   int max_inflight_mines = 0;
   int64_t max_inflight_mine_bytes = 0;
+
+  // Slow-request log threshold in milliseconds: a completed request
+  // whose end-to-end wall time reaches the threshold is written as one
+  // JSON line (the full flight record). < 0 disables the log; 0 logs
+  // every request (what the CI smoke uses to force a sample).
+  int64_t slow_request_ms = -1;
+  // Where slow-request lines go; empty = stderr.
+  std::string slow_log_path;
+
+  // Ring size of the per-request flight recorder (rounded up to a
+  // power of two).
+  size_t flight_recorder_capacity = FlightRecorder::kDefaultCapacity;
 
   DatasetRegistryOptions registry;
   ResultCacheOptions cache;
@@ -83,6 +99,20 @@ struct MiningResponse {
   // End-to-end wall-clock for this request (registry + cache + mining).
   double seconds = 0.0;
 };
+
+// Assembles the flight record for one finished request from what each
+// layer knows: identity from the request/response, the phase breakdown
+// and per-request observables from the trace, and the transport/bytes/
+// wall time the calling front end measured. `request` may be null (a
+// line that failed to parse has no dataset identity). Shared by the
+// dispatch layer and MineBatch so every transport records the same
+// shape.
+FlightRecord BuildFlightRecord(uint64_t id, int64_t start_unix_nanos,
+                               std::string_view transport,
+                               const MiningRequest* request,
+                               const MiningResponse& response,
+                               const RequestTrace& trace,
+                               int64_t response_bytes, int64_t total_nanos);
 
 // The mining front door: resolves datasets through a DatasetRegistry,
 // collapses equivalent requests onto one ResultCache entry, deduplicates
@@ -138,6 +168,22 @@ class MiningService {
   // pointed elsewhere). What the `metrics` control word renders.
   MetricsRegistry& metrics() { return *metrics_; }
   const MetricsRegistry& metrics() const { return *metrics_; }
+
+  // The text exposition with point-in-time metrics (uptime) refreshed;
+  // what the `metrics` control word and GET /metrics actually serve.
+  std::string RenderMetrics();
+
+  // Per-request flight recorder: the dispatch layer mints request ids
+  // from it and lands one FlightRecord per completed request (MineBatch
+  // records its own, so `colossal_serve batch` flies recorded too).
+  FlightRecorder& flight_recorder() { return recorder_; }
+  const FlightRecorder& flight_recorder() const { return recorder_; }
+
+  // Publishes one finished request into the flight recorder and, when
+  // its total time reaches options.slow_request_ms, into the
+  // slow-request log (token-bucket rate-limited) and the
+  // colossal_slow_requests_total counter.
+  void RecordFlight(const FlightRecord& record);
 
   // Counts a request line that failed to parse — parse failures never
   // reach Mine, so the dispatch layer reports them here to keep
@@ -204,10 +250,13 @@ class MiningService {
                          RequestTrace* trace);
 
   // The mine itself, with canonical options and the request's thread
-  // count resolved.
+  // count resolved. `arena_peak` collects this request's own arena
+  // high-water marks (per-request arena plus every shard arena);
+  // RunMineNoThrow folds it into the global gauge and the trace.
   StatusOr<ColossalMiningResult> RunMine(const MiningRequest& request,
                                          const Prepared& prep,
-                                         RequestTrace* trace);
+                                         RequestTrace* trace,
+                                         std::atomic<int64_t>* arena_peak);
 
   // RunMine with escaping exceptions (bad_alloc in a deep mining
   // allocation, say) converted to an Internal Status. Execute's runner
@@ -252,8 +301,22 @@ class MiningService {
   Counter* admission_rejected_;
   Gauge* admitted_mines_gauge_;
   Gauge* admitted_bytes_gauge_;
+  Counter* slow_requests_total_;
+  Gauge* uptime_gauge_;
   Histogram* request_seconds_;
   Histogram* phase_seconds_[kNumTracePhases];
+
+  FlightRecorder recorder_;
+  const std::chrono::steady_clock::time_point start_time_;
+
+  // Slow-request log sink (stderr unless options.slow_log_path) and the
+  // token bucket bounding its emission rate; the mutex serializes line
+  // writes, off the fast path unless the log is firing.
+  std::FILE* slow_log_ = nullptr;  // null = disabled or stderr fallback
+  bool owns_slow_log_ = false;
+  std::mutex slow_log_mutex_;
+  double slow_log_tokens_;
+  std::chrono::steady_clock::time_point slow_log_refill_;
 
   AdmissionGate admission_;
 

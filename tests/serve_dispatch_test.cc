@@ -239,7 +239,7 @@ TEST_F(ServeDispatchTest, TcpFramingForControlAndErrorOutcomes) {
 
   ServerReply bad = FrameTcpReply(DispatchServeLine(service_, "--nope 1"),
                                   /*send_patterns=*/true);
-  EXPECT_EQ(bad.data.rfind("error code=INVALID_ARGUMENT bytes=", 0), 0u)
+  EXPECT_EQ(bad.data.rfind("error code=INVALID_ARGUMENT id=", 0), 0u)
       << bad.data;
   EXPECT_FALSE(bad.close);  // a bad request does not kill the connection
   // Payload length matches the advertised count here too.
@@ -251,6 +251,129 @@ TEST_F(ServeDispatchTest, TcpFramingForControlAndErrorOutcomes) {
   ServerReply transport = FrameTcpError(Status::OutOfRange("line too long"));
   EXPECT_EQ(transport.data.rfind("error code=OUT_OF_RANGE bytes=", 0), 0u);
   EXPECT_TRUE(transport.close);
+}
+
+// --- Request ids and the flight recorder through dispatch -------------------
+
+TEST_F(ServeDispatchTest, RequestIdsAreMonotoneAndKeepBytesLast) {
+  ServeOutcome first = DispatchServeLine(service_, RequestLine());
+  ServeOutcome second = DispatchServeLine(service_, RequestLine());
+  ASSERT_TRUE(first.response.status.ok());
+  EXPECT_GT(first.request_id, 0u);
+  EXPECT_GT(second.request_id, first.request_id);
+  // Parse failures mint ids too — every request line is correlatable.
+  ServeOutcome failed = DispatchServeLine(service_, "--nope 1");
+  EXPECT_GT(failed.request_id, second.request_id);
+  // Control words do not (they are not requests).
+  EXPECT_EQ(DispatchServeLine(service_, "stats").request_id, 0u);
+
+  // The id rides the header; the framing contract (bytes= is the LAST
+  // header token) is what ReadTcpFrame parses, so it must survive.
+  ServerReply reply = FrameTcpReply(first, /*send_patterns=*/true);
+  const size_t newline = reply.data.find('\n');
+  const std::string header = reply.data.substr(0, newline);
+  EXPECT_NE(header.find(" id=" + std::to_string(first.request_id) + " "),
+            std::string::npos)
+      << header;
+  const size_t bytes_pos = header.rfind(" bytes=");
+  ASSERT_NE(bytes_pos, std::string::npos);
+  EXPECT_EQ(header.find(' ', bytes_pos + 1), std::string::npos)
+      << "bytes= must stay the last header token: " << header;
+
+  // Ids never leak into the payload: two dispatches of the same line
+  // differ in id but ship byte-identical payload bytes.
+  ServerReply reply2 = FrameTcpReply(second, /*send_patterns=*/true);
+  EXPECT_EQ(reply.data.substr(reply.data.find('\n') + 1),
+            reply2.data.substr(reply2.data.find('\n') + 1));
+}
+
+TEST_F(ServeDispatchTest, TransportFaultsMintIdsAndRecord) {
+  const int64_t before = service_.flight_recorder().recorded();
+  ServerReply fault =
+      FrameTcpError(service_, Status::OutOfRange("line too long"));
+  EXPECT_EQ(fault.data.rfind("error code=OUT_OF_RANGE id=", 0), 0u)
+      << fault.data;
+  EXPECT_TRUE(fault.close);
+  EXPECT_EQ(service_.flight_recorder().recorded(), before + 1);
+}
+
+TEST_F(ServeDispatchTest, RecentControlWordListsFlightRecords) {
+  ServeOutcome mined = DispatchServeLine(service_, RequestLine());
+  ASSERT_TRUE(mined.response.status.ok());
+
+  ServeOutcome recent = DispatchServeLine(service_, "recent");
+  ASSERT_EQ(recent.kind, ServeOutcome::Kind::kDebug);
+  EXPECT_TRUE(recent.debug_status.ok()) << recent.debug_status.ToString();
+  EXPECT_EQ(recent.debug_word, "recent");
+  EXPECT_NE(recent.debug_text.find("\"requests\":["), std::string::npos)
+      << recent.debug_text;
+  EXPECT_NE(recent.debug_text.find(
+                "\"id\":" + std::to_string(mined.request_id)),
+            std::string::npos)
+      << recent.debug_text;
+  EXPECT_EQ(recent.debug_text.back(), '\n');
+
+  // recent with a count, and the error paths of the argument grammar.
+  EXPECT_TRUE(DispatchServeLine(service_, "recent 1").debug_status.ok());
+  EXPECT_FALSE(DispatchServeLine(service_, "recent 0").debug_status.ok());
+  EXPECT_FALSE(DispatchServeLine(service_, "recent x").debug_status.ok());
+  // Control words do not count as requests or land in the recorder.
+  const int64_t recorded = service_.flight_recorder().recorded();
+  DispatchServeLine(service_, "recent");
+  EXPECT_EQ(service_.flight_recorder().recorded(), recorded);
+}
+
+TEST_F(ServeDispatchTest, TraceControlWordRoundTripsAllPhases) {
+  ServeOutcome mined = DispatchServeLine(service_, RequestLine());
+  ASSERT_TRUE(mined.response.status.ok());
+
+  ServeOutcome trace = DispatchServeLine(
+      service_, "trace " + std::to_string(mined.request_id));
+  ASSERT_EQ(trace.kind, ServeOutcome::Kind::kDebug);
+  ASSERT_TRUE(trace.debug_status.ok()) << trace.debug_status.ToString();
+  EXPECT_EQ(trace.debug_word, "trace");
+  // The record carries the full identity and all 7 phase timings.
+  EXPECT_NE(trace.debug_text.find(
+                "\"id\":" + std::to_string(mined.request_id)),
+            std::string::npos)
+      << trace.debug_text;
+  for (const char* key :
+       {"\"transport\":", "\"dataset\":", "\"fingerprint\":", "\"source\":",
+        "\"status\":\"OK\"", "\"total_ms\":", "\"parse\":",
+        "\"cache_lookup\":", "\"registry\":", "\"pool_mine\":",
+        "\"stitch\":", "\"fusion\":", "\"serialize\":",
+        "\"admission_wait_ms\":", "\"arena_peak_bytes\":"}) {
+    EXPECT_NE(trace.debug_text.find(key), std::string::npos)
+        << key << " missing in: " << trace.debug_text;
+  }
+
+  // Unknown ids are a NotFound on the control word, not a dead session.
+  ServeOutcome missing = DispatchServeLine(service_, "trace 99999999");
+  EXPECT_EQ(missing.kind, ServeOutcome::Kind::kDebug);
+  EXPECT_EQ(missing.debug_status.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(DispatchServeLine(service_, "trace").debug_status.ok());
+  EXPECT_FALSE(DispatchServeLine(service_, "trace abc").debug_status.ok());
+}
+
+TEST_F(ServeDispatchTest, StatsLineCarriesSlowRequests) {
+  const std::string line = FormatStatsLine(service_);
+  EXPECT_NE(line.find(" slow_requests="), std::string::npos) << line;
+}
+
+TEST_F(ServeDispatchTest, DebugFramingOverTcp) {
+  ASSERT_TRUE(DispatchServeLine(service_, RequestLine()).response.status.ok());
+  ServerReply recent =
+      FrameTcpReply(DispatchServeLine(service_, "recent 2"), true);
+  EXPECT_EQ(recent.data.rfind("recent bytes=", 0), 0u) << recent.data;
+  EXPECT_FALSE(recent.close);
+  const size_t newline = recent.data.find('\n');
+  EXPECT_EQ(std::stoull(recent.data.substr(13, newline - 13)),
+            recent.data.size() - newline - 1);
+
+  ServerReply bad = FrameTcpReply(DispatchServeLine(service_, "trace 0"),
+                                  true);
+  EXPECT_EQ(bad.data.rfind("error code=", 0), 0u) << bad.data;
+  EXPECT_FALSE(bad.close);
 }
 
 // --- The HTTP routing layer over the same dispatch path ---------------------
@@ -333,6 +456,81 @@ TEST_F(ServeDispatchTest, HttpRoutesControlWordsAndEndpoints) {
   EXPECT_EQ(shutdown.status, 200);
   EXPECT_TRUE(shutdown.close);
   EXPECT_TRUE(shutdown.shutdown_server);
+}
+
+TEST_F(ServeDispatchTest, HttpDebugEndpointsServeFlightRecords) {
+  HttpResponse mined = HandleHttpRequest(
+      service_, MakeHttpRequest("POST", "/mine", RequestLine()), true);
+  ASSERT_EQ(mined.status, 200);
+  const std::string* id_header =
+      ResponseHeader(mined, "X-Colossal-Request-Id");
+  ASSERT_NE(id_header, nullptr);
+  const uint64_t id = std::stoull(*id_header);
+  EXPECT_GT(id, 0u);
+
+  // The listing endpoint, bare and with ?n=K.
+  HttpResponse recent = HandleHttpRequest(
+      service_, MakeHttpRequest("GET", "/debug/requests"), true);
+  EXPECT_EQ(recent.status, 200);
+  const std::string* type = ResponseHeader(recent, "Content-Type");
+  ASSERT_NE(type, nullptr);
+  EXPECT_EQ(*type, "application/json");
+  EXPECT_NE(recent.body.find("\"requests\":["), std::string::npos)
+      << recent.body;
+  EXPECT_EQ(HandleHttpRequest(service_,
+                              MakeHttpRequest("GET", "/debug/requests?n=1"),
+                              true)
+                .status,
+            200);
+  EXPECT_EQ(HandleHttpRequest(service_,
+                              MakeHttpRequest("GET", "/debug/requests?n=x"),
+                              true)
+                .status,
+            400);
+
+  // The by-id endpoint round-trips the id the /mine reply surfaced.
+  HttpResponse trace = HandleHttpRequest(
+      service_,
+      MakeHttpRequest("GET", "/debug/requests/" + std::to_string(id)), true);
+  EXPECT_EQ(trace.status, 200);
+  EXPECT_NE(trace.body.find("\"id\":" + std::to_string(id)),
+            std::string::npos)
+      << trace.body;
+  EXPECT_NE(trace.body.find("\"transport\":\"http\""), std::string::npos)
+      << trace.body;
+
+  // Unknown id → 404; non-numeric id → 400; wrong method → 405.
+  EXPECT_EQ(HandleHttpRequest(
+                service_,
+                MakeHttpRequest("GET", "/debug/requests/99999999"), true)
+                .status,
+            404);
+  EXPECT_EQ(HandleHttpRequest(
+                service_, MakeHttpRequest("GET", "/debug/requests/abc"),
+                true)
+                .status,
+            400);
+  EXPECT_EQ(HandleHttpRequest(
+                service_, MakeHttpRequest("POST", "/debug/requests"), true)
+                .status,
+            405);
+}
+
+TEST_F(ServeDispatchTest, HttpFaultsCarryRequestIds) {
+  // Every 4xx/5xx the HTTP layer originates mints an id and lands in
+  // the flight recorder, so faults are correlatable like requests.
+  const int64_t before = service_.flight_recorder().recorded();
+  HttpResponse not_found =
+      HandleHttpRequest(service_, MakeHttpRequest("GET", "/nope"), true);
+  EXPECT_EQ(not_found.status, 404);
+  ASSERT_NE(ResponseHeader(not_found, "X-Colossal-Request-Id"), nullptr);
+  EXPECT_EQ(service_.flight_recorder().recorded(), before + 1);
+
+  // Dispatch-path errors (a bad request line) carry the id header too.
+  HttpResponse bad = HandleHttpRequest(
+      service_, MakeHttpRequest("POST", "/mine", "--nope 1"), true);
+  EXPECT_EQ(bad.status, 400);
+  ASSERT_NE(ResponseHeader(bad, "X-Colossal-Request-Id"), nullptr);
 }
 
 TEST_F(ServeDispatchTest, HttpErrorsMapToStatusCodes) {

@@ -304,7 +304,11 @@ class ServeProtocolTest : public ::testing::Test {
           return FrameTcpReply(DispatchServeLine(*service, line),
                                /*send_patterns=*/true);
         },
-        FrameTcpError);
+        // The service overload mints a request id for transport faults
+        // and lands them in the flight recorder, like production serve.
+        [service](const Status& status) {
+          return FrameTcpError(*service, status);
+        });
     Status started = server_->Start();
     ASSERT_TRUE(started.ok()) << started.ToString();
   }

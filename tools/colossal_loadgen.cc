@@ -33,7 +33,17 @@
 //    "wall_seconds": S, "qps": C*R*P/S,
 //    "latency_ms": {"p50": ..., "p95": ..., "p99": ...,
 //                   "mean": ..., "max": ...},
-//    "sources": {"mined": ..., "cache": ..., "coalesced": ...}}
+//    "slowest_request_id": N,
+//    "sources": {"mined": ..., "cache": ..., "coalesced": ...},
+//    "host": {"nproc": N, "simd": "...", "cpu": "..."}}
+//
+// slowest_request_id is the server-minted request id (the header's id=
+// token / the X-Colossal-Request-Id header) of the request that
+// produced latency_ms.max — feed it to `trace <id>` or GET
+// /debug/requests/<id> on the server to see that request's phase
+// breakdown. 0 when the server predates request ids. The host object
+// records the client machine (core count, active SIMD backend, CPU
+// model) so saved reports are comparable across machines.
 //
 // requests_sent counts only timed requests — with --warmup 0 it is
 // exactly the number of request lines the server saw, which is what the
@@ -51,12 +61,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <latch>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/args.h"
+#include "common/bitvector_kernels.h"
 #include "common/status.h"
 #include "net/socket_io.h"
 #include "obs/metrics.h"
@@ -87,6 +99,7 @@ int Fail(const Status& status) {
 struct ConnectionResult {
   Histogram latency_ns;
   int64_t max_latency_ns = 0;
+  uint64_t max_latency_request_id = 0;  // server id of the slowest request
   int64_t sent = 0;
   int64_t failed = 0;
   int64_t source_mined = 0;
@@ -105,6 +118,7 @@ struct HttpReply {
   int status = 0;
   std::string status_line;
   std::string colossal_header;  // X-Colossal-Response value (may be "")
+  uint64_t request_id = 0;      // X-Colossal-Request-Id value (0 if absent)
   std::string body;
 };
 
@@ -143,6 +157,9 @@ StatusOr<HttpReply> ReadHttpReply(SocketReader& reader) {
       content_length = std::atoll(line->c_str() + value_begin);
     } else if (name == "x-colossal-response") {
       reply.colossal_header = line->substr(value_begin);
+    } else if (name == "x-colossal-request-id") {
+      reply.request_id = std::strtoull(line->c_str() + value_begin,
+                                       nullptr, 10);
     }
   }
   if (content_length > 0) {
@@ -192,6 +209,7 @@ void RunConnection(const std::string& host, int port, bool http,
     std::string status_text;
     std::string source;
     std::string error_payload;
+    uint64_t request_id = 0;
     if (http) {
       std::string request = "POST /mine HTTP/1.1\r\nHost: " + host +
                             "\r\nContent-Length: " +
@@ -206,6 +224,7 @@ void RunConnection(const std::string& host, int port, bool http,
       }
       request_ok = reply->status == 200;
       status_text = reply->status_line;
+      request_id = reply->request_id;
       if (!request_ok) error_payload = reply->body;
       // "ok source=mined patterns=..." rides in X-Colossal-Response.
       const size_t at = reply->colossal_header.find("source=");
@@ -226,6 +245,7 @@ void RunConnection(const std::string& host, int port, bool http,
       }
       request_ok = frame->ok;
       status_text = frame->header;
+      request_id = frame->request_id;
       if (!request_ok) error_payload = frame->payload;
       source = frame->source;
     }
@@ -238,7 +258,10 @@ void RunConnection(const std::string& host, int port, bool http,
             std::chrono::steady_clock::now() - begin)
             .count();
     result->latency_ns.Record(nanos);
-    if (nanos > result->max_latency_ns) result->max_latency_ns = nanos;
+    if (nanos > result->max_latency_ns) {
+      result->max_latency_ns = nanos;
+      result->max_latency_request_id = request_id;
+    }
     ++result->sent;
     if (!request_ok) {
       ++result->failed;
@@ -272,6 +295,23 @@ void AppendJsonDouble(std::string* out, double v) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.6g", v);
   out->append(buffer);
+}
+
+// The CPU model of this machine, from /proc/cpuinfo's first
+// "model name" line; "unknown" when unreadable (non-Linux, containers
+// with a masked procfs).
+std::string CpuModelName() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) break;
+    size_t begin = colon + 1;
+    while (begin < line.size() && line[begin] == ' ') ++begin;
+    if (begin < line.size()) return line.substr(begin);
+  }
+  return "unknown";
 }
 
 // Minimal JSON string escaping for the first_failure fields (request
@@ -365,6 +405,7 @@ int Main(int argc, char** argv) {
 
   Histogram merged;
   int64_t max_latency_ns = 0;
+  uint64_t slowest_request_id = 0;
   int64_t sent = 0;
   int64_t failed = 0;
   int64_t mined = 0;
@@ -381,6 +422,7 @@ int Main(int argc, char** argv) {
     merged.MergeFrom(result.latency_ns);
     if (result.max_latency_ns > max_latency_ns) {
       max_latency_ns = result.max_latency_ns;
+      slowest_request_id = result.max_latency_request_id;
     }
     sent += result.sent;
     failed += result.failed;
@@ -429,9 +471,16 @@ int Main(int argc, char** argv) {
   AppendJsonDouble(&json, mean_ms);
   json += ", \"max\": ";
   AppendJsonDouble(&json, static_cast<double>(max_latency_ns) / 1e6);
-  json += "}, \"sources\": {\"mined\": " + std::to_string(mined);
+  json += "}, \"slowest_request_id\": " + std::to_string(slowest_request_id);
+  json += ", \"sources\": {\"mined\": " + std::to_string(mined);
   json += ", \"cache\": " + std::to_string(cache);
   json += ", \"coalesced\": " + std::to_string(coalesced);
+  json += "}, \"host\": {\"nproc\": " +
+          std::to_string(std::thread::hardware_concurrency());
+  json += ", \"simd\": ";
+  AppendJsonString(&json, ActiveBitvectorKernels().name);
+  json += ", \"cpu\": ";
+  AppendJsonString(&json, CpuModelName());
   json += "}";
   if (first_fail_request != nullptr) {
     json += ", \"first_failure\": {\"request\": ";

@@ -15,15 +15,19 @@
 //           [--cache-entries N] [--registry-mb N] [--no-patterns]
 //       Line-delimited request/response loop on stdin/stdout. Each input
 //       line is a request (same grammar as batch), or one of:
-//         stats    print registry/cache statistics (one line)
-//         metrics  print the full Prometheus-style text exposition,
-//                  terminated by a single '.' line
-//         quit     exit
+//         stats       print registry/cache statistics (one line)
+//         metrics     print the full Prometheus-style text exposition,
+//                     terminated by a single '.' line
+//         recent [n]  print the n most recent flight records as JSON,
+//                     '.'-terminated (default 32)
+//         trace <id>  print one flight record by request id as JSON
+//         quit        exit
 //       Responses are a header line
 //         ok source=<mined|cache|coalesced> patterns=N iterations=I \
-//            fingerprint=<hex> ms=<float>
+//            fingerprint=<hex> ms=<float> id=N
 //       followed (unless --no-patterns) by the patterns and a single '.'
-//       terminator line; errors print "error: <message>".
+//       terminator line; errors print "error: <message> id=N". The id
+//       is process-monotonic and keys the flight recorder.
 //   listen  --port N [--host H] [--threads N] [--mining-threads N]
 //           [--shard-parallelism N] [--cache-entries N] [--registry-mb N]
 //           [--no-patterns] [--max-connections N] [--max-line-kb N]
@@ -36,7 +40,9 @@
 //       (net/http_server.h) serves alongside the TCP port over the same
 //       MiningService and dispatch path — POST /mine (request line as
 //       the body; the response body is byte-identical to the TCP
-//       payload), GET /metrics, GET /stats, GET /healthz — printed as
+//       payload), GET /metrics, GET /stats, GET /healthz,
+//       GET /debug/requests?n=K and GET /debug/requests/<id>
+//       (flight-recorder JSON) — printed as
 //         listening http host=H port=N
 //       --max-inflight-mines / --max-inflight-mine-kb bound admission:
 //       over-limit mines fail RESOURCE_EXHAUSTED (HTTP 429 with
@@ -45,14 +51,16 @@
 //       results safely: every response is one status line ending in
 //       bytes=B, followed by exactly B payload bytes —
 //         ok source=... patterns=N iterations=I fingerprint=... \
-//            ms=F bytes=B     (B bytes of FIMI patterns; 0 with
-//                              --no-patterns)
-//         error code=<CODE> bytes=B   (B bytes of error message)
+//            ms=F id=N bytes=B   (B bytes of FIMI patterns; 0 with
+//                                 --no-patterns)
+//         error code=<CODE> id=N bytes=B   (B bytes of error message)
 //         stats ... bytes=0
 //         metrics bytes=B             (B bytes of exposition text)
-//       Control words: stats, metrics, quit/exit (close this
-//       connection), shutdown (gracefully stop the whole server). Use
-//       tools/colossal_client.cc as the reference client.
+//         recent bytes=B / trace bytes=B   (B bytes of flight-recorder
+//                                           JSON)
+//       Control words: stats, metrics, recent [n], trace <id>, quit/exit
+//       (close this connection), shutdown (gracefully stop the whole
+//       server). Use tools/colossal_client.cc as the reference client.
 //
 // Request dispatch for daemon and listen is one shared path
 // (service/dispatch.h), so the two transports cannot drift.
@@ -121,13 +129,18 @@ constexpr const char kUsage[] =
     "           [--max-connections N] [--max-line-kb N] [--no-patterns]\n"
     "           [--http-port N] [--http-pipeline N]\n"
     "           [--max-inflight-mines N] [--max-inflight-mine-kb N]\n"
+    "all subcommands also take --slow-request-ms T (log requests slower\n"
+    "    than T ms as JSON lines; 0 logs every request, default off) and\n"
+    "    --slow-log-file PATH (append slow-request lines there instead\n"
+    "    of stderr)\n"
     "request lines: --in FILE (--sigma F | --min-support N) [--tau F]\n"
     "    [--k N] [--pool-size N] [--pool-miner apriori|eclat]\n"
     "    [--max-iterations N] [--attempts N] [--retain N] [--seed S]\n"
     "    [--threads N] [--format fimi|matrix|snapshot|manifest|auto]\n"
     "    [--shards exact|fuse] [--shard-parallelism N]   (shard manifests)\n"
     "daemon/listen control words: stats (one-line counters), metrics\n"
-    "    (Prometheus-style text exposition), quit/exit, shutdown\n"
+    "    (Prometheus-style text exposition), recent [n] / trace <id>\n"
+    "    (flight-recorder JSON), quit/exit, shutdown\n"
     "all subcommands take --force-scalar (pin the scalar Bitvector\n"
     "    kernels; same as COLOSSAL_FORCE_SCALAR=1 — output is identical\n"
     "    either way, this exists for byte-identity checks and benchmarks)\n"
@@ -151,6 +164,8 @@ StatusOr<MiningServiceOptions> ServiceOptionsFromArgs(const Args& args) {
   StatusOr<int64_t> max_inflight_mine_kb =
       args.GetInt("max-inflight-mine-kb", 0);
   if (!max_inflight_mine_kb.ok()) return max_inflight_mine_kb.status();
+  StatusOr<int64_t> slow_request_ms = args.GetInt("slow-request-ms", -1);
+  if (!slow_request_ms.ok()) return slow_request_ms.status();
   if (*threads < 0 || *threads > kMaxExplicitThreads || *mining_threads < 0 ||
       *mining_threads > kMaxExplicitThreads || *shard_parallelism < 0 ||
       *shard_parallelism > kMaxExplicitThreads || *cache_entries < 0 ||
@@ -169,6 +184,8 @@ StatusOr<MiningServiceOptions> ServiceOptionsFromArgs(const Args& args) {
   options.registry.memory_budget_bytes = *registry_mb * (int64_t{1} << 20);
   options.max_inflight_mines = static_cast<int>(*max_inflight_mines);
   options.max_inflight_mine_bytes = *max_inflight_mine_kb * 1024;
+  options.slow_request_ms = *slow_request_ms;
+  options.slow_log_path = args.GetString("slow-log-file");
   return options;
 }
 
@@ -176,7 +193,8 @@ int RunBatch(const Args& args) {
   Status known = args.CheckKnown({"requests", "out-dir", "threads",
                                   "mining-threads", "shard-parallelism",
                                   "cache-entries", "registry-mb", "csv",
-                                  "force-scalar"});
+                                  "force-scalar", "slow-request-ms",
+                                  "slow-log-file"});
   if (!known.ok()) return Fail(known);
   const std::string requests_path = args.GetString("requests");
   if (requests_path.empty()) {
@@ -271,7 +289,8 @@ int RunDaemon(const Args& args) {
                                   "cache-entries", "registry-mb",
                                   "no-patterns", "force-scalar",
                                   "max-inflight-mines",
-                                  "max-inflight-mine-kb"});
+                                  "max-inflight-mine-kb", "slow-request-ms",
+                                  "slow-log-file"});
   if (!known.ok()) return Fail(known);
   StatusOr<MiningServiceOptions> service_options =
       ServiceOptionsFromArgs(args);
@@ -281,7 +300,7 @@ int RunDaemon(const Args& args) {
   MiningService service(*service_options);
   std::string line;
   while (std::getline(std::cin, line)) {
-    ServeOutcome outcome = DispatchServeLine(service, line);
+    ServeOutcome outcome = DispatchServeLine(service, line, "stdin");
     switch (outcome.kind) {
       case ServeOutcome::Kind::kEmpty:
         continue;
@@ -297,13 +316,26 @@ int RunDaemon(const Args& args) {
         std::fputs(outcome.metrics_text.c_str(), stdout);
         std::printf(".\n");
         break;
-      case ServeOutcome::Kind::kResponse:
-        if (!outcome.response.status.ok()) {
-          std::printf("error: %s\n",
-                      outcome.response.status.ToString().c_str());
+      case ServeOutcome::Kind::kDebug:
+        // recent/trace: flight-recorder JSON, '.'-terminated like
+        // metrics so line-oriented consumers know where it ends.
+        if (!outcome.debug_status.ok()) {
+          std::printf("error: %s\n", outcome.debug_status.ToString().c_str());
           break;
         }
-        std::printf("%s\n", FormatResponseHeader(outcome.response).c_str());
+        std::fputs(outcome.debug_text.c_str(), stdout);
+        std::printf(".\n");
+        break;
+      case ServeOutcome::Kind::kResponse:
+        if (!outcome.response.status.ok()) {
+          std::printf("error: %s id=%llu\n",
+                      outcome.response.status.ToString().c_str(),
+                      static_cast<unsigned long long>(outcome.request_id));
+          break;
+        }
+        std::printf("%s\n",
+                    FormatResponseHeader(outcome.response, outcome.request_id)
+                        .c_str());
         if (print_patterns) {
           std::fputs(outcome.patterns_rendered
                          ? outcome.patterns_payload.c_str()
@@ -335,7 +367,8 @@ int RunListen(const Args& args) {
                                   "max-line-kb", "force-scalar",
                                   "http-port", "http-pipeline",
                                   "max-inflight-mines",
-                                  "max-inflight-mine-kb"});
+                                  "max-inflight-mine-kb", "slow-request-ms",
+                                  "slow-log-file"});
   if (!known.ok()) return Fail(known);
   StatusOr<MiningServiceOptions> service_options =
       ServiceOptionsFromArgs(args);
@@ -380,9 +413,14 @@ int RunListen(const Args& args) {
   TcpServer server(
       server_options,
       [&service, send_patterns](const std::string& line) {
-        return FrameTcpReply(DispatchServeLine(service, line), send_patterns);
+        return FrameTcpReply(DispatchServeLine(service, line, "tcp"),
+                             send_patterns);
       },
-      FrameTcpError);
+      // Transport faults go through the service overload so they mint a
+      // request id and land in the flight recorder too.
+      [&service](const Status& status) {
+        return FrameTcpError(service, status);
+      });
 
   std::unique_ptr<HttpServer> http_server;
   if (http_enabled) {
