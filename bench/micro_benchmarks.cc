@@ -273,6 +273,64 @@ void BM_MineColossalArena(benchmark::State& state) {
 }
 BENCHMARK(BM_MineColossalArena)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// --- Request modes ----------------------------------------------------------
+//
+// The two request-grammar modes end to end. Results are recorded in
+// BENCH_modes.json; refresh with --benchmark_filter='TopK|Constrained'.
+
+// Top-k truncation vs. the equivalent full-K run: Arg is the requested
+// top_k (0 = the k=40 baseline). The answer is a prefix of the
+// baseline's, so the delta is pure result-shaping cost — it should be
+// noise.
+void BM_TopKMine(benchmark::State& state) {
+  const int top_k = static_cast<int>(state.range(0));
+  LabeledDatabase labeled = MakeMicroarrayLike(1);
+  ColossalMinerOptions options;
+  options.min_support_count = 30;
+  options.initial_pool_max_size = 2;
+  options.tau = 0.5;
+  options.k = 40;
+  options.seed = 19;
+  options.top_k = top_k;
+  Arena arena;
+  for (auto _ : state) {
+    arena.Reset();
+    benchmark::DoNotOptimize(MineColossal(labeled.db, options, &arena));
+  }
+}
+BENCHMARK(BM_TopKMine)->Arg(0)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+// Constraint pushdown: Arg is how many of the lowest item ids are
+// excluded. Excluded items are skipped before their Bitvectors are
+// materialized, so time and arena_peak_kb both fall as the exclude
+// list grows — the counter is the proof the skip happens in the pool
+// miner, not in a post-filter.
+void BM_ConstrainedMine(benchmark::State& state) {
+  const int excluded = static_cast<int>(state.range(0));
+  LabeledDatabase labeled = MakeMicroarrayLike(1);
+  ColossalMinerOptions options;
+  options.min_support_count = 30;
+  options.initial_pool_max_size = 2;
+  options.tau = 0.5;
+  options.k = 40;
+  options.seed = 19;
+  for (int i = 0; i < excluded; ++i) {
+    options.constraints.exclude.push_back(static_cast<ItemId>(i));
+  }
+  Arena arena;
+  for (auto _ : state) {
+    arena.Reset();
+    benchmark::DoNotOptimize(MineColossal(labeled.db, options, &arena));
+  }
+  state.counters["arena_peak_kb"] =
+      static_cast<double>(arena.high_water_bytes()) / 1024.0;
+}
+BENCHMARK(BM_ConstrainedMine)
+    ->Arg(0)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
 // --- Thread scaling ---------------------------------------------------------
 // The fig10-style workload (microarray stand-in, pool bound 2, τ = 0.5,
 // K = 100) at 1/2/4/N threads. Results are recorded in BENCH_threads.json;
@@ -361,7 +419,7 @@ BENCHMARK(BM_ThreadScalingPoolBuild)->Apply(ThreadArgs)
 struct ServiceBenchFixture {
   std::string fimi_path;
   std::string snapshot_path;
-  MiningRequest request;
+  MineRequest request;
 
   ServiceBenchFixture() {
     fimi_path = "/tmp/colossal_bench_service.fimi";

@@ -8,6 +8,7 @@
 #include "core/pattern.h"
 #include "core/pattern_fusion.h"
 #include "data/transaction_database.h"
+#include "mining/constraints.h"
 
 namespace colossal {
 
@@ -43,6 +44,21 @@ struct ColossalMinerOptions {
   int max_superpatterns_per_seed = 2;
   uint64_t seed = 1;
 
+  // Top-k mode: when > 0, the answer is the top_k largest patterns
+  // under the result order (size descending, ties lexicographic), and
+  // top_k drives fusion's pool sizing — canonicalization overwrites k
+  // with top_k, so the fusion loop draws top_k seeds per iteration and
+  // converges at a pool of top_k, and FuseColossalFromPool truncates
+  // the sorted answer to top_k. 0 = off (the legacy fixed-k behavior,
+  // byte-identical to before the knob existed).
+  int top_k = 0;
+
+  // Item/cardinality constraints, pushed into the pool miners (items
+  // outside the vocabulary never materialize Bitvectors), the fusion
+  // merge step (max_len), and the final answer (min_len). Default
+  // (unconstrained) is byte-identical to before the knob existed.
+  MiningConstraints constraints;
+
   // Worker threads for both phases — initial-pool mining and the fusion
   // engine's per-seed work. 0 = auto (hardware_concurrency). Mining
   // output is bit-identical for any value (see PatternFusionOptions).
@@ -70,19 +86,28 @@ struct ColossalMinerOptions {
            a.fusion_attempts_per_seed == b.fusion_attempts_per_seed &&
            a.max_superpatterns_per_seed == b.max_superpatterns_per_seed &&
            a.seed == b.seed && a.num_threads == b.num_threads &&
-           a.shard_parallelism == b.shard_parallelism;
+           a.shard_parallelism == b.shard_parallelism && a.top_k == b.top_k &&
+           a.constraints == b.constraints;
   }
 };
 
 // Rewrites `options` into the canonical form the service layer caches
 // under: equivalent requests — same mining output by construction —
-// collapse to equal structs. Two rewrites:
+// collapse to equal structs. The rewrites:
 //   * a fractional sigma is resolved against `db` into the absolute
 //     min_support_count it denotes (then cleared), so sigma 0.5 and the
 //     matching --min-support collapse;
 //   * num_threads and shard_parallelism are zeroed, because both are
-//     pure performance knobs (output is bit-identical for any value).
-// Fails on sigma > 1 (mirroring MineColossal's validation).
+//     pure performance knobs (output is bit-identical for any value);
+//   * constraints are canonicalized (lists sorted/deduplicated, no-op
+//     bounds erased — see CanonicalizeConstraints), so equal
+//     constraints in any spelling collapse;
+//   * top_k > 0 overwrites k (top-k mode sizes the fusion pool by
+//     top_k, so the requested k is output-irrelevant), and a max_len
+//     bound caps initial_pool_max_size (patterns above the bound are
+//     never wanted, so the pool never mines them).
+// Fails on sigma > 1 or contradictory constraints (mirroring
+// MineColossal's validation).
 // MineColossal(db, Canonicalize...(db, o)) == MineColossal(db, o).
 StatusOr<ColossalMinerOptions> CanonicalizeMinerOptions(
     const TransactionDatabase& db, const ColossalMinerOptions& options);

@@ -43,6 +43,10 @@ Status ValidateOptions(int64_t num_transactions,
   if (options.num_threads < 0) {
     return Status::InvalidArgument("num_threads must be >= 0 (0 = auto)");
   }
+  if (options.max_pattern_items < 0) {
+    return Status::InvalidArgument(
+        "max_pattern_items must be >= 0 (0 = unbounded)");
+  }
   return Status::Ok();
 }
 
@@ -73,7 +77,8 @@ std::vector<FusionCandidate> SampleByWeight(
 FusionOutcome FuseOnce(const std::vector<Pattern>& pool,
                        const std::vector<int64_t>& ball_order,
                        int64_t seed_index, int64_t min_support_count,
-                       double tau, int max_merges, Arena* arena) {
+                       double tau, int max_merges, Arena* arena,
+                       int max_items) {
   const Pattern& seed = pool[static_cast<size_t>(seed_index)];
   FusionOutcome outcome;
   outcome.fused.items = seed.items;
@@ -93,6 +98,16 @@ FusionOutcome FuseOnce(const std::vector<Pattern>& pool,
     if (member.items.IsSubsetOf(outcome.fused.items)) {
       // Already absorbed; merging would change nothing.
       continue;
+    }
+    if (max_items != 0) {
+      // |R ∪ β| via inclusion–exclusion on the item lists — rejected
+      // before any support-set work, so an over-long merge costs no
+      // Bitvector traffic.
+      const int64_t union_items =
+          static_cast<int64_t>(outcome.fused.items.size()) +
+          static_cast<int64_t>(member.items.size()) -
+          IntersectionSize(outcome.fused.items, member.items);
+      if (union_items > max_items) continue;
     }
     // Popcount the would-be intersection first; the merged support set
     // is only materialized (in place) once the merge is accepted.
@@ -145,7 +160,7 @@ std::vector<FusionCandidate> FusionEngine::ProcessSeed(
     FusionOutcome outcome =
         FuseOnce(pool.patterns(), ball, seed_index,
                  options_.min_support_count, options_.tau, max_merges,
-                 options_.arena);
+                 options_.arena, options_.max_pattern_items);
     bool duplicate = false;
     for (FusionCandidate& existing : candidates) {
       if (existing.pattern.items == outcome.fused.items) {
@@ -258,12 +273,10 @@ StatusOr<PatternFusionResult> RunPatternFusion(
   return engine.Run(std::move(initial_pool));
 }
 
-StatusOr<std::vector<Pattern>> BuildInitialPool(const TransactionDatabase& db,
-                                                int64_t min_support_count,
-                                                int max_pattern_size,
-                                                PoolMiner miner,
-                                                int num_threads,
-                                                Arena* arena) {
+StatusOr<std::vector<Pattern>> BuildInitialPool(
+    const TransactionDatabase& db, int64_t min_support_count,
+    int max_pattern_size, PoolMiner miner, int num_threads, Arena* arena,
+    const MiningConstraints& constraints) {
   if (max_pattern_size < 1) {
     return Status::InvalidArgument("max_pattern_size must be >= 1");
   }
@@ -272,6 +285,7 @@ StatusOr<std::vector<Pattern>> BuildInitialPool(const TransactionDatabase& db,
   miner_options.max_pattern_size = max_pattern_size;
   miner_options.num_threads = num_threads;
   miner_options.arena = arena;
+  miner_options.constraints = constraints;
   StatusOr<MiningResult> mined = miner == PoolMiner::kApriori
                                      ? MineApriori(db, miner_options)
                                      : MineEclat(db, miner_options);

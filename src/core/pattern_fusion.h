@@ -9,6 +9,7 @@
 #include "core/pattern.h"
 #include "core/pattern_pool.h"
 #include "data/transaction_database.h"
+#include "mining/constraints.h"
 
 namespace colossal {
 
@@ -65,6 +66,14 @@ struct PatternFusionOptions {
   // intermediate super-patterns as well. When false every attempt
   // saturates — an ablation knob (see bench/ablation_fusion_depth).
   bool variable_merge_depth = true;
+
+  // Upper bound on the item count of any fused pattern; 0 = unbounded.
+  // A merge whose item union would exceed the bound is skipped (before
+  // any support-set work), so a max_len-constrained request never
+  // builds a pattern it would have to throw away. The initial pool
+  // must already respect the bound (canonicalization caps the pool's
+  // max pattern size at it).
+  int max_pattern_items = 0;
 
   // RNG seed for the draws and shuffles; fixed seed ⇒ identical runs.
   uint64_t seed = 1;
@@ -173,10 +182,18 @@ enum class PoolMiner {
 // With an arena, the pool's support sets are arena-backed (the pool
 // must then not outlive the arena; fusion copies its answer out, so
 // this is safe for the MineColossal pipeline).
+// `constraints` (assumed canonical) is forwarded into the miner: items
+// outside the vocabulary are skipped before their tidsets are counted
+// or materialized, so a constrained pool costs strictly less than
+// filtering a complete one. Cardinality bounds are NOT applied here —
+// max_len is expressed through max_pattern_size by the caller, and
+// min_len must not prune the pool (small patterns are fusion's
+// building blocks).
 StatusOr<std::vector<Pattern>> BuildInitialPool(
     const TransactionDatabase& db, int64_t min_support_count,
     int max_pattern_size, PoolMiner miner = PoolMiner::kApriori,
-    int num_threads = 0, Arena* arena = nullptr);
+    int num_threads = 0, Arena* arena = nullptr,
+    const MiningConstraints& constraints = MiningConstraints());
 
 // One fusion of a seed with its CoreList (the Fusion(α.CoreList) routine
 // of Algorithm 2, one sampling pass): greedily merges ball members in the
@@ -184,7 +201,10 @@ StatusOr<std::vector<Pattern>> BuildInitialPool(
 // (a) frequency and (b) the τ-core invariant — every merged pattern,
 // including the seed, must remain a τ-core of the running result.
 // `max_merges` bounds how many members (seed included) may be fused;
-// 0 means unbounded (merge to saturation). Exposed for unit testing.
+// 0 means unbounded (merge to saturation). `max_items` bounds the item
+// count of the fused pattern (0 = unbounded): a member whose union with
+// the running result would exceed it is skipped before any support-set
+// work. Exposed for unit testing.
 // Returns the fused pattern and the number of ball members merged (≥ 1:
 // the seed).
 struct FusionOutcome {
@@ -196,7 +216,7 @@ FusionOutcome FuseOnce(const std::vector<Pattern>& pool,
                        const std::vector<int64_t>& ball_order,
                        int64_t seed_index, int64_t min_support_count,
                        double tau, int max_merges = 0,
-                       Arena* arena = nullptr);
+                       Arena* arena = nullptr, int max_items = 0);
 
 }  // namespace colossal
 

@@ -106,6 +106,10 @@ StatusOr<MiningResult> MineApriori(const TransactionDatabase& db,
   // Level 1: frequent single items.
   std::vector<LevelEntry> level;
   for (ItemId item = 0; item < db.num_items(); ++item) {
+    // Constraint pushdown: a disallowed item is not a search node — it
+    // is skipped before the node counter, the popcount, and the tidset
+    // copy, so excluded vocabulary never materializes a Bitvector.
+    if (!options.constraints.ItemAllowed(item)) continue;
     ++result.stats.nodes_expanded;
     if (options.max_nodes != 0 &&
         result.stats.nodes_expanded > options.max_nodes) {

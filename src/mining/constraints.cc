@@ -1,0 +1,52 @@
+#include "mining/constraints.h"
+
+#include <string>
+
+namespace colossal {
+
+namespace {
+
+void SortUnique(std::vector<ItemId>* items) {
+  std::sort(items->begin(), items->end());
+  items->erase(std::unique(items->begin(), items->end()), items->end());
+}
+
+}  // namespace
+
+Status CanonicalizeConstraints(MiningConstraints* constraints) {
+  if (constraints->min_len < 0 || constraints->max_len < 0) {
+    return Status::InvalidArgument("pattern length bounds must be >= 0");
+  }
+  if (constraints->min_len != 0 && constraints->max_len != 0 &&
+      constraints->min_len > constraints->max_len) {
+    return Status::InvalidArgument(
+        "min_len " + std::to_string(constraints->min_len) +
+        " exceeds max_len " + std::to_string(constraints->max_len));
+  }
+  SortUnique(&constraints->include);
+  SortUnique(&constraints->exclude);
+  if (!constraints->include.empty() && !constraints->exclude.empty()) {
+    // Both lists are sorted: one linear walk finds any overlap.
+    size_t i = 0, e = 0;
+    while (i < constraints->include.size() &&
+           e < constraints->exclude.size()) {
+      if (constraints->include[i] == constraints->exclude[e]) {
+        return Status::InvalidArgument(
+            "item " + std::to_string(constraints->include[i]) +
+            " appears in both --include and --exclude");
+      }
+      if (constraints->include[i] < constraints->exclude[e]) {
+        ++i;
+      } else {
+        ++e;
+      }
+    }
+    // Disjoint from the allowlist, so every exclude is a no-op; erase
+    // them so the two spellings share a canonical form (and cache key).
+    constraints->exclude.clear();
+  }
+  if (constraints->min_len == 1) constraints->min_len = 0;
+  return Status::Ok();
+}
+
+}  // namespace colossal

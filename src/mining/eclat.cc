@@ -84,6 +84,11 @@ StatusOr<MiningResult> MineEclat(const TransactionDatabase& db,
 
   std::vector<std::pair<ItemId, Bitvector>> roots;
   for (ItemId item = 0; item < db.num_items(); ++item) {
+    // Constraint pushdown, mirroring MineApriori's level 1: disallowed
+    // items never become roots, never count as expanded nodes, and
+    // never copy a tidset; every deeper candidate extends a root, so
+    // the whole DFS inherits the pruning.
+    if (!options.constraints.ItemAllowed(item)) continue;
     ++result.stats.nodes_expanded;
     if (options.max_nodes != 0 &&
         result.stats.nodes_expanded > options.max_nodes) {

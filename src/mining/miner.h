@@ -8,6 +8,7 @@
 #include "common/itemset.h"
 #include "common/status.h"
 #include "data/transaction_database.h"
+#include "mining/constraints.h"
 
 namespace colossal {
 
@@ -45,6 +46,17 @@ struct MinerOptions {
   // `budget_exceeded` — this is how benches reproduce the paper's
   // "did not finish within 10 hours" rows without hanging.
   int64_t max_nodes = 0;
+
+  // Item vocabulary constraints, honoured by MineApriori and MineEclat:
+  // a disallowed item is skipped at the level-1 / root stage — before
+  // it counts against `max_nodes`, before its tidset is popcounted, and
+  // before any Bitvector is copied — and deeper candidates inherit the
+  // pruning because they extend level-1 survivors. Lists must be in
+  // canonical (sorted) form; CanonicalizeConstraints does that. The
+  // cardinality bounds are NOT interpreted here (max_pattern_size
+  // already expresses the upper bound; min_len is a result-shaping
+  // concern of the colossal pipeline).
+  MiningConstraints constraints;
 
   // Worker threads, honoured by MineApriori (level-wise candidate
   // counting sharded by join row) and MineEclat (root branches sharded

@@ -1,5 +1,6 @@
 #include "service/dispatch.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -49,14 +50,25 @@ ServeOutcome DispatchRecent(MiningService& service, const std::string& arg) {
   ServeOutcome outcome;
   outcome.kind = ServeOutcome::Kind::kDebug;
   outcome.debug_word = "recent";
-  uint64_t n = 32;
+  const FlightRecorder& recorder = service.flight_recorder();
+  // The bare word lists what fits; only an explicit n is held to the
+  // capacity bound below.
+  uint64_t n = std::min<uint64_t>(32, recorder.capacity());
   if (!arg.empty() && (!ParseControlNumber(arg, &n) || n == 0)) {
     outcome.debug_status =
         Status::InvalidArgument("usage: recent [n]  (n >= 1)");
     return outcome;
   }
-  const FlightRecorder& recorder = service.flight_recorder();
-  if (n > recorder.capacity()) n = recorder.capacity();
+  if (n > recorder.capacity()) {
+    // Rejected, not clamped: a silently shrunk listing reads as "that
+    // is all there ever was" to a dashboard. The error names the bound
+    // so the caller can re-ask within it.
+    outcome.debug_status = Status::InvalidArgument(
+        "recent n=" + std::to_string(n) +
+        " exceeds the flight recorder capacity (" +
+        std::to_string(recorder.capacity()) + "); pass n <= capacity");
+    return outcome;
+  }
   const std::vector<FlightRecord> records =
       recorder.Recent(static_cast<size_t>(n));
   std::string& out = outcome.debug_text;
@@ -172,7 +184,7 @@ ServeOutcome DispatchServeLine(MiningService& service,
   // flushes everything to the histograms when the response is final.
   RequestTrace trace;
   PhaseTimer parse_timer(&trace, TracePhase::kParse);
-  StatusOr<MiningRequest> request = ParseRequestLine(line);
+  StatusOr<MineRequest> request = ParseRequestLine(line);
   parse_timer.Stop();
   if (!request.ok()) {
     outcome.response.status = request.status();
@@ -226,7 +238,8 @@ std::string FormatStatsLine(const MiningService& service) {
       "cache_evictions=%lld dataset_loads=%lld dataset_hits=%lld "
       "dataset_evictions=%lld dataset_stale_reloads=%lld "
       "sniff_cache_hits=%lld admission_waits=%lld "
-      "admission_rejected=%lld slow_requests=%lld reap_pending=%lld "
+      "admission_rejected=%lld slow_requests=%lld flight_dropped=%lld "
+      "reap_pending=%lld "
       "resident_mb=%.1f peak_resident_mb=%.1f arena_peak_mb=%.1f simd=%s",
       static_cast<long long>(
           metrics.CounterValue("colossal_result_cache_hits_total")),
@@ -252,6 +265,8 @@ std::string FormatStatsLine(const MiningService& service) {
           metrics.CounterValue("colossal_admission_rejected_total")),
       static_cast<long long>(
           metrics.CounterValue("colossal_slow_requests_total")),
+      static_cast<long long>(
+          metrics.GaugeValue("colossal_flight_dropped_total")),
       static_cast<long long>(
           metrics.GaugeValue("colossal_dataset_reap_pending")),
       static_cast<double>(metrics.GaugeValue("colossal_dataset_resident_bytes")) /

@@ -29,12 +29,6 @@ namespace {
 constexpr double kSlowLogBurst = 10.0;
 constexpr double kSlowLogPerSecond = 10.0;
 
-// Folded into the cache key's options hash for approximate-fusion
-// requests, so a fuse result can never be served for an exact request
-// (or vice versa) — exact results alone are interchangeable with
-// unsharded mining.
-constexpr uint64_t kFuseModeSalt = 0x66757365u;  // "fuse"
-
 // Publishes an arena's high-water mark into a service counter on scope
 // exit, so every RunMine return path (success, Status, early bail)
 // still records what the request's arena actually reached.
@@ -119,6 +113,9 @@ MiningService::MiningService(const MiningServiceOptions& options)
       slow_requests_total_(metrics_->GetCounter(
           "colossal_slow_requests_total",
           "Requests whose end-to-end time reached --slow-request-ms")),
+      flight_dropped_gauge_(metrics_->GetGauge(
+          "colossal_flight_dropped_total",
+          "Flight records overwritten before they were ever read")),
       uptime_gauge_(metrics_->GetGauge(
           "colossal_uptime_seconds",
           "Seconds since this service was constructed")),
@@ -177,6 +174,9 @@ std::string MiningService::RenderMetrics() {
 
 void MiningService::RecordFlight(const FlightRecord& record) {
   recorder_.Record(record);
+  // Mirrored after every Record: dropped() only advances when a record
+  // lands, so the gauge is always current at scrape time.
+  flight_dropped_gauge_->Set(static_cast<int64_t>(recorder_.dropped()));
   if (options_.slow_request_ms < 0 ||
       record.total_nanos < options_.slow_request_ms * 1000000) {
     return;
@@ -205,7 +205,7 @@ void MiningService::RecordFlight(const FlightRecord& record) {
 
 FlightRecord BuildFlightRecord(uint64_t id, int64_t start_unix_nanos,
                                std::string_view transport,
-                               const MiningRequest* request,
+                               const MineRequest* request,
                                const MiningResponse& response,
                                const RequestTrace& trace,
                                int64_t response_bytes, int64_t total_nanos) {
@@ -269,7 +269,7 @@ void MiningService::FlushTrace(const RequestTrace& trace) {
   }
 }
 
-MiningService::Prepared MiningService::Prepare(const MiningRequest& request,
+MiningService::Prepared MiningService::Prepare(const MineRequest& request,
                                                bool keep_dataset,
                                                RequestTrace* trace) {
   Prepared prep;
@@ -337,26 +337,24 @@ MiningService::Prepared MiningService::Prepare(const MiningRequest& request,
         EstimateShardResidentBytes(shard, prep.manifest->num_items);
   }
   PhaseTimer parse_timer(trace, TracePhase::kParse);
-  StatusOr<ColossalMinerOptions> canonical = CanonicalizeMinerOptionsForSize(
-      prep.manifest->num_transactions, request.options);
+  // Request identity — including the fuse-mode salt that keeps
+  // approximate results from ever answering an exact request — is owned
+  // entirely by the request model; the service just asks for it.
+  StatusOr<CanonicalRequest> canonical = CanonicalizeRequestForSize(
+      prep.manifest->num_transactions, request.options,
+      prep.shard_mode == ShardMergeMode::kFuse);
   parse_timer.Stop();
   if (!canonical.ok()) {
     prep.status = canonical.status();
     return prep;
   }
-  prep.canonical.options = *canonical;
-  prep.canonical.options_hash = HashMinerOptions(prep.canonical.options);
-  uint64_t key_hash = prep.canonical.options_hash;
-  if (prep.shard_mode == ShardMergeMode::kFuse) {
-    key_hash = HashCombine(key_hash, kFuseModeSalt);
-  }
-  prep.canonical.options_hash = key_hash;
-  prep.key = ResultCacheKey{prep.fingerprint, key_hash};
+  prep.canonical = *std::move(canonical);
+  prep.key = ResultCacheKey{prep.fingerprint, prep.canonical.options_hash};
   return prep;
 }
 
 StatusOr<ColossalMiningResult> MiningService::RunMine(
-    const MiningRequest& request, const Prepared& prep, RequestTrace* trace,
+    const MineRequest& request, const Prepared& prep, RequestTrace* trace,
     std::atomic<int64_t>* arena_peak) {
   // Execution options: canonical, except the thread count and shard
   // parallelism — pure performance knobs with bit-identical output —
@@ -408,8 +406,9 @@ StatusOr<ColossalMiningResult> MiningService::RunMine(
     if (!canonical.ok()) return canonical.status();
     PhaseTimer pool_timer(trace, TracePhase::kPoolMine);
     StatusOr<std::vector<Pattern>> pool = BuildInitialPool(
-        *db, canonical->min_support_count, exec.initial_pool_max_size,
-        exec.pool_miner, exec.num_threads, &request_arena);
+        *db, canonical->min_support_count, canonical->initial_pool_max_size,
+        exec.pool_miner, exec.num_threads, &request_arena,
+        canonical->constraints);
     pool_timer.Stop();
     if (!pool.ok()) return pool.status();
     ColossalMinerOptions fuse_exec = *canonical;
@@ -448,7 +447,7 @@ StatusOr<ColossalMiningResult> MiningService::RunMine(
 }
 
 StatusOr<ColossalMiningResult> MiningService::RunMineNoThrow(
-    const MiningRequest& request, const Prepared& prep, RequestTrace* trace) {
+    const MineRequest& request, const Prepared& prep, RequestTrace* trace) {
   // Per-request arena-peak sink: RunMine's arenas (and the sharded
   // fan-out's) raise it, and it folds into the process-wide gauge here
   // so arena_peak_mb still reports the global high-water mark while the
@@ -473,7 +472,7 @@ StatusOr<ColossalMiningResult> MiningService::RunMineNoThrow(
 }
 
 StatusOr<ColossalMiningResult> MiningService::AdmitAndRunMine(
-    const MiningRequest& request, const Prepared& prep, RequestTrace* trace) {
+    const MineRequest& request, const Prepared& prep, RequestTrace* trace) {
   Status admit = admission_.TryAdmit(prep.admission_bytes);
   if (!admit.ok()) {
     admission_rejected_->Increment();
@@ -488,7 +487,7 @@ StatusOr<ColossalMiningResult> MiningService::AdmitAndRunMine(
   return mined;
 }
 
-MiningResponse MiningService::Execute(const MiningRequest& request,
+MiningResponse MiningService::Execute(const MineRequest& request,
                                       const Prepared& prep,
                                       RequestTrace* trace) {
   Stopwatch stopwatch;
@@ -592,11 +591,11 @@ MiningResponse MiningService::Execute(const MiningRequest& request,
   return response;
 }
 
-MiningResponse MiningService::Mine(const MiningRequest& request) {
+MiningResponse MiningService::Mine(const MineRequest& request) {
   return Mine(request, nullptr);
 }
 
-MiningResponse MiningService::Mine(const MiningRequest& request,
+MiningResponse MiningService::Mine(const MineRequest& request,
                                    RequestTrace* trace) {
   // Untraced callers still feed the phase histograms through a local
   // trace; callers with their own (the dispatch path) get the phase
@@ -614,7 +613,7 @@ MiningResponse MiningService::Mine(const MiningRequest& request,
 }
 
 std::vector<MiningResponse> MiningService::MineBatch(
-    const std::vector<MiningRequest>& requests) {
+    const std::vector<MineRequest>& requests) {
   const size_t n = requests.size();
   std::vector<MiningResponse> responses(n);
   requests_total_->Increment(static_cast<int64_t>(n));

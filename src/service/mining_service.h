@@ -109,7 +109,7 @@ struct MiningResponse {
 // shape.
 FlightRecord BuildFlightRecord(uint64_t id, int64_t start_unix_nanos,
                                std::string_view transport,
-                               const MiningRequest* request,
+                               const MineRequest* request,
                                const MiningResponse& response,
                                const RequestTrace& trace,
                                int64_t response_bytes, int64_t total_nanos);
@@ -148,8 +148,8 @@ class MiningService {
   // per-phase wall time into `trace` as well as into the service's
   // phase histograms (pass the dispatch-owned trace so the serialize
   // phase, timed by the caller, lands on the same request).
-  MiningResponse Mine(const MiningRequest& request);
-  MiningResponse Mine(const MiningRequest& request, RequestTrace* trace);
+  MiningResponse Mine(const MineRequest& request);
+  MiningResponse Mine(const MineRequest& request, RequestTrace* trace);
 
   // Serves a batch, scheduling requests across the service pool.
   // Responses are positionally aligned with `requests`. The batch is
@@ -158,7 +158,7 @@ class MiningService {
   // fanned out from the result cache — so a hit-heavy batch pays one
   // mine per distinct key regardless of replay order or thread count.
   std::vector<MiningResponse> MineBatch(
-      const std::vector<MiningRequest>& requests);
+      const std::vector<MineRequest>& requests);
 
   DatasetRegistryStats registry_stats() const { return registry_.stats(); }
   ResultCacheStats cache_stats() const { return cache_.stats(); }
@@ -240,20 +240,20 @@ class MiningService {
   // holding all their handles across the batch would defeat the
   // registry's memory budget; Execute re-resolves through the registry
   // (a hit in the common case) when it actually mines.
-  Prepared Prepare(const MiningRequest& request, bool keep_dataset,
+  Prepared Prepare(const MineRequest& request, bool keep_dataset,
                    RequestTrace* trace);
 
   // Serves a prepared request: result cache, in-flight dedup, then the
   // actual mine (sharded or not). Sets everything but leaves
   // response.seconds covering only this call.
-  MiningResponse Execute(const MiningRequest& request, const Prepared& prep,
+  MiningResponse Execute(const MineRequest& request, const Prepared& prep,
                          RequestTrace* trace);
 
   // The mine itself, with canonical options and the request's thread
   // count resolved. `arena_peak` collects this request's own arena
   // high-water marks (per-request arena plus every shard arena);
   // RunMineNoThrow folds it into the global gauge and the trace.
-  StatusOr<ColossalMiningResult> RunMine(const MiningRequest& request,
+  StatusOr<ColossalMiningResult> RunMine(const MineRequest& request,
                                          const Prepared& prep,
                                          RequestTrace* trace,
                                          std::atomic<int64_t>* arena_peak);
@@ -264,7 +264,7 @@ class MiningService {
   // in-flight condvar; an exception thrown between inserting the
   // in-flight entry and notify_all would otherwise leave those waiters
   // blocked forever (and the entry leaked).
-  StatusOr<ColossalMiningResult> RunMineNoThrow(const MiningRequest& request,
+  StatusOr<ColossalMiningResult> RunMineNoThrow(const MineRequest& request,
                                                 const Prepared& prep,
                                                 RequestTrace* trace);
 
@@ -272,7 +272,7 @@ class MiningService {
   // RESOURCE_EXHAUSTED without mining (joined waiters see the same
   // status — had they run standalone they would have been rejected
   // too). Every cold mine, runner or standalone, goes through here.
-  StatusOr<ColossalMiningResult> AdmitAndRunMine(const MiningRequest& request,
+  StatusOr<ColossalMiningResult> AdmitAndRunMine(const MineRequest& request,
                                                  const Prepared& prep,
                                                  RequestTrace* trace);
 
@@ -302,6 +302,7 @@ class MiningService {
   Gauge* admitted_mines_gauge_;
   Gauge* admitted_bytes_gauge_;
   Counter* slow_requests_total_;
+  Gauge* flight_dropped_gauge_;
   Gauge* uptime_gauge_;
   Histogram* request_seconds_;
   Histogram* phase_seconds_[kNumTracePhases];

@@ -1,7 +1,10 @@
 #include "service/request.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <vector>
 
 #include "common/args.h"
 #include "common/hash.h"
@@ -19,6 +22,45 @@ uint64_t DoubleBits(double value) {
   static_assert(sizeof(bits) == sizeof(value));
   std::memcpy(&bits, &value, sizeof(bits));
   return bits;
+}
+
+// Distinguishes the sharded miner's approximate kFuse results from the
+// exact answer to the same canonical options in the result cache.
+constexpr uint64_t kFuseModeSalt = 0x66757365u;  // "fuse"
+
+// Version salt for the mode-extension fields (top_k, constraints).
+// Folded only when one of them is non-default, so every legacy request
+// keeps its historical hash while extended requests occupy a disjoint
+// key space.
+constexpr uint64_t kModeExtensionSalt = 0x6d6f6465u;  // "mode"
+
+// Parses a comma-separated list of item ids ("3,17,4"). Rejects empty
+// tokens, non-digits, and ids outside the ItemId domain.
+StatusOr<std::vector<ItemId>> ParseItemList(const char* flag,
+                                            const std::string& text) {
+  std::vector<ItemId> items;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string token = text.substr(pos, comma - pos);
+    if (token.empty() ||
+        token.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument(
+          std::string("--") + flag +
+          " wants a comma-separated list of item ids, got '" + text + "'");
+    }
+    errno = 0;
+    const unsigned long long value = std::strtoull(token.c_str(), nullptr, 10);
+    if (errno != 0 ||
+        value > std::numeric_limits<ItemId>::max()) {
+      return Status::InvalidArgument(std::string("--") + flag + ": item id '" +
+                                     token + "' out of range");
+    }
+    items.push_back(static_cast<ItemId>(value));
+    pos = comma + 1;
+  }
+  return items;
 }
 
 }  // namespace
@@ -40,18 +82,47 @@ uint64_t HashMinerOptions(const ColossalMinerOptions& options) {
   hash = HashCombine(hash, options.seed);
   hash = HashCombine(hash, static_cast<uint64_t>(options.num_threads));
   hash = HashCombine(hash, static_cast<uint64_t>(options.shard_parallelism));
+  // Mode extensions fold in only when present — see the header contract.
+  // List lengths are hashed before elements so (include={1}, exclude={})
+  // and (include={}, exclude={1}) can never collide by concatenation.
+  if (options.top_k != 0 || !options.constraints.IsUnconstrained()) {
+    hash = HashCombine(hash, kModeExtensionSalt);
+    hash = HashCombine(hash, static_cast<uint64_t>(options.top_k));
+    hash = HashCombine(
+        hash, static_cast<uint64_t>(options.constraints.include.size()));
+    for (ItemId item : options.constraints.include) {
+      hash = HashCombine(hash, static_cast<uint64_t>(item));
+    }
+    hash = HashCombine(
+        hash, static_cast<uint64_t>(options.constraints.exclude.size()));
+    for (ItemId item : options.constraints.exclude) {
+      hash = HashCombine(hash, static_cast<uint64_t>(item));
+    }
+    hash = HashCombine(hash, static_cast<uint64_t>(options.constraints.min_len));
+    hash = HashCombine(hash, static_cast<uint64_t>(options.constraints.max_len));
+  }
   return hash;
+}
+
+StatusOr<CanonicalRequest> CanonicalizeRequestForSize(
+    int64_t num_transactions, const ColossalMinerOptions& options,
+    bool fuse_mode) {
+  StatusOr<ColossalMinerOptions> canonical =
+      CanonicalizeMinerOptionsForSize(num_transactions, options);
+  if (!canonical.ok()) return canonical.status();
+  CanonicalRequest request;
+  request.options = *std::move(canonical);
+  request.options_hash = HashMinerOptions(request.options);
+  if (fuse_mode) {
+    request.options_hash = HashCombine(request.options_hash, kFuseModeSalt);
+  }
+  return request;
 }
 
 StatusOr<CanonicalRequest> CanonicalizeRequest(
     const TransactionDatabase& db, const ColossalMinerOptions& options) {
-  StatusOr<ColossalMinerOptions> canonical =
-      CanonicalizeMinerOptions(db, options);
-  if (!canonical.ok()) return canonical.status();
-  CanonicalRequest request;
-  request.options = *canonical;
-  request.options_hash = HashMinerOptions(request.options);
-  return request;
+  return CanonicalizeRequestForSize(db.num_transactions(), options,
+                                    /*fuse_mode=*/false);
 }
 
 size_t ResultCacheKeyHash::operator()(const ResultCacheKey& key) const {
@@ -59,17 +130,18 @@ size_t ResultCacheKeyHash::operator()(const ResultCacheKey& key) const {
       HashCombine(key.dataset_fingerprint, key.options_hash));
 }
 
-StatusOr<MiningRequest> ParseRequestLine(const std::string& line) {
+StatusOr<MineRequest> ParseRequestLine(const std::string& line) {
   StatusOr<Args> parsed = Args::ParseLine(line);
   if (!parsed.ok()) return parsed.status();
   const Args& args = *parsed;
   Status known = args.CheckKnown(
       {"in", "format", "sigma", "min-support", "tau", "k", "pool-size",
        "pool-miner", "max-iterations", "attempts", "retain", "seed",
-       "threads", "shards", "shard-parallelism"});
+       "threads", "shards", "shard-parallelism", "top-k", "include",
+       "exclude", "min-len", "max-len"});
   if (!known.ok()) return known;
 
-  MiningRequest request;
+  MineRequest request;
   request.dataset_path = args.GetString("in");
   if (request.dataset_path.empty()) {
     return Status::InvalidArgument("request needs --in FILE");
@@ -126,6 +198,15 @@ StatusOr<MiningRequest> ParseRequestLine(const std::string& line) {
        &options.num_threads},
       {"shard-parallelism", options.shard_parallelism, 0, kMaxExplicitThreads,
        &options.shard_parallelism},
+      // Mode extensions. 0 = off/unbounded for all four, so spelling the
+      // default explicitly parses — and hashes — identically to omitting
+      // the flag.
+      {"top-k", options.top_k, 0, std::numeric_limits<int>::max(),
+       &options.top_k},
+      {"min-len", options.constraints.min_len, 0,
+       std::numeric_limits<int>::max(), &options.constraints.min_len},
+      {"max-len", options.constraints.max_len, 0,
+       std::numeric_limits<int>::max(), &options.constraints.max_len},
   };
   for (const auto& flag : int_flags) {
     StatusOr<int64_t> value = args.GetInt(flag.flag, flag.fallback);
@@ -135,6 +216,19 @@ StatusOr<MiningRequest> ParseRequestLine(const std::string& line) {
                                      " out of range");
     }
     *flag.target = static_cast<int>(*value);
+  }
+
+  if (args.Has("include")) {
+    StatusOr<std::vector<ItemId>> include =
+        ParseItemList("include", args.GetString("include"));
+    if (!include.ok()) return include.status();
+    options.constraints.include = *std::move(include);
+  }
+  if (args.Has("exclude")) {
+    StatusOr<std::vector<ItemId>> exclude =
+        ParseItemList("exclude", args.GetString("exclude"));
+    if (!exclude.ok()) return exclude.status();
+    options.constraints.exclude = *std::move(exclude);
   }
 
   StatusOr<int64_t> seed = args.GetInt("seed", static_cast<int64_t>(options.seed));

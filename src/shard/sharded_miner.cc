@@ -301,6 +301,10 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
       miner_options.max_pattern_size = canonical->initial_pool_max_size;
       miner_options.num_threads = options.num_threads;
       miner_options.arena = &shard_arena;
+      // Constraint pushdown reaches each shard's complete miner:
+      // excluded vocabulary never materializes a per-shard Bitvector,
+      // exactly as in the unsharded BuildInitialPool path.
+      miner_options.constraints = canonical->constraints;
       StatusOr<MiningResult> mined =
           canonical->pool_miner == PoolMiner::kApriori
               ? MineApriori(*shard->db, miner_options)
@@ -317,6 +321,13 @@ StatusOr<ColossalMiningResult> ShardedMiner::Mine(
       local.sigma = -1.0;
       local.min_support_count = local_min;
       local.num_threads = options.num_threads;
+      // Result shaping (top-k truncation, min_len filtering) applies
+      // once, at the final cross-shard fusion — a per-shard cut would
+      // drop the small core patterns the global fusion builds from.
+      // Vocabulary and max_len pushdown stay: they bound what may ever
+      // appear in the answer, shard-locally as much as globally.
+      local.top_k = 0;
+      local.constraints.min_len = 0;
       StatusOr<ColossalMiningResult> mined =
           MineColossal(*shard->db, local, &shard_arena);
       if (!mined.ok()) return mined.status();

@@ -39,8 +39,8 @@ class MiningServiceTest : public ::testing::Test {
     ASSERT_TRUE(WriteFimiFile(MakeDiag(12), *other_path_).ok());
   }
 
-  static MiningRequest BasicRequest() {
-    MiningRequest request;
+  static MineRequest BasicRequest() {
+    MineRequest request;
     request.dataset_path = *fimi_path_;
     request.options.min_support_count = 8;
     request.options.sigma = -1.0;
@@ -62,7 +62,7 @@ TransactionDatabase* MiningServiceTest::db_ = nullptr;
 
 TEST_F(MiningServiceTest, SecondIdenticalRequestIsCachedAndBitIdentical) {
   MiningService service;
-  const MiningRequest request = BasicRequest();
+  const MineRequest request = BasicRequest();
 
   MiningResponse first = service.Mine(request);
   ASSERT_TRUE(first.status.ok()) << first.status.ToString();
@@ -115,9 +115,9 @@ TEST_F(MiningServiceTest, ArenaPeakIsZeroUntilAMineAndMonotoneAfter) {
 
 TEST_F(MiningServiceTest, ThreadCountDoesNotSplitTheCacheKey) {
   MiningService service;
-  MiningRequest one_thread = BasicRequest();
+  MineRequest one_thread = BasicRequest();
   one_thread.options.num_threads = 1;
-  MiningRequest many_threads = BasicRequest();
+  MineRequest many_threads = BasicRequest();
   many_threads.options.num_threads = 4;
 
   MiningResponse first = service.Mine(one_thread);
@@ -131,8 +131,8 @@ TEST_F(MiningServiceTest, ThreadCountDoesNotSplitTheCacheKey) {
 
 TEST_F(MiningServiceTest, SigmaAndAbsoluteSupportShareACacheEntry) {
   MiningService service;
-  MiningRequest absolute = BasicRequest();  // min_support_count = 8
-  MiningRequest fractional = BasicRequest();
+  MineRequest absolute = BasicRequest();  // min_support_count = 8
+  MineRequest fractional = BasicRequest();
   fractional.options.sigma =
       8.0 / static_cast<double>(db_->num_transactions());
 
@@ -146,10 +146,10 @@ TEST_F(MiningServiceTest, SigmaAndAbsoluteSupportShareACacheEntry) {
 
 TEST_F(MiningServiceTest, DifferentOptionsMissTheCache) {
   MiningService service;
-  MiningRequest request = BasicRequest();
+  MineRequest request = BasicRequest();
   ASSERT_TRUE(service.Mine(request).status.ok());
 
-  MiningRequest different_tau = BasicRequest();
+  MineRequest different_tau = BasicRequest();
   different_tau.options.tau = 0.25;
   MiningResponse response = service.Mine(different_tau);
   ASSERT_TRUE(response.status.ok());
@@ -159,12 +159,12 @@ TEST_F(MiningServiceTest, DifferentOptionsMissTheCache) {
 
 TEST_F(MiningServiceTest, SamePathIsLoadedOnceAndSnapshotSharesEntries) {
   MiningService service;
-  MiningRequest request = BasicRequest();
+  MineRequest request = BasicRequest();
   MiningResponse first = service.Mine(request);
   ASSERT_TRUE(first.status.ok());
   EXPECT_FALSE(first.dataset_registry_hit);
 
-  MiningRequest different_options = BasicRequest();
+  MineRequest different_options = BasicRequest();
   different_options.options.k = 10;
   MiningResponse second = service.Mine(different_options);
   ASSERT_TRUE(second.status.ok());
@@ -173,7 +173,7 @@ TEST_F(MiningServiceTest, SamePathIsLoadedOnceAndSnapshotSharesEntries) {
 
   // The snapshot of the same logical dataset fingerprints identically,
   // so its results land on the same cache entries.
-  MiningRequest via_snapshot = BasicRequest();
+  MineRequest via_snapshot = BasicRequest();
   via_snapshot.dataset_path = *snap_path_;
   MiningResponse third = service.Mine(via_snapshot);
   ASSERT_TRUE(third.status.ok());
@@ -186,10 +186,10 @@ TEST_F(MiningServiceTest, BatchAlignsResponsesAndDeduplicates) {
   options.num_threads = 1;  // deterministic replay order
   MiningService service(options);
 
-  MiningRequest request = BasicRequest();
-  MiningRequest different = BasicRequest();
+  MineRequest request = BasicRequest();
+  MineRequest different = BasicRequest();
   different.options.k = 10;
-  std::vector<MiningRequest> batch = {request, different, request, request};
+  std::vector<MineRequest> batch = {request, different, request, request};
   std::vector<MiningResponse> responses = service.MineBatch(batch);
   ASSERT_EQ(responses.size(), 4u);
   for (const MiningResponse& response : responses) {
@@ -214,13 +214,13 @@ TEST_F(MiningServiceTest, BatchDedupIsThreadCountInvariant) {
   options.num_threads = 8;
   MiningService service(options);
 
-  MiningRequest request = BasicRequest();
-  MiningRequest sigma_equivalent = BasicRequest();
+  MineRequest request = BasicRequest();
+  MineRequest sigma_equivalent = BasicRequest();
   sigma_equivalent.options.sigma =
       8.0 / static_cast<double>(db_->num_transactions());
-  MiningRequest different = BasicRequest();
+  MineRequest different = BasicRequest();
   different.options.k = 10;
-  std::vector<MiningRequest> batch = {request, different, sigma_equivalent,
+  std::vector<MineRequest> batch = {request, different, sigma_equivalent,
                                       request, request, different};
   std::vector<MiningResponse> responses = service.MineBatch(batch);
   ASSERT_EQ(responses.size(), 6u);
@@ -243,8 +243,8 @@ TEST_F(MiningServiceTest, BatchDedupIsThreadCountInvariant) {
 
 TEST_F(MiningServiceTest, FailuresArePerRequest) {
   MiningService service;
-  MiningRequest good = BasicRequest();
-  MiningRequest bad = BasicRequest();
+  MineRequest good = BasicRequest();
+  MineRequest bad = BasicRequest();
   bad.dataset_path = ::testing::TempDir() + "/does_not_exist.fimi";
 
   std::vector<MiningResponse> responses = service.MineBatch({bad, good});
@@ -259,7 +259,7 @@ TEST_F(MiningServiceTest, DisabledCacheMinesEveryTime) {
   MiningServiceOptions options;
   options.cache.max_entries = 0;
   MiningService service(options);
-  const MiningRequest request = BasicRequest();
+  const MineRequest request = BasicRequest();
   EXPECT_EQ(service.Mine(request).source, ResponseSource::kMined);
   EXPECT_EQ(service.Mine(request).source, ResponseSource::kMined);
 }
@@ -271,7 +271,7 @@ TEST_F(MiningServiceTest, BatchDuplicatesCoalesceWhenCacheIsDisabled) {
   options.cache.max_entries = 0;
   options.num_threads = 4;
   MiningService service(options);
-  const MiningRequest request = BasicRequest();
+  const MineRequest request = BasicRequest();
   std::vector<MiningResponse> responses =
       service.MineBatch({request, request, request});
   ASSERT_EQ(responses.size(), 3u);

@@ -92,7 +92,7 @@ TEST(CanonicalizeRequestTest, RejectsSigmaAboveOne) {
 }
 
 TEST(ParseRequestLineTest, ParsesFullGrammar) {
-  StatusOr<MiningRequest> request = ParseRequestLine(
+  StatusOr<MineRequest> request = ParseRequestLine(
       "--in data.fimi --format fimi --sigma 0.25 --tau 0.4 --k 50 "
       "--pool-size 2 --pool-miner eclat --max-iterations 9 --attempts 3 "
       "--retain 4 --seed 11 --threads 2 --shard-parallelism 4");
@@ -113,7 +113,7 @@ TEST(ParseRequestLineTest, ParsesFullGrammar) {
 }
 
 TEST(ParseRequestLineTest, MinSupportVariantAndDefaults) {
-  StatusOr<MiningRequest> request =
+  StatusOr<MineRequest> request =
       ParseRequestLine("--in d.snap --min-support 20");
   ASSERT_TRUE(request.ok());
   EXPECT_EQ(request->format, "auto");
@@ -143,11 +143,208 @@ TEST(ParseRequestLineTest, RejectsBadRequests) {
 }
 
 TEST(ParseRequestLineTest, UnknownFlagErrorListsKnownFlags) {
-  StatusOr<MiningRequest> request =
+  StatusOr<MineRequest> request =
       ParseRequestLine("--in d.fimi --min-support 5 --tua 0.5");
   ASSERT_FALSE(request.ok());
   EXPECT_NE(request.status().message().find("--tua"), std::string::npos);
   EXPECT_NE(request.status().message().find("--tau"), std::string::npos);
+}
+
+// Golden-key regression: every pre-existing request line must hash to
+// the SAME options_hash it produced before the typed-request refactor
+// and the top-k/constraint extensions. The constants below were
+// captured from the pre-refactor binary (PR 9); if one of them moves,
+// cached results, in-flight dedup and cross-version replay all break.
+// The mode-extension fields hash only when set, which is exactly what
+// keeps these stable.
+TEST(GoldenCacheKeyTest, LegacyRequestLinesKeepTheirHistoricalHashes) {
+  struct GoldenKey {
+    const char* line;
+    int64_t num_transactions;
+    uint64_t hash;       // exact / unsharded key
+    uint64_t fuse_hash;  // the same options under the kFuse salt
+  };
+  const GoldenKey golden[] = {
+      {"--in data.fimi --min-support 12 --k 10 --pool-size 2", 100,
+       0xb66730b5020a57d3ULL, 0xaace0c50d9579324ULL},
+      {"--in data.fimi --min-support 12 --k 10 --pool-size 2", 4395,
+       0xb66730b5020a57d3ULL, 0xaace0c50d9579324ULL},
+      {"--in data.fimi --sigma 0.25 --tau 0.4 --k 50 --pool-size 2 "
+       "--pool-miner eclat --max-iterations 9 --attempts 3 --retain 4 "
+       "--seed 11 --threads 2 --shard-parallelism 4",
+       100, 0xd5dc30f2a4506e90ULL, 0xbb7857fcb2bd98f3ULL},
+      {"--in data.fimi --sigma 0.25 --tau 0.4 --k 50 --pool-size 2 "
+       "--pool-miner eclat --max-iterations 9 --attempts 3 --retain 4 "
+       "--seed 11 --threads 2 --shard-parallelism 4",
+       4395, 0x8a878143b7a90ef3ULL, 0x9473ac0b0580be9aULL},
+      {"--in d.snap --min-support 20", 100, 0x543d6b0fe3bebe84ULL,
+       0x2e1125a92c5aa5e6ULL},
+      {"--in shards/d.manifest --shards exact --min-support 12 --tau 0.5 "
+       "--k 40 --pool-size 2",
+       100, 0x7883f473ca183568ULL, 0x9d8501d16fafc7b8ULL},
+      {"--in shards/d.manifest --shards fuse --sigma 0.1 --k 40 "
+       "--pool-size 3 --seed 7",
+       100, 0xd24e4ee7d509a965ULL, 0x4204951f28af7375ULL},
+      {"--in shards/d.manifest --shards fuse --sigma 0.1 --k 40 "
+       "--pool-size 3 --seed 7",
+       4395, 0x0d98428fea2aaabbULL, 0x2ea1be0a6524e09eULL},
+      {"--in x --min-support 1 --tau 1.0 --k 1 --pool-size 1 "
+       "--max-iterations 1 --attempts 1 --retain 1 --seed 0",
+       100, 0xc6242b35dea9b480ULL, 0x2b693162005b3e42ULL},
+  };
+  for (const GoldenKey& key : golden) {
+    StatusOr<MineRequest> request = ParseRequestLine(key.line);
+    ASSERT_TRUE(request.ok()) << key.line;
+    StatusOr<CanonicalRequest> exact = CanonicalizeRequestForSize(
+        key.num_transactions, request->options, /*fuse_mode=*/false);
+    StatusOr<CanonicalRequest> fuse = CanonicalizeRequestForSize(
+        key.num_transactions, request->options, /*fuse_mode=*/true);
+    ASSERT_TRUE(exact.ok()) << key.line;
+    ASSERT_TRUE(fuse.ok()) << key.line;
+    EXPECT_EQ(exact->options_hash, key.hash)
+        << key.line << " @" << key.num_transactions;
+    EXPECT_EQ(fuse->options_hash, key.fuse_hash)
+        << key.line << " @" << key.num_transactions;
+  }
+}
+
+TEST(ParseRequestLineTest, ParsesModeExtensions) {
+  StatusOr<MineRequest> request = ParseRequestLine(
+      "--in data.fimi --min-support 5 --top-k 7 --include 3,1,4 "
+      "--exclude 9 --min-len 2 --max-len 6");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->options.top_k, 7);
+  EXPECT_EQ(request->options.constraints.include,
+            (std::vector<ItemId>{3, 1, 4}));  // parse preserves order
+  EXPECT_EQ(request->options.constraints.exclude, (std::vector<ItemId>{9}));
+  EXPECT_EQ(request->options.constraints.min_len, 2);
+  EXPECT_EQ(request->options.constraints.max_len, 6);
+}
+
+TEST(ParseRequestLineTest, RejectsBadModeExtensions) {
+  const char* base = "--in d.fimi --min-support 5 ";
+  EXPECT_FALSE(ParseRequestLine(std::string(base) + "--top-k -1").ok());
+  EXPECT_FALSE(ParseRequestLine(std::string(base) + "--include ").ok());
+  EXPECT_FALSE(ParseRequestLine(std::string(base) + "--include 1,,2").ok());
+  EXPECT_FALSE(ParseRequestLine(std::string(base) + "--include a,2").ok());
+  EXPECT_FALSE(ParseRequestLine(std::string(base) + "--include 1,").ok());
+  EXPECT_FALSE(ParseRequestLine(std::string(base) + "--exclude -3").ok());
+  EXPECT_FALSE(
+      ParseRequestLine(std::string(base) + "--exclude 99999999999").ok());
+  EXPECT_FALSE(ParseRequestLine(std::string(base) + "--min-len -2").ok());
+}
+
+TEST(CanonicalizeRequestTest, ConstrainedNeverSharesAKeyWithUnconstrained) {
+  const TransactionDatabase db = MakeDiag(10);
+  ColossalMinerOptions plain;
+  plain.min_support_count = 3;
+  StatusOr<CanonicalRequest> reference = CanonicalizeRequest(db, plain);
+  ASSERT_TRUE(reference.ok());
+
+  ColossalMinerOptions variants[] = {plain, plain, plain, plain};
+  variants[0].top_k = 100;  // == default k, still a distinct mode
+  variants[1].constraints.include = {1, 2};
+  variants[2].constraints.exclude = {4};
+  variants[3].constraints.max_len = 3;
+  for (const ColossalMinerOptions& variant : variants) {
+    StatusOr<CanonicalRequest> other = CanonicalizeRequest(db, variant);
+    ASSERT_TRUE(other.ok());
+    EXPECT_FALSE(other->options == reference->options);
+    EXPECT_NE(other->options_hash, reference->options_hash);
+  }
+  // Include={x} vs exclude={x} are different constraints, not a
+  // concatenation ambiguity: list lengths are hashed.
+  ColossalMinerOptions inc = plain;
+  inc.constraints.include = {3};
+  ColossalMinerOptions exc = plain;
+  exc.constraints.exclude = {3};
+  StatusOr<CanonicalRequest> a = CanonicalizeRequest(db, inc);
+  StatusOr<CanonicalRequest> b = CanonicalizeRequest(db, exc);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->options_hash, b->options_hash);
+}
+
+TEST(CanonicalizeRequestTest, EqualConstraintsInAnySpellingShareAKey) {
+  const TransactionDatabase db = MakeDiag(10);
+  ColossalMinerOptions sorted;
+  sorted.min_support_count = 3;
+  sorted.constraints.include = {1, 2, 5};
+  ColossalMinerOptions shuffled = sorted;
+  shuffled.constraints.include = {5, 1, 2, 2, 1};  // order + duplicates
+  StatusOr<CanonicalRequest> a = CanonicalizeRequest(db, sorted);
+  StatusOr<CanonicalRequest> b = CanonicalizeRequest(db, shuffled);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->options == b->options);
+  EXPECT_EQ(a->options_hash, b->options_hash);
+
+  // An exclude alongside an allowlist is a no-op and is erased, so the
+  // two spellings share the allowlist-only key.
+  ColossalMinerOptions with_exclude = sorted;
+  with_exclude.constraints.exclude = {7};
+  StatusOr<CanonicalRequest> c = CanonicalizeRequest(db, with_exclude);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->options_hash, a->options_hash);
+
+  // min_len 1 is vacuous (patterns are non-empty) and collapses to 0 —
+  // but here constraints become fully default, so the canonical form
+  // must equal the unconstrained request, legacy hash included.
+  ColossalMinerOptions vacuous;
+  vacuous.min_support_count = 3;
+  vacuous.constraints.min_len = 1;
+  ColossalMinerOptions plain;
+  plain.min_support_count = 3;
+  StatusOr<CanonicalRequest> d = CanonicalizeRequest(db, vacuous);
+  StatusOr<CanonicalRequest> e = CanonicalizeRequest(db, plain);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(d->options_hash, e->options_hash);
+}
+
+TEST(CanonicalizeRequestTest, TopKErasesTheRequestedK) {
+  const TransactionDatabase db = MakeDiag(10);
+  ColossalMinerOptions a;
+  a.min_support_count = 3;
+  a.top_k = 5;
+  a.k = 100;
+  ColossalMinerOptions b = a;
+  b.k = 7;  // can't affect a top-k answer
+  StatusOr<CanonicalRequest> ca = CanonicalizeRequest(db, a);
+  StatusOr<CanonicalRequest> cb = CanonicalizeRequest(db, b);
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(cb.ok());
+  EXPECT_TRUE(ca->options == cb->options);
+  EXPECT_EQ(ca->options_hash, cb->options_hash);
+  EXPECT_EQ(ca->options.k, 5);
+}
+
+TEST(CanonicalizeRequestTest, RejectsContradictoryConstraints) {
+  const TransactionDatabase db = MakeDiag(10);
+  ColossalMinerOptions overlap;
+  overlap.min_support_count = 3;
+  overlap.constraints.include = {1, 2};
+  overlap.constraints.exclude = {2, 9};
+  EXPECT_FALSE(CanonicalizeRequest(db, overlap).ok());
+
+  ColossalMinerOptions inverted;
+  inverted.min_support_count = 3;
+  inverted.constraints.min_len = 5;
+  inverted.constraints.max_len = 2;
+  EXPECT_FALSE(CanonicalizeRequest(db, inverted).ok());
+}
+
+TEST(CanonicalizeRequestTest, FuseModeSaltsTheHash) {
+  ColossalMinerOptions options;
+  options.min_support_count = 3;
+  StatusOr<CanonicalRequest> exact =
+      CanonicalizeRequestForSize(10, options, /*fuse_mode=*/false);
+  StatusOr<CanonicalRequest> fuse =
+      CanonicalizeRequestForSize(10, options, /*fuse_mode=*/true);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(fuse.ok());
+  EXPECT_TRUE(exact->options == fuse->options);  // same canonical form
+  EXPECT_NE(exact->options_hash, fuse->options_hash);  // different keys
 }
 
 TEST(ResultCacheKeyTest, HashAndEquality) {

@@ -317,6 +317,23 @@ TEST_F(ServeDispatchTest, RecentControlWordListsFlightRecords) {
   EXPECT_TRUE(DispatchServeLine(service_, "recent 1").debug_status.ok());
   EXPECT_FALSE(DispatchServeLine(service_, "recent 0").debug_status.ok());
   EXPECT_FALSE(DispatchServeLine(service_, "recent x").debug_status.ok());
+  // At the capacity bound is fine; past it is a rejection that names
+  // the bound, never a silently clamped listing — hostile counts (the
+  // uint64 edge, absurd magnitudes) get the same well-formed error.
+  const size_t capacity = service_.flight_recorder().capacity();
+  EXPECT_TRUE(DispatchServeLine(service_, "recent " +
+                                              std::to_string(capacity))
+                  .debug_status.ok());
+  for (const std::string hostile :
+       {std::to_string(capacity + 1), std::string("999999999"),
+        std::string("18446744073709551615")}) {
+    ServeOutcome over = DispatchServeLine(service_, "recent " + hostile);
+    EXPECT_EQ(over.debug_status.code(), StatusCode::kInvalidArgument)
+        << hostile;
+    EXPECT_NE(over.debug_status.message().find(std::to_string(capacity)),
+              std::string::npos)
+        << over.debug_status.message();
+  }
   // Control words do not count as requests or land in the recorder.
   const int64_t recorded = service_.flight_recorder().recorded();
   DispatchServeLine(service_, "recent");
@@ -358,6 +375,83 @@ TEST_F(ServeDispatchTest, TraceControlWordRoundTripsAllPhases) {
 TEST_F(ServeDispatchTest, StatsLineCarriesSlowRequests) {
   const std::string line = FormatStatsLine(service_);
   EXPECT_NE(line.find(" slow_requests="), std::string::npos) << line;
+}
+
+TEST_F(ServeDispatchTest, FlightDropsSurfaceInStatsAndMetrics) {
+  // An untouched service has dropped nothing, and says so everywhere.
+  EXPECT_NE(FormatStatsLine(service_).find(" flight_dropped=0"),
+            std::string::npos)
+      << FormatStatsLine(service_);
+
+  // Normal ring wrap is NOT a drop: dropped() only advances when a
+  // writer collides with another writer a full ring behind.
+  MiningServiceOptions options;
+  options.flight_recorder_capacity = 1;  // rounded up to the floor of 2
+  MiningService tiny(options);
+  const size_t capacity = tiny.flight_recorder().capacity();
+  for (size_t i = 0; i < capacity + 3; ++i) {
+    DispatchServeLine(tiny, "--bogus");  // parse failures still record
+  }
+  EXPECT_EQ(tiny.flight_recorder().dropped(), 0);
+
+  // Hammer the tiny ring from many threads to provoke real same-slot
+  // collisions, then dispatch once more so RecordFlight republishes the
+  // gauge. Whatever the recorder counted, every surface — the stats
+  // field, the gauge and the `recent` header — must agree with it.
+  for (int round = 0; round < 64 && tiny.flight_recorder().dropped() == 0;
+       ++round) {
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 8; ++t) {
+      writers.emplace_back([&tiny] {
+        FlightRecord record{};
+        for (int i = 0; i < 2000; ++i) {
+          record.id = tiny.flight_recorder().MintId();
+          tiny.flight_recorder().Record(record);
+        }
+      });
+    }
+    for (std::thread& writer : writers) writer.join();
+  }
+  DispatchServeLine(tiny, "--bogus");
+  const int64_t dropped = tiny.flight_recorder().dropped();
+  EXPECT_NE(FormatStatsLine(tiny).find(
+                " flight_dropped=" + std::to_string(dropped)),
+            std::string::npos)
+      << FormatStatsLine(tiny);
+  EXPECT_EQ(tiny.metrics().GaugeValue("colossal_flight_dropped_total"),
+            dropped);
+  ServeOutcome recent = DispatchServeLine(tiny, "recent");
+  EXPECT_NE(recent.debug_text.find("\"dropped\":" + std::to_string(dropped)),
+            std::string::npos)
+      << recent.debug_text;
+}
+
+TEST_F(ServeDispatchTest, ModeExtensionsFlowThroughTheDispatchPath) {
+  // One request line, no transport-specific anything: top-k and
+  // constraints parse, mine and cache through the same shared path.
+  const std::string constrained =
+      RequestLine() + " --top-k 3 --min-len 2 --exclude 0,1";
+  ServeOutcome first = DispatchServeLine(service_, constrained);
+  ASSERT_TRUE(first.response.status.ok())
+      << first.response.status.ToString();
+  ASSERT_TRUE(first.response.result);
+  EXPECT_LE(first.response.result->patterns.size(), 3u);
+  for (const Pattern& pattern : first.response.result->patterns) {
+    EXPECT_GE(pattern.size(), 2);
+    for (ItemId item : pattern.items) {
+      EXPECT_NE(item, 0u);
+      EXPECT_NE(item, 1u);
+    }
+  }
+
+  // Equal constraints spelled differently (list order, vacuous k)
+  // share one cache entry; the unconstrained line never does.
+  ServeOutcome respelled = DispatchServeLine(
+      service_, RequestLine() + " --exclude 1,0 --min-len 2 --top-k 3");
+  EXPECT_EQ(respelled.response.source, ResponseSource::kCache);
+  ServeOutcome plain = DispatchServeLine(service_, RequestLine());
+  ASSERT_TRUE(plain.response.status.ok());
+  EXPECT_NE(plain.response.source, ResponseSource::kCache);
 }
 
 TEST_F(ServeDispatchTest, DebugFramingOverTcp) {

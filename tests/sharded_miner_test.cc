@@ -70,8 +70,8 @@ class ShardedMinerTest : public ::testing::Test {
     };
   }
 
-  static MiningRequest ManifestRequest(size_t manifest_index) {
-    MiningRequest request;
+  static MineRequest ManifestRequest(size_t manifest_index) {
+    MineRequest request;
     request.dataset_path = (*manifest_paths_)[manifest_index];
     request.options = BaseOptions();
     return request;
@@ -496,7 +496,7 @@ TEST_F(ShardedMinerTest, RowCountMismatchFailsWithStatus) {
 
 TEST_F(ShardedMinerTest, ServiceServesManifestsAndSharesTheExactCacheEntry) {
   MiningService service;
-  MiningRequest unsharded;
+  MineRequest unsharded;
   unsharded.dataset_path = *parent_path_;
   unsharded.options = BaseOptions();
 
@@ -528,8 +528,8 @@ TEST_F(ShardedMinerTest, ServiceServesManifestsAndSharesTheExactCacheEntry) {
 
 TEST_F(ShardedMinerTest, FuseModeCachesUnderItsOwnKey) {
   MiningService service;
-  MiningRequest exact = ManifestRequest(1);
-  MiningRequest fuse = ManifestRequest(1);
+  MineRequest exact = ManifestRequest(1);
+  MineRequest fuse = ManifestRequest(1);
   fuse.shard_mode = ShardMergeMode::kFuse;
   fuse.shards_requested = true;
 
@@ -545,7 +545,7 @@ TEST_F(ShardedMinerTest, FuseModeCachesUnderItsOwnKey) {
 
 TEST_F(ShardedMinerTest, ShardsFlagOnANonManifestDatasetIsARequestError) {
   MiningService service;
-  MiningRequest request;
+  MineRequest request;
   request.dataset_path = *parent_path_;
   request.options = BaseOptions();
   request.shards_requested = true;
@@ -566,7 +566,7 @@ TEST_F(ShardedMinerTest, ServiceResultsMatchUnshardedThroughTheCacheToo) {
   for (size_t m = 0; m < manifest_paths_->size(); ++m) {
     for (int threads : {1, 8}) {
       MiningService service;  // fresh: no carried-over cache
-      MiningRequest request = ManifestRequest(m);
+      MineRequest request = ManifestRequest(m);
       request.options.num_threads = threads;
       MiningResponse mined = service.Mine(request);
       ASSERT_TRUE(mined.status.ok())
@@ -649,7 +649,7 @@ TEST_F(ShardedMinerTest, FanOutHoldsTheRegistryBudgetAndStaysExact) {
   MiningServiceOptions options;
   options.registry.memory_budget_bytes = budget;
   MiningService service(options);
-  MiningRequest request = ManifestRequest(2);
+  MineRequest request = ManifestRequest(2);
   request.options.shard_parallelism = 4;
   request.options.num_threads = 2;
   MiningResponse response = service.Mine(request);
@@ -682,7 +682,7 @@ TEST_F(ShardedMinerTest, ServiceFanOutMatchesSequentialByteForByte) {
 
   for (int parallelism : {1, 2, 4}) {
     MiningService service;  // fresh: no carried-over cache
-    MiningRequest request = ManifestRequest(2);
+    MineRequest request = ManifestRequest(2);
     request.options.shard_parallelism = parallelism;
     MiningResponse mined = service.Mine(request);
     ASSERT_TRUE(mined.status.ok())
@@ -692,7 +692,7 @@ TEST_F(ShardedMinerTest, ServiceFanOutMatchesSequentialByteForByte) {
         << "parallelism=" << parallelism;
 
     // A replay differing only in parallelism is a cache hit.
-    MiningRequest replay = ManifestRequest(2);
+    MineRequest replay = ManifestRequest(2);
     replay.options.shard_parallelism = parallelism == 4 ? 1 : 4;
     MiningResponse cached = service.Mine(replay);
     ASSERT_TRUE(cached.status.ok());
@@ -719,7 +719,7 @@ TEST_F(ShardedMinerTest, FailingMineWakesAllCoalescedWaiters) {
   ASSERT_EQ(std::remove(written->shard_paths[1].c_str()), 0);
 
   MiningService service;
-  MiningRequest request;
+  MineRequest request;
   request.dataset_path = written->manifest_path;
   request.options = BaseOptions();
   request.options.shard_parallelism = 2;
@@ -760,10 +760,10 @@ TEST_F(ShardedMinerTest, BatchGroupsShardedAndUnshardedEquivalents) {
   options.num_threads = 8;  // grouping must be deterministic regardless
   MiningService service(options);
 
-  MiningRequest unsharded;
+  MineRequest unsharded;
   unsharded.dataset_path = *parent_path_;
   unsharded.options = BaseOptions();
-  std::vector<MiningRequest> batch = {ManifestRequest(1), unsharded,
+  std::vector<MineRequest> batch = {ManifestRequest(1), unsharded,
                                       ManifestRequest(1)};
   std::vector<MiningResponse> responses = service.MineBatch(batch);
   ASSERT_EQ(responses.size(), 3u);

@@ -349,7 +349,7 @@ TEST_F(ServeProtocolTest, RequestRoundTripMatchesDirectMineAndCaches) {
   EXPECT_EQ(header.rfind("ok source=mined", 0), 0u) << header;
 
   // The payload is byte-identical to a direct service mine.
-  StatusOr<MiningRequest> parsed = ParseRequestLine(request);
+  StatusOr<MineRequest> parsed = ParseRequestLine(request);
   ASSERT_TRUE(parsed.ok());
   MiningService reference;
   MiningResponse direct = reference.Mine(*parsed);

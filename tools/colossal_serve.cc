@@ -70,7 +70,8 @@
 //   (--sigma F | --min-support N) [--tau F] [--k N] [--pool-size N]
 //   [--pool-miner apriori|eclat] [--max-iterations N] [--attempts N]
 //   [--retain N] [--seed S] [--threads N] [--shards exact|fuse]
-//   [--shard-parallelism N]
+//   [--shard-parallelism N] [--top-k N] [--include I1,I2,...]
+//   [--exclude I1,I2,...] [--min-len N] [--max-len N]
 //
 // Cache semantics: results are keyed by (dataset content fingerprint,
 // canonical options). Equivalent requests — e.g. --sigma 0.5 vs. the
@@ -138,6 +139,8 @@ constexpr const char kUsage[] =
     "    [--max-iterations N] [--attempts N] [--retain N] [--seed S]\n"
     "    [--threads N] [--format fimi|matrix|snapshot|manifest|auto]\n"
     "    [--shards exact|fuse] [--shard-parallelism N]   (shard manifests)\n"
+    "    [--top-k N] [--include I1,I2,...] [--exclude I1,I2,...]\n"
+    "    [--min-len N] [--max-len N]   (top-k / constrained mining)\n"
     "daemon/listen control words: stats (one-line counters), metrics\n"
     "    (Prometheus-style text exposition), recent [n] / trace <id>\n"
     "    (flight-recorder JSON), quit/exit, shutdown\n"
@@ -211,10 +214,10 @@ int RunBatch(const Args& args) {
       ReadRequestFile(requests_path);
   if (!lines.ok()) return Fail(lines.status());
 
-  std::vector<MiningRequest> requests;
+  std::vector<MineRequest> requests;
   requests.reserve(lines->size());
   for (const RequestFileLine& line : *lines) {
-    StatusOr<MiningRequest> request = ParseRequestLine(line.text);
+    StatusOr<MineRequest> request = ParseRequestLine(line.text);
     if (!request.ok()) {
       return Fail(Status::InvalidArgument(
           requests_path + ":" + std::to_string(line.line_number) + ": " +
